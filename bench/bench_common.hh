@@ -1,0 +1,128 @@
+/**
+ * @file
+ * Shared plumbing for the figure/table drivers: default trace
+ * lengths, shared evaluator construction, and header banners.
+ */
+
+#ifndef TLC_BENCH_COMMON_HH
+#define TLC_BENCH_COMMON_HH
+
+#include <cctype>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <iostream>
+#include <string>
+
+#include "core/explorer.hh"
+#include "trace/workload.hh"
+#include "util/logging.hh"
+#include "util/plot.hh"
+#include "util/table.hh"
+
+namespace tlc::bench {
+
+/** Print a figure banner. */
+inline void
+banner(const std::string &title)
+{
+    std::printf("\n==== %s ====\n", title.c_str());
+}
+
+/**
+ * If TLC_CSV_DIR is set, also dump @p t there as <name>.csv so the
+ * figure data can be re-plotted outside the terminal.
+ */
+inline void
+maybeWriteCsv(const std::string &name, const Table &t)
+{
+    const char *dir = std::getenv("TLC_CSV_DIR");
+    if (!dir || !*dir)
+        return;
+    std::string file;
+    for (char c : name)
+        file += std::isalnum(static_cast<unsigned char>(c)) ? c : '_';
+    std::string path = std::string(dir) + "/" + file + ".csv";
+    std::ofstream os(path);
+    if (os)
+        t.printCsv(os);
+    else
+        tlc::warn("cannot write CSV '%s'", path.c_str());
+}
+
+/**
+ * Print the best-performance envelope of a priced sweep the way the
+ * paper annotates its figures: area, TPI, configuration label.
+ */
+inline void
+printEnvelope(const std::string &series, const Envelope &env)
+{
+    Table t({"series", "config", "area_rbe", "tpi_ns"});
+    for (const auto &p : env.points()) {
+        t.beginRow();
+        t.cell(series);
+        t.cell(p.label);
+        t.cell(p.area, 0);
+        t.cell(p.tpi, 3);
+    }
+    t.printAscii(std::cout);
+    maybeWriteCsv("envelope_" + series, t);
+}
+
+/** Print every priced point of a sweep (the figures' scatter). */
+inline void
+printPoints(const std::string &series,
+            const std::vector<DesignPoint> &points)
+{
+    Table t({"series", "config", "area_rbe", "l1_cyc_ns", "l2_cpu_cyc",
+             "l1_missrate", "global_missrate", "tpi_ns"});
+    for (const auto &p : points) {
+        t.beginRow();
+        t.cell(series);
+        t.cell(p.config.label());
+        t.cell(p.areaRbe, 0);
+        t.cell(p.l1Timing.cycleNs, 3);
+        t.cell(p.config.hasL2() ? p.tpi.l2CycleCpu : 0u);
+        t.cell(p.miss.l1MissRate(), 4);
+        t.cell(p.miss.globalMissRate(), 4);
+        t.cell(p.tpi.tpi, 3);
+    }
+    t.printAscii(std::cout);
+    maybeWriteCsv("points_" + series, t);
+}
+
+/**
+ * Render one or more envelopes as a log-log ASCII figure, the way
+ * the paper draws its solid/dotted/dashed staircases. Each envelope
+ * is sampled on a log-area grid so the staircase shape is visible
+ * between its corner points.
+ */
+inline void
+plotEnvelopes(const std::string &title,
+              const std::vector<std::pair<std::string, Envelope>> &envs)
+{
+    static const char markers[] = {'.', 'o', '*', '+', 'x', '#'};
+    ScatterPlot plot(72, 20, true, true);
+    plot.setXLabel("area (rbe, log)");
+    plot.setYLabel(title + "  [TPI ns, log]");
+    std::size_t i = 0;
+    for (const auto &[name, env] : envs) {
+        plot.addSeries(name, markers[i % sizeof(markers)]);
+        ++i;
+        if (env.empty())
+            continue;
+        double lo = env.points().front().area;
+        double hi = env.points().back().area;
+        for (double a = lo; a <= hi * 1.0001; a *= 1.08) {
+            double t = env.bestTpiWithin(a);
+            if (!std::isinf(t))
+                plot.addPoint(name, a, t);
+        }
+    }
+    plot.render(std::cout);
+}
+
+} // namespace tlc::bench
+
+#endif // TLC_BENCH_COMMON_HH

@@ -1,0 +1,47 @@
+/**
+ * @file
+ * Figure 1: first-level cache access and cycle times vs chip area.
+ *
+ * The paper plots, for split direct-mapped L1 pairs of 1 KB-256 KB
+ * (per side, 16 B lines, 0.5 µm technology), the minimum access and
+ * cycle times found by the organization search against the rbe area
+ * of the configuration.
+ */
+
+#include <iostream>
+
+#include "bench_common.hh"
+#include "util/units.hh"
+
+using namespace tlc;
+
+int
+main()
+{
+    bench::banner("Figure 1: L1 access and cycle times (DM, 16B lines)");
+    AccessTimeModel timing;
+    AreaModel area;
+
+    Table t({"l1_size", "area_rbe_pair", "access_ns", "cycle_ns",
+             "data_org", "tag_org"});
+    for (std::uint64_t s : DesignSpace::l1Sizes()) {
+        SramGeometry g{s, 16, 1, 32, 64};
+        TimingResult r = timing.optimize(g);
+        double a = 2.0 * area.area(g, r.dataOrg, r.tagOrg);
+        t.beginRow();
+        t.cell(formatSize(s));
+        t.cell(a, 0);
+        t.cell(r.accessNs, 3);
+        t.cell(r.cycleNs, 3);
+        t.cell(r.dataOrg.toString());
+        t.cell(r.tagOrg.toString());
+    }
+    t.printAscii(std::cout);
+
+    double c1 = timing.optimize(SramGeometry{1_KiB, 16, 1, 32, 64}).cycleNs;
+    double c256 =
+        timing.optimize(SramGeometry{256_KiB, 16, 1, 32, 64}).cycleNs;
+    std::printf("\ncycle-time spread 1K -> 256K: %.2fx "
+                "(paper Section 2.1: about 1.8x)\n", c256 / c1);
+    return 0;
+}

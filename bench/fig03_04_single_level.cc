@@ -1,0 +1,60 @@
+/**
+ * @file
+ * Figures 3 and 4: single-level caching performance, 50 ns off-chip
+ * service. TPI vs chip area for all seven workloads (Fig. 3: gcc1,
+ * espresso, doduc, fpppp; Fig. 4: li, eqntott, tomcatv), plus the
+ * Section 3 miss-rate quotes.
+ */
+
+#include <iostream>
+
+#include "bench_common.hh"
+#include "util/units.hh"
+
+using namespace tlc;
+
+int
+main()
+{
+    MissRateEvaluator ev;
+    Explorer ex(ev);
+    SystemAssumptions a; // 50 ns, single level only below
+
+    bench::banner("Figures 3-4: single-level TPI vs area, 50ns off-chip");
+    for (Benchmark b : Workloads::all()) {
+        auto points = ex.sweep(b, a, true, false);
+        bench::printPoints(Workloads::info(b).name, points);
+
+        const DesignPoint *best = &points.front();
+        for (const auto &p : points)
+            if (p.tpi.tpi < best->tpi.tpi)
+                best = &p;
+        std::printf("minimum TPI: %.3f ns at %s (paper: minima between "
+                    "8K and 128K)\n\n",
+                    best->tpi.tpi, best->config.label().c_str());
+    }
+
+    bench::banner("Section 3 miss-rate quotes at 32KB");
+    Table t({"workload", "measured_32K", "paper_32K"});
+    auto miss32 = [&](Benchmark b) {
+        SystemConfig c;
+        c.l1Bytes = 32_KiB;
+        c.l2Bytes = 0;
+        c.assume = a;
+        return ev.missStats(b, c).l1MissRate();
+    };
+    t.beginRow();
+    t.cell("espresso");
+    t.cell(miss32(Benchmark::Espresso), 4);
+    t.cell("0.0100");
+    t.beginRow();
+    t.cell("eqntott");
+    t.cell(miss32(Benchmark::Eqntott), 4);
+    t.cell("0.0149");
+    t.beginRow();
+    t.cell("tomcatv");
+    t.cell(miss32(Benchmark::Tomcatv), 4);
+    t.cell("0.109");
+    t.printAscii(std::cout);
+    return 0;
+}

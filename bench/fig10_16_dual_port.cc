@@ -1,0 +1,82 @@
+/**
+ * @file
+ * Figures 10-16: dual-ported first-level caches (2x cell area, 2x
+ * instruction issue rate), 50 ns off-chip, 4-way L2.
+ *
+ * For each of the seven workloads the paper plots three envelopes:
+ *   dotted: 1-level systems with the base (single-ported) cell
+ *   dashed: 1-level systems with the dual-ported cell
+ *   solid : 2-level systems (dual-ported L1, single-ported L2)
+ * The crossover between dotted and dashed (50k-400k rbe in the
+ * paper) and the stronger case for two levels are reported.
+ */
+
+#include <cmath>
+#include <iostream>
+
+#include "bench_common.hh"
+
+using namespace tlc;
+
+int
+main()
+{
+    MissRateEvaluator ev;
+    Explorer ex(ev);
+
+    SystemAssumptions base;
+    base.offchipNs = 50;
+    base.l2Assoc = 4;
+    base.policy = TwoLevelPolicy::Inclusive;
+    SystemAssumptions dual = base;
+    dual.dualPortedL1 = true;
+
+    bench::banner("Figures 10-16: 2X L1 area, 2X issue rate, 50ns, "
+                  "4-way L2");
+    for (Benchmark b : Workloads::all()) {
+        const char *name = Workloads::info(b).name;
+        Envelope e_base =
+            Explorer::envelopeOf(ex.sweep(b, base, true, false));
+        Envelope e_dual =
+            Explorer::envelopeOf(ex.sweep(b, dual, true, false));
+        Envelope e_two = Explorer::envelopeOf(ex.sweep(b, dual));
+
+        std::printf("\n-- %s --\n", name);
+        std::printf("1-level base system (dotted):\n");
+        bench::printEnvelope(name, e_base);
+        std::printf("1-level dual-ported (dashed):\n");
+        bench::printEnvelope(name, e_dual);
+        std::printf("best 2-level config (solid):\n");
+        bench::printEnvelope(name, e_two);
+
+        // Locate the dotted/dashed crossover on a log-area grid.
+        double cross = 0;
+        for (double a = 3e4; a <= 6e6; a *= 1.1) {
+            double tb = e_base.bestTpiWithin(a);
+            double td = e_dual.bestTpiWithin(a);
+            if (!std::isinf(tb) && !std::isinf(td) && td < tb) {
+                cross = a;
+                break;
+            }
+        }
+        if (cross > 0) {
+            std::printf("%s: dual-ported 1-level beats base 1-level "
+                        "from ~%.0f rbe (paper: crossover at "
+                        "50k-400k rbe)\n", name, cross);
+        } else {
+            std::printf("%s: no crossover in range\n", name);
+        }
+        std::printf("%s: mean gap 1-level-dual above 2-level: %.3f ns "
+                    "(paper: two levels matter more with dual-ported "
+                    "L1)\n",
+                    name, e_dual.meanGapAgainst(e_two));
+        if (b == Benchmark::Gcc1) {
+            std::printf("\n");
+            bench::plotEnvelopes("Figure 10: gcc1, dual-ported study",
+                                 {{"1-level base", e_base},
+                                  {"1-level dual-ported", e_dual},
+                                  {"best 2-level", e_two}});
+        }
+    }
+    return 0;
+}

@@ -1,0 +1,87 @@
+/**
+ * @file
+ * Figures 17-20: long off-chip miss service (200 ns, no board-level
+ * cache), 4-way L2. The paper's findings: TPI rises ~3x for small
+ * on-chip caches, far less for large hierarchies, and the
+ * two-level-vs-one-level gap widens for every workload.
+ */
+
+#include <iostream>
+
+#include "bench_common.hh"
+#include "util/units.hh"
+
+using namespace tlc;
+
+int
+main()
+{
+    MissRateEvaluator ev;
+    Explorer ex(ev);
+
+    SystemAssumptions a200;
+    a200.offchipNs = 200;
+    a200.l2Assoc = 4;
+    a200.policy = TwoLevelPolicy::Inclusive;
+    SystemAssumptions a50 = a200;
+    a50.offchipNs = 50;
+
+    bench::banner("Figure 17: gcc1, 200ns off-chip, L2 4-way "
+                  "(all configurations)");
+    auto gcc_points = ex.sweep(Benchmark::Gcc1, a200);
+    bench::printPoints("gcc1-200ns", gcc_points);
+    std::printf("\nbest 2-level envelope:\n");
+    Envelope gcc_best = Explorer::envelopeOf(gcc_points);
+    bench::printEnvelope("gcc1-200ns", gcc_best);
+    std::printf("\n");
+    bench::plotEnvelopes(
+        "Figure 17: gcc1 @ 200ns",
+        {{"1-level only",
+          Explorer::envelopeOf(ex.sweep(Benchmark::Gcc1, a200, true,
+                                        false))},
+         {"best 2-level", gcc_best}});
+
+    bench::banner("Figures 18-20: other workloads, 200ns (envelopes)");
+    Table summary({"workload", "gap50_ns", "gap200_ns",
+                   "tpi_1K_50ns", "tpi_1K_200ns", "ratio_1K"});
+    for (Benchmark b : Workloads::all()) {
+        const char *name = Workloads::info(b).name;
+        Envelope best200 = Explorer::envelopeOf(ex.sweep(b, a200));
+        Envelope single200 =
+            Explorer::envelopeOf(ex.sweep(b, a200, true, false));
+        Envelope best50 = Explorer::envelopeOf(ex.sweep(b, a50));
+        Envelope single50 =
+            Explorer::envelopeOf(ex.sweep(b, a50, true, false));
+
+        if (b != Benchmark::Gcc1) {
+            std::printf("\n-- %s: best 2-level envelope (200ns) --\n",
+                        name);
+            bench::printEnvelope(name, best200);
+            std::printf("-- %s: 1-level-only staircase (200ns) --\n",
+                        name);
+            bench::printEnvelope(name, single200);
+        }
+
+        // Small-cache pain: 1K:0 TPI at both service times.
+        SystemConfig c1k;
+        c1k.l1Bytes = 1_KiB;
+        c1k.l2Bytes = 0;
+        c1k.assume = a50;
+        double t50 = ex.evaluate(b, c1k).tpi.tpi;
+        c1k.assume = a200;
+        double t200 = ex.evaluate(b, c1k).tpi.tpi;
+
+        summary.beginRow();
+        summary.cell(name);
+        summary.cell(single50.meanGapAgainst(best50), 3);
+        summary.cell(single200.meanGapAgainst(best200), 3);
+        summary.cell(t50, 2);
+        summary.cell(t200, 2);
+        summary.cell(t200 / t50, 2);
+    }
+    std::printf("\nsummary (paper Section 7: every workload's "
+                "1-level-vs-2-level gap grows at 200ns; ~3x TPI "
+                "penalty at 1KB):\n");
+    summary.printAscii(std::cout);
+    return 0;
+}

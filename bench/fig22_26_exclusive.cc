@@ -1,0 +1,118 @@
+/**
+ * @file
+ * Figures 22-26: two-level exclusive caching, 50 ns off-chip.
+ *
+ *   Fig. 22: gcc1, exclusive direct-mapped L2
+ *   Fig. 23: gcc1, exclusive 4-way L2
+ *   Figs. 24-26: the other six workloads, exclusive 4-way L2
+ *
+ * Paper claims checked at the bottom: exclusive improves on the
+ * baseline; DM-exclusive is about as good as 4-way-inclusive;
+ * combining exclusivity with 4-way associativity is best.
+ */
+
+#include <iostream>
+
+#include "bench_common.hh"
+
+using namespace tlc;
+
+namespace {
+
+SystemAssumptions
+assume(std::uint32_t assoc, TwoLevelPolicy policy)
+{
+    SystemAssumptions a;
+    a.offchipNs = 50;
+    a.l2Assoc = assoc;
+    a.policy = policy;
+    return a;
+}
+
+} // namespace
+
+int
+main()
+{
+    MissRateEvaluator ev;
+    Explorer ex(ev);
+
+    bench::banner("Figure 22: gcc1, 50ns, exclusive direct-mapped L2");
+    auto pts_ex_dm = ex.sweep(Benchmark::Gcc1,
+                              assume(1, TwoLevelPolicy::Exclusive));
+    bench::printPoints("gcc1-excl-dm", pts_ex_dm);
+    Envelope ex_dm = Explorer::envelopeOf(pts_ex_dm);
+    std::printf("\nenvelope:\n");
+    bench::printEnvelope("gcc1-excl-dm", ex_dm);
+
+    bench::banner("Figure 23: gcc1, 50ns, exclusive 4-way L2");
+    auto pts_ex_4w = ex.sweep(Benchmark::Gcc1,
+                              assume(4, TwoLevelPolicy::Exclusive));
+    bench::printPoints("gcc1-excl-4way", pts_ex_4w);
+    Envelope ex_4w = Explorer::envelopeOf(pts_ex_4w);
+    std::printf("\nenvelope:\n");
+    bench::printEnvelope("gcc1-excl-4way", ex_4w);
+
+    bench::banner("Figures 24-26: other workloads, exclusive 4-way L2 "
+                  "(envelopes)");
+    for (Benchmark b :
+         {Benchmark::Doduc, Benchmark::Espresso, Benchmark::Fpppp,
+          Benchmark::Li, Benchmark::Eqntott, Benchmark::Tomcatv}) {
+        const char *name = Workloads::info(b).name;
+        Envelope e = Explorer::envelopeOf(
+            ex.sweep(b, assume(4, TwoLevelPolicy::Exclusive)));
+        std::printf("\n-- %s --\n", name);
+        bench::printEnvelope(name, e);
+    }
+
+    bench::banner("Section 8 claims (gcc1, mean envelope gaps in ns; "
+                  "negative = first is better)");
+    Envelope in_dm = Explorer::envelopeOf(
+        ex.sweep(Benchmark::Gcc1, assume(1, TwoLevelPolicy::Inclusive)));
+    Envelope in_4w = Explorer::envelopeOf(
+        ex.sweep(Benchmark::Gcc1, assume(4, TwoLevelPolicy::Inclusive)));
+    bench::plotEnvelopes("Figures 5/22/23: gcc1 @ 50ns",
+                         {{"inclusive 4-way (Fig5)", in_4w},
+                          {"exclusive DM (Fig22)", ex_dm},
+                          {"exclusive 4-way (Fig23)", ex_4w}});
+    std::printf("\n");
+    Table t({"comparison", "gap_ns", "paper_expectation"});
+    t.beginRow();
+    t.cell("excl-DM vs incl-DM");
+    t.cell(ex_dm.meanGapAgainst(in_dm), 3);
+    t.cell("negative (Fig22 below Fig9)");
+    t.beginRow();
+    t.cell("excl-DM vs incl-4way");
+    t.cell(ex_dm.meanGapAgainst(in_4w), 3);
+    t.cell("about zero (comparable)");
+    t.beginRow();
+    t.cell("excl-4way vs incl-4way");
+    t.cell(ex_4w.meanGapAgainst(in_4w), 3);
+    t.cell("negative (Fig23 below Fig5)");
+    t.beginRow();
+    t.cell("excl-4way vs excl-DM");
+    t.cell(ex_4w.meanGapAgainst(ex_dm), 3);
+    t.cell("negative (combining helps)");
+    t.printAscii(std::cout);
+
+    // Per-workload swap statistics: exclusivity in action.
+    bench::banner("Exclusive-policy swap rates (8:64 configuration)");
+    Table st({"workload", "l1_misses", "l2_hits", "swaps",
+              "swaps_per_l2hit"});
+    for (Benchmark b : Workloads::all()) {
+        SystemConfig c;
+        c.l1Bytes = 8 * 1024;
+        c.l2Bytes = 64 * 1024;
+        c.assume = assume(4, TwoLevelPolicy::Exclusive);
+        const HierarchyStats &s = ev.missStats(b, c);
+        st.beginRow();
+        st.cell(Workloads::info(b).name);
+        st.cell(s.l1Misses());
+        st.cell(s.l2Hits);
+        st.cell(s.swaps);
+        st.cell(safeRatio(static_cast<double>(s.swaps),
+                          static_cast<double>(s.l2Hits)), 3);
+    }
+    st.printAscii(std::cout);
+    return 0;
+}

@@ -1,0 +1,93 @@
+/**
+ * @file
+ * Extension experiment: Hill's "Case for Direct-Mapped Caches"
+ * (reference [3]) checked inside this paper's framework.
+ *
+ * The paper restricts its design space to direct-mapped L1s, citing
+ * Hill. This driver re-runs the single-level study with 2-way and
+ * 4-way L1s: associativity cuts the miss rate but stretches the
+ * processor cycle (the L1 sets the clock), and for most sizes and
+ * workloads the direct-mapped cache wins on TPI — reproducing the
+ * justification for the paper's design-space restriction.
+ */
+
+#include <iostream>
+
+#include "bench_common.hh"
+#include "cache/single_level.hh"
+#include "core/tpi.hh"
+#include "util/units.hh"
+
+using namespace tlc;
+
+int
+main()
+{
+    MissRateEvaluator ev;
+    Explorer ex(ev);
+    std::uint64_t refs = Workloads::defaultTraceLength() / 2;
+
+    bench::banner("Hill check: L1 associativity vs cycle time "
+                  "(single-level, 50ns off-chip)");
+    Table cyc({"l1_size", "cycle_dm_ns", "cycle_2way_ns",
+               "cycle_4way_ns"});
+    for (std::uint64_t s : {4_KiB, 16_KiB, 64_KiB}) {
+        cyc.beginRow();
+        cyc.cell(formatSize(s));
+        cyc.cell(ex.timingOf(s, 1, 16).cycleNs, 3);
+        cyc.cell(ex.timingOf(s, 2, 16).cycleNs, 3);
+        cyc.cell(ex.timingOf(s, 4, 16).cycleNs, 3);
+    }
+    cyc.printAscii(std::cout);
+
+    Table t({"workload", "l1_size", "assoc", "missrate", "tpi_ns",
+             "dm_wins"});
+    int dm_wins = 0, cases = 0;
+    for (Benchmark b :
+         {Benchmark::Gcc1, Benchmark::Espresso, Benchmark::Li,
+          Benchmark::Tomcatv}) {
+        TraceBuffer trace = Workloads::generate(b, refs);
+        for (std::uint64_t size : {4_KiB, 16_KiB, 64_KiB}) {
+            double tpi_dm = 0;
+            for (std::uint32_t assoc : {1u, 2u, 4u}) {
+                CacheParams p;
+                p.sizeBytes = size;
+                p.lineBytes = 16;
+                p.assoc = assoc;
+                p.repl = ReplPolicy::LRU;
+                SingleLevelHierarchy h(p);
+                h.simulate(trace, refs / 10);
+
+                TpiParams tp;
+                tp.l1CycleNs = ex.timingOf(size, assoc, 16).cycleNs;
+                tp.offchipNs = 50.0;
+                tp.hasL2 = false;
+                double tpi = computeTpi(h.stats(), tp).tpi;
+                if (assoc == 1)
+                    tpi_dm = tpi;
+
+                t.beginRow();
+                t.cell(Workloads::info(b).name);
+                t.cell(formatSize(size));
+                t.cell(assoc);
+                t.cell(h.stats().l1MissRate(), 4);
+                t.cell(tpi, 3);
+                if (assoc == 1) {
+                    t.cell("-");
+                } else {
+                    bool wins = tpi_dm <= tpi;
+                    t.cell(wins ? "yes" : "NO");
+                    dm_wins += wins;
+                    ++cases;
+                }
+            }
+        }
+    }
+    t.printAscii(std::cout);
+    std::printf("\ndirect-mapped wins %d of %d head-to-heads "
+                "(Hill, and this paper's design-space restriction: "
+                "the associativity miss-rate gain rarely repays the "
+                "cycle-time cost at level one).\n",
+                dm_wins, cases);
+    return 0;
+}

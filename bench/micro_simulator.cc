@@ -1,0 +1,194 @@
+/**
+ * @file
+ * Google-benchmark microbenchmarks: throughput of the simulator's
+ * hot paths (cache access, hierarchy access, trace generation,
+ * timing-model optimization). These guard the "tens of millions of
+ * references per second" property that makes the full figure sweeps
+ * tractable.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "cache/single_level.hh"
+#include "cache/stream_buffer.hh"
+#include "cache/three_c.hh"
+#include "cache/two_level.hh"
+#include "core/tpi.hh"
+#include "timing/access_time.hh"
+#include "trace/workload.hh"
+#include "util/random.hh"
+
+using namespace tlc;
+
+namespace {
+
+CacheParams
+params(std::uint64_t size, std::uint32_t assoc)
+{
+    CacheParams p;
+    p.sizeBytes = size;
+    p.lineBytes = 16;
+    p.assoc = assoc;
+    return p;
+}
+
+const TraceBuffer &
+sharedTrace()
+{
+    static const TraceBuffer t = Workloads::generate(Benchmark::Gcc1,
+                                                     500000);
+    return t;
+}
+
+} // namespace
+
+static void
+BM_CacheAccessDirectMapped(benchmark::State &state)
+{
+    Cache c(params(static_cast<std::uint64_t>(state.range(0)), 1));
+    Pcg32 rng(1);
+    for (auto _ : state) {
+        std::uint64_t addr = rng.nextBounded(1 << 20);
+        if (!c.lookupAndTouch(addr))
+            c.fill(addr);
+    }
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_CacheAccessDirectMapped)->Arg(8192)->Arg(262144);
+
+static void
+BM_CacheAccessFourWay(benchmark::State &state)
+{
+    CacheParams p = params(static_cast<std::uint64_t>(state.range(0)), 4);
+    p.repl = ReplPolicy::Random;
+    Cache c(p);
+    Pcg32 rng(1);
+    for (auto _ : state) {
+        std::uint64_t addr = rng.nextBounded(1 << 20);
+        if (!c.lookupAndTouch(addr))
+            c.fill(addr);
+    }
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_CacheAccessFourWay)->Arg(65536)->Arg(262144);
+
+static void
+BM_SingleLevelTrace(benchmark::State &state)
+{
+    const TraceBuffer &t = sharedTrace();
+    for (auto _ : state) {
+        SingleLevelHierarchy h(params(8192, 1));
+        h.simulate(t);
+        benchmark::DoNotOptimize(h.stats().l1Misses());
+    }
+    state.SetItemsProcessed(state.iterations() * t.size());
+}
+BENCHMARK(BM_SingleLevelTrace);
+
+static void
+BM_TwoLevelInclusiveTrace(benchmark::State &state)
+{
+    const TraceBuffer &t = sharedTrace();
+    for (auto _ : state) {
+        TwoLevelHierarchy h(params(8192, 1), params(65536, 4),
+                            TwoLevelPolicy::Inclusive);
+        h.simulate(t);
+        benchmark::DoNotOptimize(h.stats().l2Misses);
+    }
+    state.SetItemsProcessed(state.iterations() * t.size());
+}
+BENCHMARK(BM_TwoLevelInclusiveTrace);
+
+static void
+BM_TwoLevelExclusiveTrace(benchmark::State &state)
+{
+    const TraceBuffer &t = sharedTrace();
+    for (auto _ : state) {
+        TwoLevelHierarchy h(params(8192, 1), params(65536, 4),
+                            TwoLevelPolicy::Exclusive);
+        h.simulate(t);
+        benchmark::DoNotOptimize(h.stats().l2Misses);
+    }
+    state.SetItemsProcessed(state.iterations() * t.size());
+}
+BENCHMARK(BM_TwoLevelExclusiveTrace);
+
+static void
+BM_StreamBufferTrace(benchmark::State &state)
+{
+    const TraceBuffer &t = sharedTrace();
+    for (auto _ : state) {
+        StreamBufferHierarchy h(params(8192, 1), 8, 4);
+        h.simulate(t);
+        benchmark::DoNotOptimize(h.stats().l2Misses);
+    }
+    state.SetItemsProcessed(state.iterations() * t.size());
+}
+BENCHMARK(BM_StreamBufferTrace);
+
+static void
+BM_ThreeCClassification(benchmark::State &state)
+{
+    const TraceBuffer &t = sharedTrace();
+    for (auto _ : state) {
+        ThreeCAnalyzer a(params(8192, 1));
+        for (const auto &rec : t)
+            a.access(rec.addr);
+        benchmark::DoNotOptimize(a.stats().conflict);
+    }
+    state.SetItemsProcessed(state.iterations() * t.size());
+}
+BENCHMARK(BM_ThreeCClassification);
+
+static void
+BM_CamTimingOptimize(benchmark::State &state)
+{
+    AccessTimeModel m;
+    for (auto _ : state) {
+        SramGeometry g{1024, 16, 64, 32, 64}; // 64-entry FA buffer
+        benchmark::DoNotOptimize(m.optimize(g).cycleNs);
+    }
+}
+BENCHMARK(BM_CamTimingOptimize);
+
+static void
+BM_TraceGeneration(benchmark::State &state)
+{
+    for (auto _ : state) {
+        TraceBuffer t = Workloads::generate(Benchmark::Espresso, 100000);
+        benchmark::DoNotOptimize(t.totalRefs());
+    }
+    state.SetItemsProcessed(state.iterations() * 100000);
+}
+BENCHMARK(BM_TraceGeneration);
+
+static void
+BM_TimingOptimize(benchmark::State &state)
+{
+    AccessTimeModel m;
+    for (auto _ : state) {
+        SramGeometry g{65536, 16, 4, 32, 64};
+        benchmark::DoNotOptimize(m.optimize(g).cycleNs);
+    }
+}
+BENCHMARK(BM_TimingOptimize);
+
+static void
+BM_TpiComputation(benchmark::State &state)
+{
+    HierarchyStats s;
+    s.instrRefs = 1000000;
+    s.dataRefs = 400000;
+    s.l2Hits = 20000;
+    s.l2Misses = 3000;
+    TpiParams p;
+    p.l1CycleNs = 2.5;
+    p.l2CycleNsRaw = 3.4;
+    p.offchipNs = 50;
+    p.hasL2 = true;
+    for (auto _ : state)
+        benchmark::DoNotOptimize(computeTpi(s, p).tpi);
+}
+BENCHMARK(BM_TpiComputation);
+
+BENCHMARK_MAIN();

@@ -1,0 +1,85 @@
+/**
+ * @file
+ * Extension experiment: per-reference energy of single- vs two-level
+ * configurations (the paper's fifth advantage, §1: "a chip with a
+ * two-level cache will usually use less power than one with a
+ * single-level organization (assuming the area devoted to the cache
+ * is the same)").
+ *
+ * For each workload, pairs a single-level configuration with a
+ * two-level configuration of comparable total area and compares the
+ * measured energy per memory reference (on-chip switching plus
+ * off-chip accesses).
+ */
+
+#include <iostream>
+
+#include "bench_common.hh"
+#include "power/energy_model.hh"
+#include "util/units.hh"
+
+using namespace tlc;
+
+int
+main()
+{
+    MissRateEvaluator ev;
+    Explorer ex(ev);
+    EnergyModel em;
+
+    auto array_energy = [&](std::uint64_t size, std::uint32_t assoc) {
+        const TimingResult &t = ex.timingOf(size, assoc, 16);
+        SramGeometry g{size, 16, assoc, 32, 64};
+        return em.accessEnergy(g, t.dataOrg, t.tagOrg).total();
+    };
+
+    bench::banner("Energy per reference: single-level vs two-level at "
+                  "comparable area (eu = relative energy units)");
+
+    struct Pairing
+    {
+        std::uint64_t single_l1;
+        std::uint64_t two_l1;
+        std::uint64_t two_l2;
+    };
+    // Areas are matched within ~15% by construction (L1 pair + L2
+    // vs bigger L1 pair).
+    const Pairing pairings[] = {
+        {32_KiB, 8_KiB, 64_KiB},
+        {64_KiB, 16_KiB, 128_KiB},
+        {128_KiB, 32_KiB, 256_KiB},
+    };
+
+    for (const Pairing &pr : pairings) {
+        SystemConfig single;
+        single.l1Bytes = pr.single_l1;
+        SystemConfig two;
+        two.l1Bytes = pr.two_l1;
+        two.l2Bytes = pr.two_l2;
+
+        std::printf("\npairing: %s (%.0f rbe) vs %s (%.0f rbe)\n",
+                    single.label().c_str(), ex.areaOf(single),
+                    two.label().c_str(), ex.areaOf(two));
+        Table t({"workload", "single_eu_per_ref", "two_level_eu_per_ref",
+                 "saving_pct"});
+        for (Benchmark b : Workloads::all()) {
+            const HierarchyStats &ss = ev.missStats(b, single);
+            const HierarchyStats &ts = ev.missStats(b, two);
+            double e_single = em.energyPerReference(
+                ss, array_energy(pr.single_l1, 1), 0.0);
+            double e_two = em.energyPerReference(
+                ts, array_energy(pr.two_l1, 1),
+                array_energy(pr.two_l2, 4));
+            t.beginRow();
+            t.cell(Workloads::info(b).name);
+            t.cell(e_single, 1);
+            t.cell(e_two, 1);
+            t.cell(100.0 * (e_single - e_two) / e_single, 1);
+        }
+        t.printAscii(std::cout);
+    }
+    std::printf("\nExpectation (paper Section 1, advantage five): the "
+                "two-level configuration usually wins — most accesses "
+                "touch only the small L1's short word/bitlines.\n");
+    return 0;
+}

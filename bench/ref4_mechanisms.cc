@@ -1,0 +1,93 @@
+/**
+ * @file
+ * Extension experiment: the reference-[4] mechanism family side by
+ * side. Jouppi (1990) proposed victim caches (conflict misses) and
+ * stream buffers (sequential misses); this paper's §8 adds the
+ * exclusive L2 (conflict + capacity, at L2 scale). The driver runs
+ * all three against the same 4 KB L1 baseline and shows which
+ * workloads each mechanism rescues — conflict-heavy integer codes
+ * vs streaming numeric codes.
+ */
+
+#include <iostream>
+
+#include "bench_common.hh"
+#include "cache/single_level.hh"
+#include "cache/stream_buffer.hh"
+#include "cache/victim_cache.hh"
+#include "util/units.hh"
+
+using namespace tlc;
+
+int
+main()
+{
+    std::uint64_t refs = Workloads::defaultTraceLength() / 4;
+
+    bench::banner("Reference-[4] mechanisms vs exclusive L2 "
+                  "(4KB DM L1s; off-chip misses per 1000 refs)");
+    Table t({"workload", "baseline", "victim_16line", "stream_8x4",
+             "excl_L2_16K", "best_mechanism"});
+    for (Benchmark b : Workloads::all()) {
+        TraceBuffer trace = Workloads::generate(b, refs);
+        CacheParams l1;
+        l1.sizeBytes = 4_KiB;
+        l1.lineBytes = 16;
+        l1.assoc = 1;
+        std::uint64_t warm = refs / 10;
+
+        auto per1k = [&](const HierarchyStats &s) {
+            return 1000.0 * static_cast<double>(s.l2Misses) /
+                static_cast<double>(s.totalRefs());
+        };
+
+        SingleLevelHierarchy base(l1);
+        base.simulate(trace, warm);
+
+        VictimCacheHierarchy vc(l1, 16);
+        vc.simulate(trace, warm);
+
+        StreamBufferHierarchy sb(l1, 8, 4);
+        sb.simulate(trace, warm);
+
+        CacheParams l2;
+        l2.sizeBytes = 16_KiB;
+        l2.lineBytes = 16;
+        l2.assoc = 4;
+        l2.repl = ReplPolicy::Random;
+        TwoLevelHierarchy ex(l1, l2, TwoLevelPolicy::Exclusive);
+        ex.simulate(trace, warm);
+
+        double mb = per1k(base.stats());
+        double mv = per1k(vc.stats());
+        double ms = per1k(sb.stats());
+        double me = per1k(ex.stats());
+        const char *best = "victim";
+        double m = mv;
+        if (ms < m) {
+            m = ms;
+            best = "stream";
+        }
+        if (me < m) {
+            m = me;
+            best = "excl-L2";
+        }
+        t.beginRow();
+        t.cell(Workloads::info(b).name);
+        t.cell(mb, 1);
+        t.cell(mv, 1);
+        t.cell(ms, 1);
+        t.cell(me, 1);
+        t.cell(best);
+    }
+    t.printAscii(std::cout);
+    std::printf("\nReading: stream buffers excel at sequential misses "
+                "(instruction fetch and the streaming numeric codes), "
+                "victim caches only recover the conflict component, "
+                "and the exclusive L2 adds capacity on top of its "
+                "associativity effect. The mechanisms target disjoint "
+                "miss classes (see bench_three_c_analysis) and are "
+                "complementary, as Jouppi (1990) and this paper's "
+                "Section 8 argue.\n");
+    return 0;
+}

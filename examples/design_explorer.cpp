@@ -1,0 +1,97 @@
+/**
+ * @file
+ * Design explorer: the paper's core use case as a tool. Given an
+ * on-chip area budget (rbe) and a workload, report the best cache
+ * configuration under each set of system assumptions — single vs
+ * two-level, inclusive vs exclusive, 50 vs 200 ns off-chip.
+ *
+ * Usage:
+ *   design_explorer [--budget=1000000] [--bench=gcc1]
+ *                   [--offchip=50] [--refs=2000000]
+ */
+
+#include <cstdio>
+#include <iostream>
+
+#include "core/explorer.hh"
+#include "util/args.hh"
+#include "util/table.hh"
+
+using namespace tlc;
+
+int
+main(int argc, char **argv)
+{
+    ArgParser args(argc, argv);
+    double budget = args.getDouble("budget", 1000000.0);
+    Benchmark bench = Workloads::byName(args.getString("bench", "gcc1"));
+    double offchip = args.getDouble("offchip", 50.0);
+    std::uint64_t refs =
+        static_cast<std::uint64_t>(args.getInt("refs", 2000000));
+
+    MissRateEvaluator ev(refs);
+    Explorer ex(ev);
+
+    std::printf("workload: %s    area budget: %.0f rbe    off-chip: "
+                "%.0f ns\n\n",
+                Workloads::info(bench).name, budget, offchip);
+
+    struct Scenario
+    {
+        const char *name;
+        bool two_level;
+        std::uint32_t assoc;
+        TwoLevelPolicy policy;
+    };
+    const Scenario scenarios[] = {
+        {"single-level only", false, 4, TwoLevelPolicy::Inclusive},
+        {"2-level, DM L2, inclusive", true, 1, TwoLevelPolicy::Inclusive},
+        {"2-level, 4-way L2, inclusive", true, 4,
+         TwoLevelPolicy::Inclusive},
+        {"2-level, DM L2, exclusive", true, 1, TwoLevelPolicy::Exclusive},
+        {"2-level, 4-way L2, exclusive", true, 4,
+         TwoLevelPolicy::Exclusive},
+    };
+
+    Table t({"scenario", "best_config", "area_rbe", "l1_cycle_ns",
+             "tpi_ns"});
+    double best_tpi = 0;
+    std::string best_label, best_scenario;
+    for (const auto &sc : scenarios) {
+        SystemAssumptions a;
+        a.offchipNs = offchip;
+        a.l2Assoc = sc.assoc;
+        a.policy = sc.policy;
+        auto points = ex.sweep(bench, a, true, sc.two_level);
+        Envelope env = Explorer::envelopeOf(points);
+        const EnvelopePoint *p = env.bestPointWithin(budget);
+        t.beginRow();
+        t.cell(sc.name);
+        if (!p) {
+            t.cell("(nothing fits)");
+            t.cell("-");
+            t.cell("-");
+            t.cell("-");
+            continue;
+        }
+        // Recover the full design point for the cycle time.
+        const DesignPoint *dp = nullptr;
+        for (const auto &q : points) {
+            if (q.config.label() == p->label)
+                dp = &q;
+        }
+        t.cell(p->label);
+        t.cell(p->area, 0);
+        t.cell(dp ? dp->l1Timing.cycleNs : 0.0, 3);
+        t.cell(p->tpi, 3);
+        if (best_label.empty() || p->tpi < best_tpi) {
+            best_tpi = p->tpi;
+            best_label = p->label;
+            best_scenario = sc.name;
+        }
+    }
+    t.printAscii(std::cout);
+    std::printf("\nrecommendation: %s as '%s' (%.3f ns/instruction)\n",
+                best_label.c_str(), best_scenario.c_str(), best_tpi);
+    return 0;
+}

@@ -1,0 +1,108 @@
+/**
+ * @file
+ * Walk-through of two-level exclusive caching (paper Section 8 and
+ * Figure 21): shows the swap mechanics line by line on the paper's
+ * didactic geometry, then measures the policies head-to-head on a
+ * real workload model.
+ *
+ * Usage: exclusive_vs_inclusive [--bench=gcc1] [--refs=1000000]
+ */
+
+#include <cstdio>
+
+#include "cache/two_level.hh"
+#include "trace/workload.hh"
+#include "util/args.hh"
+#include "util/table.hh"
+
+#include <iostream>
+
+using namespace tlc;
+
+namespace {
+
+CacheParams
+params(std::uint64_t size, std::uint32_t assoc)
+{
+    CacheParams p;
+    p.sizeBytes = size;
+    p.lineBytes = 16;
+    p.assoc = assoc;
+    return p;
+}
+
+void
+step(TwoLevelHierarchy &h, std::uint32_t addr, const char *what)
+{
+    h.access({addr, RefType::Load});
+    std::printf("  %-22s L1d = {", what);
+    bool first = true;
+    for (auto l : h.dcache().residentLineAddrs()) {
+        std::printf("%s%llu", first ? "" : ",",
+                    static_cast<unsigned long long>(l));
+        first = false;
+    }
+    std::printf("}  L2 = {");
+    first = true;
+    for (auto l : h.l2cache().residentLineAddrs()) {
+        std::printf("%s%llu", first ? "" : ",",
+                    static_cast<unsigned long long>(l));
+        first = false;
+    }
+    std::printf("}\n");
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    ArgParser args(argc, argv);
+    Benchmark bench = Workloads::byName(args.getString("bench", "gcc1"));
+    std::uint64_t refs =
+        static_cast<std::uint64_t>(args.getInt("refs", 1000000));
+
+    std::printf("== The swap mechanics (Figure 21-a geometry) ==\n");
+    std::printf("4-line L1s, 16-line DM L2. Lines 13 and 29 conflict "
+                "in BOTH levels.\n");
+    TwoLevelHierarchy demo(params(64, 1), params(256, 1),
+                           TwoLevelPolicy::Exclusive);
+    step(demo, 13 * 16, "ref line 13 (cold)");
+    step(demo, 29 * 16, "ref line 29 (cold)");
+    step(demo, 13 * 16, "ref line 13 (swap!)");
+    step(demo, 29 * 16, "ref line 29 (swap!)");
+    std::printf("Both lines stay on-chip: %llu swaps, no further "
+                "off-chip traffic.\n\n",
+                static_cast<unsigned long long>(demo.stats().swaps));
+
+    std::printf("== Head-to-head on %s (%llu refs) ==\n",
+                Workloads::info(bench).name,
+                static_cast<unsigned long long>(refs));
+    TraceBuffer trace = Workloads::generate(bench, refs);
+
+    Table t({"policy", "l2_config", "l1_missrate", "l2_local_miss",
+             "offchip_per_1k_instr", "swaps"});
+    for (std::uint32_t assoc : {1u, 4u}) {
+        for (TwoLevelPolicy pol :
+             {TwoLevelPolicy::Inclusive, TwoLevelPolicy::Exclusive}) {
+            TwoLevelHierarchy h(params(8 * 1024, 1),
+                                params(64 * 1024, assoc), pol);
+            h.simulate(trace, refs / 10);
+            const HierarchyStats &s = h.stats();
+            t.beginRow();
+            t.cell(twoLevelPolicyName(pol));
+            t.cell(assoc == 1 ? "64K DM" : "64K 4-way");
+            t.cell(s.l1MissRate(), 4);
+            t.cell(s.l2LocalMissRate(), 4);
+            t.cell(1000.0 * static_cast<double>(s.l2Misses) /
+                       static_cast<double>(s.instrRefs),
+                   2);
+            t.cell(s.swaps);
+        }
+    }
+    t.printAscii(std::cout);
+    std::printf("\nExclusive caching reduces off-chip traffic by "
+                "eliminating L1/L2 duplication and adding effective "
+                "associativity (paper Section 8).\n");
+    return 0;
+}

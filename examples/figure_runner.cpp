@@ -1,0 +1,128 @@
+/**
+ * @file
+ * Generic figure runner: regenerate ANY of the paper's exhibits by
+ * id from the catalog, without knowing which bench driver implements
+ * it.
+ *
+ * Usage:
+ *   figure_runner --list
+ *   figure_runner --figure=fig05 [--refs=2000000] [--csv]
+ */
+
+#include <cstdio>
+#include <iostream>
+
+#include "core/explorer.hh"
+#include "core/figures.hh"
+#include "util/args.hh"
+#include "util/plot.hh"
+#include "util/table.hh"
+
+using namespace tlc;
+
+namespace {
+
+void
+listCatalog()
+{
+    Table t({"id", "kind", "title", "bench_driver"});
+    for (const auto &f : figureCatalog()) {
+        const char *kind = "";
+        switch (f.kind) {
+          case ExhibitKind::Table:
+            kind = "table";
+            break;
+          case ExhibitKind::TimingCurve:
+            kind = "timing";
+            break;
+          case ExhibitKind::TpiScatter:
+            kind = "tpi-scatter";
+            break;
+          case ExhibitKind::Mechanism:
+            kind = "mechanism";
+            break;
+        }
+        t.beginRow();
+        t.cell(f.id);
+        t.cell(kind);
+        t.cell(f.title);
+        t.cell(f.benchTarget);
+    }
+    t.printAscii(std::cout);
+}
+
+int
+runScatter(const FigureSpec &f, std::uint64_t refs, bool csv)
+{
+    MissRateEvaluator ev(refs);
+    Explorer ex(ev);
+    std::printf("%s: %s\n", f.id.c_str(), f.title.c_str());
+    std::printf("assumptions: %s\n\n", f.assume.toString().c_str());
+
+    for (Benchmark b : f.workloads) {
+        const char *name = Workloads::info(b).name;
+        // Figures 3-4 are single-level only; everything else sweeps
+        // the full space.
+        bool single_only = f.benchTarget == "bench_fig03_04_single_level";
+        auto points = ex.sweep(b, f.assume, true, !single_only);
+        Table t({"workload", "config", "area_rbe", "tpi_ns"});
+        for (const auto &p : points) {
+            t.beginRow();
+            t.cell(name);
+            t.cell(p.config.label());
+            t.cell(p.areaRbe, 0);
+            t.cell(p.tpi.tpi, 3);
+        }
+        if (csv)
+            t.printCsv(std::cout);
+        else
+            t.printAscii(std::cout);
+
+        Envelope best = Explorer::envelopeOf(points);
+        if (f.compareSingleLevel && !single_only && !csv) {
+            Envelope single =
+                Explorer::envelopeOf(ex.sweep(b, f.assume, true, false));
+            ScatterPlot plot(72, 18, true, true);
+            plot.setYLabel(std::string(name) + "  [TPI ns, log]");
+            plot.setXLabel("area (rbe, log)");
+            plot.addSeries("1-level", '.');
+            plot.addSeries("best", 'o');
+            for (const auto &p : single.points())
+                plot.addPoint("1-level", p.area, p.tpi);
+            for (const auto &p : best.points())
+                plot.addPoint("best", p.area, p.tpi);
+            plot.render(std::cout);
+        }
+        std::printf("\n");
+    }
+    return 0;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    ArgParser args(argc, argv);
+    if (args.has("list") || !args.has("figure")) {
+        listCatalog();
+        return args.has("list") ? 0 : 2;
+    }
+    const FigureSpec &f = figureById(args.getString("figure"));
+    std::uint64_t refs =
+        static_cast<std::uint64_t>(args.getInt("refs", 1000000));
+    bool csv = args.getBool("csv", false);
+
+    switch (f.kind) {
+      case ExhibitKind::TpiScatter:
+        return runScatter(f, refs, csv);
+      case ExhibitKind::Table:
+      case ExhibitKind::TimingCurve:
+      case ExhibitKind::Mechanism:
+        std::printf("%s (%s) has a dedicated driver: run %s\n",
+                    f.id.c_str(), f.title.c_str(),
+                    f.benchTarget.c_str());
+        return 0;
+    }
+    return 0;
+}

@@ -1,0 +1,71 @@
+/**
+ * @file
+ * Quickstart: build a two-level exclusive cache system, run a
+ * synthetic gcc1 trace through it, and price it with the paper's
+ * TPI / area / timing models.
+ *
+ * Usage: quickstart [--bench=gcc1] [--refs=1000000]
+ */
+
+#include <cstdio>
+
+#include "core/explorer.hh"
+#include "util/args.hh"
+#include "util/table.hh"
+
+using namespace tlc;
+
+int
+main(int argc, char **argv)
+{
+    ArgParser args(argc, argv);
+    Benchmark bench = Workloads::byName(args.getString("bench", "gcc1"));
+    std::uint64_t refs =
+        static_cast<std::uint64_t>(args.getInt("refs", 1000000));
+
+    // 1. A miss-rate evaluator generates (and caches) the synthetic
+    //    benchmark trace.
+    MissRateEvaluator evaluator(refs);
+
+    // 2. The explorer fuses miss rates with the analytical timing
+    //    and area models.
+    Explorer explorer(evaluator);
+
+    // 3. Price one configuration: 8KB split L1s + 128KB 4-way L2
+    //    with the paper's two-level exclusive caching.
+    SystemConfig cfg;
+    cfg.l1Bytes = 8 * 1024;
+    cfg.l2Bytes = 128 * 1024;
+    cfg.assume.offchipNs = 50.0;
+    cfg.assume.l2Assoc = 4;
+    cfg.assume.policy = TwoLevelPolicy::Exclusive;
+
+    DesignPoint p = explorer.evaluate(bench, cfg);
+
+    std::printf("benchmark        : %s (%llu refs)\n",
+                Workloads::info(bench).name,
+                static_cast<unsigned long long>(refs));
+    std::printf("configuration    : %s (%s)\n", cfg.label().c_str(),
+                cfg.assume.toString().c_str());
+    std::printf("chip area        : %.0f rbe\n", p.areaRbe);
+    std::printf("L1 cycle time    : %.3f ns\n", p.l1Timing.cycleNs);
+    std::printf("L2 cycle time    : %.3f ns raw, %u CPU cycles\n",
+                p.l2Timing.cycleNs, p.tpi.l2CycleCpu);
+    std::printf("L1 miss rate     : %.4f\n", p.miss.l1MissRate());
+    std::printf("L2 local miss    : %.4f\n", p.miss.l2LocalMissRate());
+    std::printf("exclusive swaps  : %llu\n",
+                static_cast<unsigned long long>(p.miss.swaps));
+    std::printf("TPI              : %.3f ns/instruction\n", p.tpi.tpi);
+
+    // 4. Compare against the same area spent on a single-level
+    //    system, the paper's core question.
+    SystemConfig single;
+    single.l1Bytes = 32 * 1024;
+    single.l2Bytes = 0;
+    single.assume = cfg.assume;
+    DesignPoint s = explorer.evaluate(bench, single);
+    std::printf("\nfor comparison, single-level %s: area %.0f rbe, "
+                "TPI %.3f ns\n",
+                single.label().c_str(), s.areaRbe, s.tpi.tpi);
+    return 0;
+}

@@ -1,0 +1,196 @@
+/**
+ * @file
+ * Trace utility: generate synthetic benchmark traces to files,
+ * inspect trace files, convert between the binary and text formats,
+ * and run a quick cache simulation over any trace — the entry point
+ * for users who capture their own traces (e.g. with a Pin or
+ * Valgrind tool emitting this repository's formats).
+ *
+ * Usage:
+ *   trace_tool generate --bench=gcc1 --refs=1000000 --out=gcc1.trc
+ *   trace_tool info <file>
+ *   trace_tool convert <in> <out> [--text]
+ *   trace_tool simulate <file> [--l1=8192] [--l2=65536] [--assoc=4]
+ *                       [--policy=exclusive]
+ */
+
+#include <cstdio>
+#include <fstream>
+#include <iostream>
+#include <memory>
+#include <set>
+#include <string>
+
+#include "cache/single_level.hh"
+#include "cache/two_level.hh"
+#include "trace/io.hh"
+#include "trace/workload.hh"
+#include "util/args.hh"
+#include "util/logging.hh"
+#include "util/stats.hh"
+
+using namespace tlc;
+
+namespace {
+
+int
+usage()
+{
+    std::fprintf(stderr,
+                 "usage: trace_tool generate --bench=NAME --refs=N "
+                 "--out=FILE\n"
+                 "       trace_tool info FILE\n"
+                 "       trace_tool convert IN OUT [--text]\n"
+                 "       trace_tool simulate FILE [--l1=BYTES] "
+                 "[--l2=BYTES] [--assoc=N] [--policy=inclusive|"
+                 "exclusive|strict]\n");
+    return 2;
+}
+
+int
+cmdGenerate(const ArgParser &args)
+{
+    Benchmark b = Workloads::byName(args.getString("bench", "gcc1"));
+    std::uint64_t refs =
+        static_cast<std::uint64_t>(args.getInt("refs", 1000000));
+    std::string out = args.getString("out", "");
+    if (out.empty())
+        fatal("generate requires --out=FILE");
+    TraceBuffer buf = Workloads::generate(b, refs);
+    if (!saveTraceFile(out, buf))
+        fatal("could not write '%s'", out.c_str());
+    std::printf("wrote %llu refs (%llu instr, %llu data) to %s\n",
+                static_cast<unsigned long long>(buf.totalRefs()),
+                static_cast<unsigned long long>(buf.instrRefs()),
+                static_cast<unsigned long long>(buf.dataRefs()),
+                out.c_str());
+    return 0;
+}
+
+int
+cmdInfo(const std::string &path)
+{
+    TraceBuffer buf;
+    if (!loadTraceFile(path, buf))
+        fatal("could not read '%s'", path.c_str());
+    std::printf("file          : %s\n", path.c_str());
+    std::printf("total refs    : %llu\n",
+                static_cast<unsigned long long>(buf.totalRefs()));
+    std::printf("instruction   : %llu\n",
+                static_cast<unsigned long long>(buf.instrRefs()));
+    std::printf("loads         : %llu\n",
+                static_cast<unsigned long long>(buf.loadRefs()));
+    std::printf("stores        : %llu\n",
+                static_cast<unsigned long long>(buf.storeRefs()));
+    std::printf("data/instr    : %.3f\n",
+                safeRatio(static_cast<double>(buf.dataRefs()),
+                          static_cast<double>(buf.instrRefs())));
+    // Footprint at 16-byte granularity.
+    std::set<std::uint32_t> lines;
+    for (const auto &r : buf)
+        lines.insert(r.addr >> 4);
+    std::printf("footprint     : %zu lines (%.1f KB at 16B lines)\n",
+                lines.size(), lines.size() * 16.0 / 1024.0);
+    return 0;
+}
+
+int
+cmdConvert(const ArgParser &args)
+{
+    if (args.positional().size() < 3)
+        return usage();
+    const std::string &in = args.positional()[1];
+    const std::string &out = args.positional()[2];
+    TraceBuffer buf;
+    if (!loadTraceFile(in, buf))
+        fatal("could not read '%s'", in.c_str());
+    if (args.getBool("text")) {
+        std::ofstream os(out);
+        if (!os)
+            fatal("could not open '%s'", out.c_str());
+        writeTextTrace(os, buf);
+    } else if (!saveTraceFile(out, buf)) {
+        fatal("could not write '%s'", out.c_str());
+    }
+    std::printf("converted %llu refs: %s -> %s\n",
+                static_cast<unsigned long long>(buf.totalRefs()),
+                in.c_str(), out.c_str());
+    return 0;
+}
+
+int
+cmdSimulate(const ArgParser &args)
+{
+    if (args.positional().size() < 2)
+        return usage();
+    TraceBuffer buf;
+    if (!loadTraceFile(args.positional()[1], buf))
+        fatal("could not read '%s'", args.positional()[1].c_str());
+
+    CacheParams l1;
+    l1.sizeBytes = static_cast<std::uint64_t>(args.getInt("l1", 8192));
+    l1.lineBytes = 16;
+    l1.assoc = 1;
+
+    std::uint64_t l2_bytes =
+        static_cast<std::uint64_t>(args.getInt("l2", 65536));
+
+    std::unique_ptr<Hierarchy> h;
+    if (l2_bytes == 0) {
+        h = std::make_unique<SingleLevelHierarchy>(l1);
+    } else {
+        CacheParams l2;
+        l2.sizeBytes = l2_bytes;
+        l2.lineBytes = 16;
+        l2.assoc = static_cast<std::uint32_t>(args.getInt("assoc", 4));
+        l2.repl = ReplPolicy::Random;
+        std::string pol = args.getString("policy", "inclusive");
+        TwoLevelPolicy policy;
+        if (pol == "inclusive")
+            policy = TwoLevelPolicy::Inclusive;
+        else if (pol == "exclusive")
+            policy = TwoLevelPolicy::Exclusive;
+        else if (pol == "strict")
+            policy = TwoLevelPolicy::StrictInclusive;
+        else
+            fatal("unknown policy '%s'", pol.c_str());
+        h = std::make_unique<TwoLevelHierarchy>(l1, l2, policy);
+    }
+    h->simulate(buf, buf.size() / 10);
+    const HierarchyStats &s = h->stats();
+    std::printf("refs (measured) : %llu\n",
+                static_cast<unsigned long long>(s.totalRefs()));
+    std::printf("L1 miss rate    : %.4f (%llu I + %llu D misses)\n",
+                s.l1MissRate(),
+                static_cast<unsigned long long>(s.l1iMisses),
+                static_cast<unsigned long long>(s.l1dMisses));
+    std::printf("L2 hits/misses  : %llu / %llu (local miss %.4f)\n",
+                static_cast<unsigned long long>(s.l2Hits),
+                static_cast<unsigned long long>(s.l2Misses),
+                s.l2LocalMissRate());
+    std::printf("global missrate : %.4f\n", s.globalMissRate());
+    if (s.swaps)
+        std::printf("exclusive swaps : %llu\n",
+                    static_cast<unsigned long long>(s.swaps));
+    return 0;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    ArgParser args(argc, argv);
+    if (args.positional().empty())
+        return usage();
+    const std::string &cmd = args.positional()[0];
+    if (cmd == "generate")
+        return cmdGenerate(args);
+    if (cmd == "info" && args.positional().size() >= 2)
+        return cmdInfo(args.positional()[1]);
+    if (cmd == "convert")
+        return cmdConvert(args);
+    if (cmd == "simulate")
+        return cmdSimulate(args);
+    return usage();
+}

@@ -1,0 +1,103 @@
+/**
+ * @file
+ * Area model implementation.
+ */
+
+#include "area_model.hh"
+
+#include "util/logging.hh"
+
+namespace tlc {
+
+AreaModel::AreaModel(const AreaParams &params)
+    : params_(params)
+{
+}
+
+AreaBreakdown
+AreaModel::breakdown(const SramGeometry &g,
+                     const ArrayOrganization &data_org,
+                     const ArrayOrganization &tag_org, CellType cell) const
+{
+    const AreaParams &p = params_;
+    AreaBreakdown b;
+
+    if (g.fullyAssociative()) {
+        // CAM-tagged array (victim buffers, fully-assoc TLBs): the
+        // tag store is made of larger compare-capable cells and the
+        // comparators are folded into them.
+        double entries =
+            static_cast<double>(g.sizeBytes / g.blockBytes);
+        b.dataCells = entries * 8.0 * g.blockBytes * p.sramCellRbe;
+        b.dataPeripheral =
+            (entries * p.driverColsPerSubarray +
+             8.0 * g.blockBytes * p.senseRowsPerSubarray) *
+                p.sramCellRbe +
+            p.fixedPerSubarray;
+        b.tagCells = entries * (g.tagBits() + kStatusBits) *
+            p.camCellRbe;
+        b.tagPeripheral = entries * p.driverColsPerSubarray *
+            p.camCellRbe;
+        b.comparators = 0.0; // folded into the CAM cells
+        b.control = (b.dataCells + b.dataPeripheral + b.tagCells +
+                     b.tagPeripheral) *
+            p.controlFraction;
+        if (cell == CellType::DualPorted) {
+            double f = p.dualPortFactor;
+            b.dataCells *= f;
+            b.dataPeripheral *= f;
+            b.tagCells *= f;
+            b.tagPeripheral *= f;
+            b.control *= f;
+        }
+        return b;
+    }
+
+    SubarrayDims dd = SubarrayDims::dataArray(g, data_org);
+    SubarrayDims td = SubarrayDims::tagArray(g, tag_org, kStatusBits);
+    tlc_assert(dd.valid && td.valid,
+               "area model given an invalid organization");
+
+    auto array_area = [&p](const SubarrayDims &d, std::uint32_t subarrays,
+                           double &cells, double &peripheral) {
+        double core_cells = static_cast<double>(d.rows) * d.cols;
+        double padded =
+            (static_cast<double>(d.rows) + p.senseRowsPerSubarray) *
+            (static_cast<double>(d.cols) + p.driverColsPerSubarray);
+        cells = core_cells * subarrays * p.sramCellRbe;
+        peripheral = (padded - core_cells) * subarrays * p.sramCellRbe +
+            p.fixedPerSubarray * subarrays;
+    };
+
+    array_area(dd, data_org.numSubarrays(), b.dataCells, b.dataPeripheral);
+    array_area(td, tag_org.numSubarrays(), b.tagCells, b.tagPeripheral);
+
+    // One comparator per way, tagBits wide (6 transistors = 6 x 0.6
+    // rbe per bit, paper §5).
+    b.comparators = static_cast<double>(g.assoc) * g.tagBits() *
+        p.comparatorBitRbe;
+
+    double subtotal = b.dataCells + b.dataPeripheral + b.tagCells +
+        b.tagPeripheral + b.comparators;
+    b.control = subtotal * p.controlFraction;
+
+    if (cell == CellType::DualPorted) {
+        double f = p.dualPortFactor;
+        b.dataCells *= f;
+        b.dataPeripheral *= f;
+        b.tagCells *= f;
+        b.tagPeripheral *= f;
+        b.comparators *= f;
+        b.control *= f;
+    }
+    return b;
+}
+
+double
+AreaModel::area(const SramGeometry &g, const ArrayOrganization &data_org,
+                const ArrayOrganization &tag_org, CellType cell) const
+{
+    return breakdown(g, data_org, tag_org, cell).total();
+}
+
+} // namespace tlc

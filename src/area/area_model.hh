@@ -1,0 +1,99 @@
+/**
+ * @file
+ * On-chip cache area model in register-bit equivalents (rbe),
+ * reconstructing Mulder, Quach & Flynn (JSSC 1991), the model the
+ * paper uses (§2.4).
+ *
+ * Anchors from the paper and from Mulder:
+ *  - a 6-transistor SRAM cell is 0.6 rbe;
+ *  - a comparator bit is 6 × 0.6 rbe (quoted in §5);
+ *  - peripheral logic (drivers, sense amps, column mux, decoders,
+ *    control) is charged per row, per column and per subarray of the
+ *    organization chosen by the timing model, reflecting the paper's
+ *    remark that performance-optimal organizations increase the
+ *    peripheral-to-core ratio;
+ *  - calibration target: a pair of 32 KB caches ≈ 500 k rbe (§3).
+ */
+
+#ifndef TLC_AREA_AREA_MODEL_HH
+#define TLC_AREA_AREA_MODEL_HH
+
+#include "timing/organization.hh"
+
+namespace tlc {
+
+/** RAM cell variants (paper §6). */
+enum class CellType {
+    SinglePorted6T, ///< 0.6 rbe, one read-or-write port
+    DualPorted      ///< 2× area, 2× access bandwidth
+};
+
+/** Breakdown of one cache's area, all in rbe. */
+struct AreaBreakdown
+{
+    double dataCells = 0;
+    double dataPeripheral = 0;
+    double tagCells = 0;
+    double tagPeripheral = 0;
+    double comparators = 0;
+    double control = 0;
+
+    double total() const
+    {
+        return dataCells + dataPeripheral + tagCells + tagPeripheral +
+            comparators + control;
+    }
+};
+
+/** Tunable constants of the area model (rbe units). */
+struct AreaParams
+{
+    double sramCellRbe = 0.6;    ///< 6T cell (Mulder)
+    double camCellRbe = 1.2;     ///< CAM tag cell (compare + store)
+    double comparatorBitRbe = 3.6; ///< 6 x 0.6 rbe per tag bit per way
+    /** Sense amps + precharge + column mux: height charged per
+     *  column of each subarray, in cell-equivalents. */
+    double senseRowsPerSubarray = 6.0;
+    /** Wordline drivers: width charged per row of each subarray. */
+    double driverColsPerSubarray = 3.0;
+    /** Decoder + subarray control, per subarray. */
+    double fixedPerSubarray = 300.0;
+    /** Global control as a fraction of everything else. */
+    double controlFraction = 0.02;
+    /** Total-area multiplier for dual-ported arrays (paper §6:
+     *  "twice the area ... twice the access bandwidth"). */
+    double dualPortFactor = 2.0;
+};
+
+/**
+ * The area model. area() prices one cache given the organization
+ * the timing model selected for it.
+ */
+class AreaModel
+{
+  public:
+    explicit AreaModel(const AreaParams &params = AreaParams{});
+
+    const AreaParams &params() const { return params_; }
+
+    /** Detailed area of one cache array. */
+    AreaBreakdown breakdown(const SramGeometry &g,
+                            const ArrayOrganization &data_org,
+                            const ArrayOrganization &tag_org,
+                            CellType cell = CellType::SinglePorted6T) const;
+
+    /** Total area of one cache array, in rbe. */
+    double area(const SramGeometry &g, const ArrayOrganization &data_org,
+                const ArrayOrganization &tag_org,
+                CellType cell = CellType::SinglePorted6T) const;
+
+    /** Number of tag status bits (valid + dirty), as in timing. */
+    static constexpr std::uint32_t kStatusBits = 2;
+
+  private:
+    AreaParams params_;
+};
+
+} // namespace tlc
+
+#endif // TLC_AREA_AREA_MODEL_HH

@@ -1,0 +1,76 @@
+/**
+ * @file
+ * Board-level system implementation.
+ */
+
+#include "board_system.hh"
+
+#include "util/logging.hh"
+
+namespace tlc {
+
+BoardLevelSystem::BoardLevelSystem(std::unique_ptr<Hierarchy> onchip,
+                                   const CacheParams &board_params,
+                                   bool maintain_inclusion,
+                                   std::uint64_t seed)
+    : onchip_(std::move(onchip)), board_(board_params, seed),
+      maintainInclusion_(maintain_inclusion)
+{
+    tlc_assert(onchip_ != nullptr, "board system needs a chip");
+}
+
+AccessOutcome
+BoardLevelSystem::accessClassified(const TraceRecord &rec)
+{
+    AccessOutcome out = onchip_->accessClassified(rec);
+    // Mirror the on-chip statistics so TPI models can keep using
+    // this object as a Hierarchy.
+    stats_ = onchip_->stats();
+    if (out != AccessOutcome::OffChip)
+        return out;
+
+    // The chip went off-chip: probe the board cache.
+    if (board_.lookupAndTouch(rec.addr)) {
+        ++boardStats_.l3Hits;
+        return out;
+    }
+    ++boardStats_.l3Misses;
+    Cache::Victim victim = board_.fill(rec.addr);
+    if (maintainInclusion_ && victim.valid) {
+        unsigned n = onchip_->invalidateLineAll(victim.lineAddr);
+        if (n > 0) {
+            ++boardStats_.backInvalidations;
+            boardStats_.linesInvalidated += n;
+        }
+    }
+    return out;
+}
+
+void
+BoardLevelSystem::resetStats()
+{
+    Hierarchy::resetStats();
+    onchip_->resetStats();
+    boardStats_ = BoardStats{};
+}
+
+unsigned
+BoardLevelSystem::invalidateLineAll(std::uint64_t line_addr)
+{
+    unsigned n = onchip_->invalidateLineAll(line_addr);
+    n += board_.invalidateLine(line_addr);
+    return n;
+}
+
+bool
+BoardLevelSystem::inclusionHolds(const Cache &onchip_array) const
+{
+    for (std::uint64_t line : onchip_array.residentLineAddrs()) {
+        std::uint64_t byte_addr = line << onchip_array.lineShift();
+        if (!board_.contains(byte_addr))
+            return false;
+    }
+    return true;
+}
+
+} // namespace tlc

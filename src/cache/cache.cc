@@ -1,0 +1,197 @@
+/**
+ * @file
+ * Cache array implementation.
+ */
+
+#include "cache.hh"
+
+#include "util/bitutil.hh"
+#include "util/logging.hh"
+
+namespace tlc {
+
+Cache::Cache(const CacheParams &params, std::uint64_t repl_seed)
+    : params_(params), rng_(repl_seed, 0xcac4e)
+{
+    params_.validate();
+    numSets_ = params_.numSets();
+    ways_ = params_.ways();
+    lineShift_ = log2i(params_.lineBytes);
+    setMask_ = numSets_ - 1;
+    lines_.resize(numSets_ * ways_);
+}
+
+int
+Cache::findWay(std::uint64_t set, std::uint64_t line_addr) const
+{
+    const Line *base = setBase(set);
+    for (std::uint32_t w = 0; w < ways_; ++w) {
+        if (base[w].valid && base[w].tag == line_addr)
+            return static_cast<int>(w);
+    }
+    return -1;
+}
+
+bool
+Cache::contains(std::uint64_t addr) const
+{
+    std::uint64_t line = lineAddrOf(addr);
+    return findWay(setOf(line), line) >= 0;
+}
+
+bool
+Cache::lookupAndTouch(std::uint64_t addr, bool is_store)
+{
+    std::uint64_t line = lineAddrOf(addr);
+    std::uint64_t set = setOf(line);
+    int way = findWay(set, line);
+    if (way < 0)
+        return false;
+    Line &l = setBase(set)[way];
+    if (params_.repl == ReplPolicy::LRU)
+        l.stamp = ++tick_;
+    if (is_store)
+        l.dirty = true;
+    return true;
+}
+
+std::uint32_t
+Cache::chooseVictimWay(std::uint64_t set)
+{
+    Line *base = setBase(set);
+    // Prefer an invalid way.
+    for (std::uint32_t w = 0; w < ways_; ++w) {
+        if (!base[w].valid)
+            return w;
+    }
+    switch (params_.repl) {
+      case ReplPolicy::Random:
+        return rng_.nextBounded(ways_);
+      case ReplPolicy::LRU:
+      case ReplPolicy::FIFO: {
+        // Smallest stamp: least recently used / first inserted.
+        std::uint32_t victim = 0;
+        for (std::uint32_t w = 1; w < ways_; ++w) {
+            if (base[w].stamp < base[victim].stamp)
+                victim = w;
+        }
+        return victim;
+      }
+    }
+    panic("unreachable replacement policy");
+}
+
+Cache::Victim
+Cache::installAt(std::uint64_t set, std::uint32_t way,
+                 std::uint64_t line_addr, bool dirty)
+{
+    Line &l = setBase(set)[way];
+    Victim v;
+    if (l.valid) {
+        v.valid = true;
+        v.lineAddr = l.tag;
+        v.dirty = l.dirty;
+    }
+    l.valid = true;
+    l.tag = line_addr;
+    l.dirty = dirty;
+    l.stamp = ++tick_;
+    return v;
+}
+
+Cache::Victim
+Cache::fill(std::uint64_t addr, bool dirty)
+{
+    std::uint64_t line = lineAddrOf(addr);
+    std::uint64_t set = setOf(line);
+    tlc_assert(findWay(set, line) < 0,
+               "fill() of already-resident line %#llx",
+               static_cast<unsigned long long>(line));
+    return installAt(set, chooseVictimWay(set), line, dirty);
+}
+
+Cache::Victim
+Cache::insertLinePreferring(std::uint64_t line_addr, bool dirty,
+                            std::uint64_t preferred_line,
+                            bool use_preferred, bool *swapped)
+{
+    if (swapped)
+        *swapped = false;
+    std::uint64_t set = setOf(line_addr);
+    int way = findWay(set, line_addr);
+    if (way >= 0) {
+        // Already resident: write-back update only.
+        Line &l = setBase(set)[way];
+        l.dirty = l.dirty || dirty;
+        return Victim{};
+    }
+    if (use_preferred && setOf(preferred_line) == set) {
+        int pway = findWay(set, preferred_line);
+        if (pway >= 0) {
+            if (swapped)
+                *swapped = true;
+            return installAt(set, static_cast<std::uint32_t>(pway),
+                             line_addr, dirty);
+        }
+    }
+    return installAt(set, chooseVictimWay(set), line_addr, dirty);
+}
+
+bool
+Cache::invalidate(std::uint64_t addr)
+{
+    return invalidateLine(lineAddrOf(addr));
+}
+
+bool
+Cache::invalidateLine(std::uint64_t line_addr)
+{
+    std::uint64_t set = setOf(line_addr);
+    int way = findWay(set, line_addr);
+    if (way < 0)
+        return false;
+    setBase(set)[way].valid = false;
+    return true;
+}
+
+void
+Cache::setDirty(std::uint64_t addr)
+{
+    std::uint64_t line = lineAddrOf(addr);
+    std::uint64_t set = setOf(line);
+    int way = findWay(set, line);
+    tlc_assert(way >= 0, "setDirty() on non-resident line");
+    setBase(set)[way].dirty = true;
+}
+
+std::uint64_t
+Cache::residentLines() const
+{
+    std::uint64_t n = 0;
+    for (const auto &l : lines_) {
+        if (l.valid)
+            ++n;
+    }
+    return n;
+}
+
+std::vector<std::uint64_t>
+Cache::residentLineAddrs() const
+{
+    std::vector<std::uint64_t> out;
+    for (const auto &l : lines_) {
+        if (l.valid)
+            out.push_back(l.tag);
+    }
+    return out;
+}
+
+void
+Cache::reset()
+{
+    for (auto &l : lines_)
+        l = Line{};
+    tick_ = 0;
+}
+
+} // namespace tlc

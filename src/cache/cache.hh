@@ -1,0 +1,155 @@
+/**
+ * @file
+ * A single cache array: tag store plus replacement state.
+ *
+ * This is the building block used by the hierarchy models. It is a
+ * functional (miss-rate) model: it tracks which lines are resident
+ * and which are dirty, but carries no data and no timing — timing is
+ * layered on by src/timing and src/core.
+ */
+
+#ifndef TLC_CACHE_CACHE_HH
+#define TLC_CACHE_CACHE_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "cache/params.hh"
+#include "util/random.hh"
+
+namespace tlc {
+
+/**
+ * A physically-addressed, write-back cache array with LRU, FIFO or
+ * pseudo-random replacement.
+ *
+ * Addresses are byte addresses; a "line address" is addr >> lineShift.
+ * All mutating operations are explicit (lookupAndTouch vs fill vs
+ * insertPreferring) so hierarchy policies — in particular two-level
+ * exclusive caching — can express exactly the movement they need.
+ */
+class Cache
+{
+  public:
+    /** Result of an eviction: the displaced line, if any. */
+    struct Victim
+    {
+        bool valid = false;       ///< a line was displaced
+        std::uint64_t lineAddr = 0; ///< its line address
+        bool dirty = false;       ///< it held unwritten-back data
+    };
+
+    explicit Cache(const CacheParams &params,
+                   std::uint64_t repl_seed = 0x7ef1);
+
+    const CacheParams &params() const { return params_; }
+    std::uint64_t numSets() const { return numSets_; }
+    std::uint32_t ways() const { return ways_; }
+    std::uint32_t lineShift() const { return lineShift_; }
+
+    /** Line address of a byte address. */
+    std::uint64_t lineAddrOf(std::uint64_t addr) const
+    {
+        return addr >> lineShift_;
+    }
+    /** Set index of a line address. */
+    std::uint64_t setOf(std::uint64_t line_addr) const
+    {
+        return line_addr & setMask_;
+    }
+
+    /** Is the line holding @p addr resident? (no state change) */
+    bool contains(std::uint64_t addr) const;
+
+    /**
+     * Probe for @p addr; on a hit, update replacement state (and the
+     * dirty bit when @p is_store). Does NOT allocate on a miss.
+     * @return true on hit.
+     */
+    bool lookupAndTouch(std::uint64_t addr, bool is_store = false);
+
+    /**
+     * Allocate the line of @p addr (which must not be resident),
+     * displacing a line chosen by the replacement policy.
+     * @return the displaced line, if any.
+     */
+    Victim fill(std::uint64_t addr, bool dirty = false);
+
+    /**
+     * Insert line @p line_addr, preferring to displace
+     * @p preferred_line if (and only if) it is resident in the same
+     * set — the "swap" step of two-level exclusive caching. When the
+     * line is already resident this is a write-back update (dirty
+     * accumulates, replacement state untouched) and nothing is
+     * displaced.
+     *
+     * @param line_addr      line to insert (line address, not byte)
+     * @param dirty          dirty state of the inserted line
+     * @param preferred_line line whose slot to take when co-resident
+     * @param use_preferred  whether a preferred victim is supplied
+     * @param[out] swapped   set true when the preferred slot was used
+     * @return the displaced line, if any.
+     */
+    Victim insertLinePreferring(std::uint64_t line_addr, bool dirty,
+                                std::uint64_t preferred_line,
+                                bool use_preferred, bool *swapped = nullptr);
+
+    /** Remove the line of @p addr. @return true if it was resident. */
+    bool invalidate(std::uint64_t addr);
+
+    /** Remove a line by line address. @return true if resident. */
+    bool invalidateLine(std::uint64_t line_addr);
+
+    /** Mark the (resident) line of @p addr dirty. */
+    void setDirty(std::uint64_t addr);
+
+    /** Number of valid lines (O(capacity); for tests/invariants). */
+    std::uint64_t residentLines() const;
+
+    /** All resident line addresses (for tests/invariants). */
+    std::vector<std::uint64_t> residentLineAddrs() const;
+
+    /** Invalidate everything and reset replacement state. */
+    void reset();
+
+  private:
+    struct Line
+    {
+        std::uint64_t tag = 0;   ///< full line address
+        std::uint64_t stamp = 0; ///< LRU timestamp / FIFO sequence
+        bool valid = false;
+        bool dirty = false;
+    };
+
+    Line *setBase(std::uint64_t set)
+    {
+        return lines_.data() + set * ways_;
+    }
+    const Line *setBase(std::uint64_t set) const
+    {
+        return lines_.data() + set * ways_;
+    }
+
+    /** Find the resident way of @p line_addr in @p set, or -1. */
+    int findWay(std::uint64_t set, std::uint64_t line_addr) const;
+
+    /** Pick a victim way in @p set per the replacement policy. */
+    std::uint32_t chooseVictimWay(std::uint64_t set);
+
+    /** Install a line into a way, returning what it displaced. */
+    Victim installAt(std::uint64_t set, std::uint32_t way,
+                     std::uint64_t line_addr, bool dirty);
+
+    CacheParams params_;
+    std::uint64_t numSets_;
+    std::uint32_t ways_;
+    std::uint32_t lineShift_;
+    std::uint64_t setMask_;
+    std::vector<Line> lines_; ///< [set][way], row-major
+    std::uint64_t tick_ = 0;  ///< LRU clock / FIFO sequence source
+    Pcg32 rng_;
+};
+
+} // namespace tlc
+
+#endif // TLC_CACHE_CACHE_HH

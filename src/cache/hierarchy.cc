@@ -1,0 +1,37 @@
+/**
+ * @file
+ * Hierarchy base implementation.
+ */
+
+#include "hierarchy.hh"
+
+namespace tlc {
+
+HierarchyStats &
+HierarchyStats::operator+=(const HierarchyStats &o)
+{
+    instrRefs += o.instrRefs;
+    dataRefs += o.dataRefs;
+    l1iMisses += o.l1iMisses;
+    l1dMisses += o.l1dMisses;
+    l2Hits += o.l2Hits;
+    l2Misses += o.l2Misses;
+    swaps += o.swaps;
+    offchipWritebacks += o.offchipWritebacks;
+    return *this;
+}
+
+void
+Hierarchy::simulate(const TraceBuffer &trace, std::uint64_t warmup_refs)
+{
+    const auto &recs = trace.records();
+    std::uint64_t n = recs.size();
+    std::uint64_t warm = warmup_refs < n ? warmup_refs : n;
+    for (std::uint64_t i = 0; i < warm; ++i)
+        access(recs[i]);
+    resetStats();
+    for (std::uint64_t i = warm; i < n; ++i)
+        access(recs[i]);
+}
+
+} // namespace tlc

@@ -1,0 +1,60 @@
+/**
+ * @file
+ * Cache parameter validation.
+ */
+
+#include "params.hh"
+
+#include <sstream>
+
+#include "util/bitutil.hh"
+#include "util/logging.hh"
+#include "util/table.hh"
+
+namespace tlc {
+
+const char *
+replPolicyName(ReplPolicy p)
+{
+    switch (p) {
+      case ReplPolicy::Random:
+        return "random";
+      case ReplPolicy::LRU:
+        return "lru";
+      case ReplPolicy::FIFO:
+        return "fifo";
+    }
+    return "?";
+}
+
+void
+CacheParams::validate() const
+{
+    if (lineBytes < 4 || !isPowerOfTwo(lineBytes))
+        fatal("line size %u must be a power of two >= 4", lineBytes);
+    if (sizeBytes < lineBytes || !isPowerOfTwo(sizeBytes))
+        fatal("cache size %llu must be a power of two >= line size",
+              static_cast<unsigned long long>(sizeBytes));
+    std::uint64_t lines = numLines();
+    std::uint32_t w = ways();
+    if (w == 0 || lines % w != 0)
+        fatal("associativity %u does not divide %llu lines", assoc,
+              static_cast<unsigned long long>(lines));
+    if (!isPowerOfTwo(numSets()))
+        fatal("number of sets must be a power of two");
+}
+
+std::string
+CacheParams::toString() const
+{
+    std::ostringstream os;
+    os << formatSize(sizeBytes) << "/" << lineBytes << "B/";
+    if (assoc == 0)
+        os << "full";
+    else
+        os << assoc << "-way";
+    os << "/" << replPolicyName(repl);
+    return os.str();
+}
+
+} // namespace tlc

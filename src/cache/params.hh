@@ -1,0 +1,61 @@
+/**
+ * @file
+ * Cache configuration parameters.
+ */
+
+#ifndef TLC_CACHE_PARAMS_HH
+#define TLC_CACHE_PARAMS_HH
+
+#include <cstdint>
+#include <string>
+
+namespace tlc {
+
+/** Replacement policy for set-associative caches. */
+enum class ReplPolicy {
+    Random, ///< pseudo-random (the paper's L2 policy)
+    LRU,    ///< least recently used
+    FIFO    ///< first in, first out
+};
+
+/** Human-readable policy name. */
+const char *replPolicyName(ReplPolicy p);
+
+/**
+ * Geometry and policy of a single cache array.
+ *
+ * The paper's design space uses 16-byte lines throughout, split
+ * direct-mapped L1s and direct-mapped or 4-way L2s with
+ * pseudo-random replacement; the model itself accepts any
+ * power-of-two geometry (assoc == 0 requests full associativity).
+ */
+struct CacheParams
+{
+    std::uint64_t sizeBytes = 8 * 1024;
+    std::uint32_t lineBytes = 16;
+    std::uint32_t assoc = 1;             ///< ways; 0 => fully associative
+    ReplPolicy repl = ReplPolicy::Random;
+
+    /** Number of lines in the cache. */
+    std::uint64_t numLines() const { return sizeBytes / lineBytes; }
+    /** Number of sets after resolving assoc==0. */
+    std::uint64_t numSets() const
+    {
+        std::uint64_t ways = (assoc == 0) ? numLines() : assoc;
+        return numLines() / ways;
+    }
+    /** Resolved ways per set. */
+    std::uint32_t ways() const
+    {
+        return assoc == 0 ? static_cast<std::uint32_t>(numLines()) : assoc;
+    }
+
+    /** Validate invariants; fatal() on violations. */
+    void validate() const;
+
+    std::string toString() const;
+};
+
+} // namespace tlc
+
+#endif // TLC_CACHE_PARAMS_HH

@@ -1,0 +1,52 @@
+/**
+ * @file
+ * Single-level hierarchy implementation.
+ */
+
+#include "single_level.hh"
+
+namespace tlc {
+
+SingleLevelHierarchy::SingleLevelHierarchy(const CacheParams &l1_params,
+                                           std::uint64_t seed)
+    : icache_(l1_params, seed), dcache_(l1_params, seed + 1)
+{
+}
+
+AccessOutcome
+SingleLevelHierarchy::accessClassified(const TraceRecord &rec)
+{
+    bool is_instr = rec.type == RefType::Instr;
+    bool is_store = rec.type == RefType::Store;
+    Cache &c = is_instr ? icache_ : dcache_;
+
+    if (is_instr)
+        ++stats_.instrRefs;
+    else
+        ++stats_.dataRefs;
+
+    if (c.lookupAndTouch(rec.addr, is_store))
+        return AccessOutcome::L1Hit;
+
+    if (is_instr)
+        ++stats_.l1iMisses;
+    else
+        ++stats_.l1dMisses;
+    ++stats_.l2Misses; // off-chip access (no L2 level exists)
+
+    Cache::Victim victim = c.fill(rec.addr, is_store);
+    if (victim.valid && victim.dirty)
+        ++stats_.offchipWritebacks;
+    return AccessOutcome::OffChip;
+}
+
+unsigned
+SingleLevelHierarchy::invalidateLineAll(std::uint64_t line_addr)
+{
+    unsigned n = 0;
+    n += icache_.invalidateLine(line_addr);
+    n += dcache_.invalidateLine(line_addr);
+    return n;
+}
+
+} // namespace tlc

@@ -1,0 +1,42 @@
+/**
+ * @file
+ * Single-level hierarchy: split instruction/data L1 caches, misses
+ * serviced off-chip (Section 3 of the paper).
+ */
+
+#ifndef TLC_CACHE_SINGLE_LEVEL_HH
+#define TLC_CACHE_SINGLE_LEVEL_HH
+
+#include "cache/cache.hh"
+#include "cache/hierarchy.hh"
+
+namespace tlc {
+
+/**
+ * Split L1-only system. Writes are write-allocate/fetch-on-write
+ * and counted like reads (paper Section 2.2).
+ */
+class SingleLevelHierarchy : public Hierarchy
+{
+  public:
+    /**
+     * @param l1_params geometry of EACH of the I and D caches
+     * @param seed      replacement RNG seed
+     */
+    explicit SingleLevelHierarchy(const CacheParams &l1_params,
+                                  std::uint64_t seed = 1);
+
+    AccessOutcome accessClassified(const TraceRecord &rec) override;
+    unsigned invalidateLineAll(std::uint64_t line_addr) override;
+
+    const Cache &icache() const { return icache_; }
+    const Cache &dcache() const { return dcache_; }
+
+  private:
+    Cache icache_;
+    Cache dcache_;
+};
+
+} // namespace tlc
+
+#endif // TLC_CACHE_SINGLE_LEVEL_HH

@@ -1,0 +1,123 @@
+/**
+ * @file
+ * Stream-buffer implementation.
+ */
+
+#include "stream_buffer.hh"
+
+#include "util/logging.hh"
+
+namespace tlc {
+
+StreamBuffer::StreamBuffer(unsigned depth)
+    : depth_(depth)
+{
+    tlc_assert(depth >= 1, "stream buffer needs depth >= 1");
+}
+
+bool
+StreamBuffer::headMatches(std::uint64_t line_addr) const
+{
+    return valid_ && head_ == line_addr;
+}
+
+void
+StreamBuffer::advance()
+{
+    tlc_assert(valid_, "advance() on an idle stream buffer");
+    ++head_;
+}
+
+void
+StreamBuffer::reallocate(std::uint64_t line_addr)
+{
+    // The missing line itself goes to the cache; the buffer starts
+    // prefetching at the next sequential line.
+    head_ = line_addr + 1;
+    valid_ = true;
+}
+
+StreamBufferHierarchy::StreamBufferHierarchy(const CacheParams &l1_params,
+                                             unsigned num_buffers,
+                                             unsigned depth,
+                                             std::uint64_t seed)
+    : icache_(l1_params, seed), dcache_(l1_params, seed + 1)
+{
+    tlc_assert(num_buffers >= 1, "need at least one stream buffer");
+    buffers_.reserve(num_buffers);
+    for (unsigned i = 0; i < num_buffers; ++i)
+        buffers_.emplace_back(depth);
+}
+
+StreamBuffer *
+StreamBufferHierarchy::findHeadHit(std::uint64_t line_addr)
+{
+    for (auto &b : buffers_) {
+        if (b.headMatches(line_addr))
+            return &b;
+    }
+    return nullptr;
+}
+
+StreamBuffer &
+StreamBufferHierarchy::lruBuffer()
+{
+    StreamBuffer *victim = &buffers_.front();
+    for (auto &b : buffers_) {
+        if (!b.valid())
+            return b;
+        if (b.lastUse() < victim->lastUse())
+            victim = &b;
+    }
+    return *victim;
+}
+
+AccessOutcome
+StreamBufferHierarchy::accessClassified(const TraceRecord &rec)
+{
+    bool is_instr = rec.type == RefType::Instr;
+    bool is_store = rec.type == RefType::Store;
+    Cache &l1 = is_instr ? icache_ : dcache_;
+
+    if (is_instr)
+        ++stats_.instrRefs;
+    else
+        ++stats_.dataRefs;
+
+    if (l1.lookupAndTouch(rec.addr, is_store))
+        return AccessOutcome::L1Hit;
+
+    if (is_instr)
+        ++stats_.l1iMisses;
+    else
+        ++stats_.l1dMisses;
+
+    std::uint64_t line = l1.lineAddrOf(rec.addr);
+    Cache::Victim victim = l1.fill(rec.addr, is_store);
+    if (victim.valid && victim.dirty)
+        ++stats_.offchipWritebacks;
+
+    if (StreamBuffer *b = findHeadHit(line)) {
+        ++stats_.l2Hits; // serviced from the buffer, on-chip
+        b->advance();
+        b->setLastUse(++tick_);
+        return AccessOutcome::L2Hit;
+    }
+
+    ++stats_.l2Misses;
+    StreamBuffer &b = lruBuffer();
+    b.reallocate(line);
+    b.setLastUse(++tick_);
+    return AccessOutcome::OffChip;
+}
+
+unsigned
+StreamBufferHierarchy::invalidateLineAll(std::uint64_t line_addr)
+{
+    unsigned n = 0;
+    n += icache_.invalidateLine(line_addr);
+    n += dcache_.invalidateLine(line_addr);
+    return n;
+}
+
+} // namespace tlc

@@ -1,0 +1,100 @@
+/**
+ * @file
+ * Stream buffers (Jouppi, ISCA 1990 — the paper's reference [4]
+ * proposes both victim caches and prefetch stream buffers).
+ *
+ * A stream buffer is a small FIFO of sequentially-prefetched lines
+ * attached to a direct-mapped cache: a miss that hits the head of a
+ * buffer is serviced on-chip and the buffer prefetches the next
+ * sequential line; a miss that hits no buffer reallocates the
+ * least-recently-used buffer to the new stream. Stream buffers
+ * recover sequential (compulsory/capacity) misses — complementary
+ * to victim caches and exclusive L2s, which recover conflict misses
+ * — so this module completes the reference-[4] mechanism set next
+ * to VictimCacheHierarchy.
+ *
+ * Functional model (miss-rate semantics, as elsewhere in this
+ * library): buffers are considered filled as soon as allocated;
+ * only head hits count (Jouppi's simple, non-quasi-sequential
+ * variant).
+ */
+
+#ifndef TLC_CACHE_STREAM_BUFFER_HH
+#define TLC_CACHE_STREAM_BUFFER_HH
+
+#include <vector>
+
+#include "cache/cache.hh"
+#include "cache/hierarchy.hh"
+
+namespace tlc {
+
+/** One sequential prefetch FIFO. */
+class StreamBuffer
+{
+  public:
+    explicit StreamBuffer(unsigned depth);
+
+    /** Is @p line_addr at the head of this buffer? */
+    bool headMatches(std::uint64_t line_addr) const;
+
+    /** Consume the head and prefetch the next sequential line. */
+    void advance();
+
+    /** Restart the buffer at the stream beginning at @p line_addr. */
+    void reallocate(std::uint64_t line_addr);
+
+    bool valid() const { return valid_; }
+    std::uint64_t headLine() const { return head_; }
+    unsigned depth() const { return depth_; }
+    std::uint64_t lastUse() const { return lastUse_; }
+    void setLastUse(std::uint64_t t) { lastUse_ = t; }
+
+  private:
+    unsigned depth_;
+    std::uint64_t head_ = 0; ///< line address at the FIFO head
+    bool valid_ = false;
+    std::uint64_t lastUse_ = 0;
+};
+
+/**
+ * Split direct-mapped L1s backed by a set of shared stream buffers.
+ * l2Hits counts stream-buffer head hits (serviced on-chip),
+ * l2Misses counts true off-chip fetches.
+ */
+class StreamBufferHierarchy : public Hierarchy
+{
+  public:
+    /**
+     * @param l1_params   geometry of EACH of the I and D caches
+     * @param num_buffers stream buffers shared by I and D misses
+     * @param depth       lines per buffer
+     * @param seed        replacement RNG seed
+     */
+    StreamBufferHierarchy(const CacheParams &l1_params,
+                          unsigned num_buffers, unsigned depth,
+                          std::uint64_t seed = 1);
+
+    AccessOutcome accessClassified(const TraceRecord &rec) override;
+    unsigned invalidateLineAll(std::uint64_t line_addr) override;
+
+    const Cache &icache() const { return icache_; }
+    const Cache &dcache() const { return dcache_; }
+    const std::vector<StreamBuffer> &buffers() const { return buffers_; }
+
+    /** Stream-buffer head hits (same counter as stats().l2Hits). */
+    std::uint64_t bufferHits() const { return stats_.l2Hits; }
+
+  private:
+    StreamBuffer *findHeadHit(std::uint64_t line_addr);
+    StreamBuffer &lruBuffer();
+
+    Cache icache_;
+    Cache dcache_;
+    std::vector<StreamBuffer> buffers_;
+    std::uint64_t tick_ = 0;
+};
+
+} // namespace tlc
+
+#endif // TLC_CACHE_STREAM_BUFFER_HH

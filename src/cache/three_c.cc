@@ -1,0 +1,66 @@
+/**
+ * @file
+ * Three-C analyzer implementation.
+ */
+
+#include "three_c.hh"
+
+#include "util/logging.hh"
+
+namespace tlc {
+
+FullyAssocLru::FullyAssocLru(std::uint64_t num_lines)
+    : capacity_(num_lines)
+{
+    tlc_assert(num_lines > 0, "reference cache needs capacity");
+    map_.reserve(num_lines * 2);
+}
+
+bool
+FullyAssocLru::access(std::uint64_t line_addr)
+{
+    auto it = map_.find(line_addr);
+    if (it != map_.end()) {
+        lru_.splice(lru_.begin(), lru_, it->second);
+        return true;
+    }
+    if (map_.size() >= capacity_) {
+        map_.erase(lru_.back());
+        lru_.pop_back();
+    }
+    lru_.push_front(line_addr);
+    map_[line_addr] = lru_.begin();
+    return false;
+}
+
+ThreeCAnalyzer::ThreeCAnalyzer(const CacheParams &target,
+                               std::uint64_t repl_seed)
+    : target_(target, repl_seed), reference_(target.numLines())
+{
+}
+
+void
+ThreeCAnalyzer::access(std::uint64_t addr)
+{
+    ++stats_.refs;
+    std::uint64_t line = target_.lineAddrOf(addr);
+
+    bool target_hit = target_.lookupAndTouch(addr);
+    bool ref_hit = reference_.access(line);
+    bool first_touch = touched_.insert(line).second;
+
+    if (target_hit) {
+        ++stats_.hits;
+        return;
+    }
+    target_.fill(addr);
+
+    if (first_touch)
+        ++stats_.compulsory;
+    else if (!ref_hit)
+        ++stats_.capacity;
+    else
+        ++stats_.conflict;
+}
+
+} // namespace tlc

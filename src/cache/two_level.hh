@@ -1,0 +1,81 @@
+/**
+ * @file
+ * Two-level hierarchy: split direct-mapped-style L1 caches backed by
+ * a mixed (unified) L2, with the baseline replacement scheme or the
+ * paper's two-level exclusive caching (Section 8).
+ */
+
+#ifndef TLC_CACHE_TWO_LEVEL_HH
+#define TLC_CACHE_TWO_LEVEL_HH
+
+#include "cache/cache.hh"
+#include "cache/hierarchy.hh"
+
+namespace tlc {
+
+/** Content-management policy between the two levels. */
+enum class TwoLevelPolicy {
+    /**
+     * Baseline: L2 allocates on its own misses; the same line may
+     * live in both levels; no back-invalidation ("mostly
+     * inclusive", the paper's standard two-level caching).
+     */
+    Inclusive,
+    /**
+     * Baseline plus strict inclusion: when L2 evicts a line it is
+     * also removed from the L1s (Baer–Wang inclusion, useful for
+     * multiprocessors; provided for the ablation study).
+     */
+    StrictInclusive,
+    /**
+     * Two-level exclusive caching (the paper's contribution): on an
+     * L1 miss/L2 hit the L1 victim is written into L2, taking the
+     * promoted line's slot when both map to the same L2 set (a
+     * swap); on an L2 miss the off-chip refill bypasses L2 and the
+     * L1 victim is sent to L2.
+     */
+    Exclusive
+};
+
+/** Human-readable policy name. */
+const char *twoLevelPolicyName(TwoLevelPolicy p);
+
+/**
+ * Split L1 (instruction + data, same geometry) with a mixed L2.
+ */
+class TwoLevelHierarchy : public Hierarchy
+{
+  public:
+    /**
+     * @param l1_params geometry of EACH of the I and D caches
+     * @param l2_params geometry of the mixed L2
+     * @param policy    content-management policy
+     * @param seed      replacement RNG seed
+     */
+    TwoLevelHierarchy(const CacheParams &l1_params,
+                      const CacheParams &l2_params, TwoLevelPolicy policy,
+                      std::uint64_t seed = 1);
+
+    AccessOutcome accessClassified(const TraceRecord &rec) override;
+    unsigned invalidateLineAll(std::uint64_t line_addr) override;
+
+    const Cache &icache() const { return icache_; }
+    const Cache &dcache() const { return dcache_; }
+    const Cache &l2cache() const { return l2_; }
+    TwoLevelPolicy policy() const { return policy_; }
+
+  private:
+    AccessOutcome accessInclusive(Cache &l1, std::uint64_t addr,
+                                  bool is_store);
+    AccessOutcome accessExclusive(Cache &l1, std::uint64_t addr,
+                                  bool is_store);
+
+    Cache icache_;
+    Cache dcache_;
+    Cache l2_;
+    TwoLevelPolicy policy_;
+};
+
+} // namespace tlc
+
+#endif // TLC_CACHE_TWO_LEVEL_HH

@@ -1,0 +1,85 @@
+/**
+ * @file
+ * Victim cache implementation.
+ */
+
+#include "victim_cache.hh"
+
+#include "util/logging.hh"
+
+namespace tlc {
+
+namespace {
+
+CacheParams
+victimParams(const CacheParams &l1, std::uint32_t victim_lines)
+{
+    tlc_assert(victim_lines >= 1, "victim buffer needs >= 1 line");
+    CacheParams p;
+    p.sizeBytes = static_cast<std::uint64_t>(victim_lines) * l1.lineBytes;
+    p.lineBytes = l1.lineBytes;
+    p.assoc = 0; // fully associative
+    p.repl = ReplPolicy::LRU;
+    return p;
+}
+
+} // namespace
+
+VictimCacheHierarchy::VictimCacheHierarchy(const CacheParams &l1_params,
+                                           std::uint32_t victim_lines,
+                                           std::uint64_t seed)
+    : icache_(l1_params, seed), dcache_(l1_params, seed + 1),
+      victim_(victimParams(l1_params, victim_lines), seed + 2)
+{
+}
+
+AccessOutcome
+VictimCacheHierarchy::accessClassified(const TraceRecord &rec)
+{
+    bool is_instr = rec.type == RefType::Instr;
+    bool is_store = rec.type == RefType::Store;
+    Cache &l1 = is_instr ? icache_ : dcache_;
+
+    if (is_instr)
+        ++stats_.instrRefs;
+    else
+        ++stats_.dataRefs;
+
+    if (l1.lookupAndTouch(rec.addr, is_store))
+        return AccessOutcome::L1Hit;
+
+    if (is_instr)
+        ++stats_.l1iMisses;
+    else
+        ++stats_.l1dMisses;
+
+    bool vhit = victim_.contains(rec.addr);
+    if (vhit) {
+        ++stats_.l2Hits;
+        ++stats_.swaps;
+        victim_.invalidate(rec.addr);
+    } else {
+        ++stats_.l2Misses;
+    }
+
+    Cache::Victim l1_victim = l1.fill(rec.addr, is_store);
+    if (l1_victim.valid) {
+        Cache::Victim displaced = victim_.insertLinePreferring(
+            l1_victim.lineAddr, l1_victim.dirty, 0, false);
+        if (displaced.valid && displaced.dirty)
+            ++stats_.offchipWritebacks;
+    }
+    return vhit ? AccessOutcome::L2Hit : AccessOutcome::OffChip;
+}
+
+unsigned
+VictimCacheHierarchy::invalidateLineAll(std::uint64_t line_addr)
+{
+    unsigned n = 0;
+    n += icache_.invalidateLine(line_addr);
+    n += dcache_.invalidateLine(line_addr);
+    n += victim_.invalidateLine(line_addr);
+    return n;
+}
+
+} // namespace tlc

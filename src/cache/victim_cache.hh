@@ -1,0 +1,55 @@
+/**
+ * @file
+ * Victim cache (Jouppi, ISCA 1990 — reference [4] of the paper).
+ *
+ * The paper notes that a two-level exclusive configuration with
+ * y < x degenerates into a shared direct-mapped victim cache; this
+ * module provides the classic form — a small fully-associative
+ * buffer holding lines evicted from a direct-mapped L1, with swaps
+ * on victim-cache hits — both as a useful extension and as a
+ * cross-check for that degenerate case.
+ */
+
+#ifndef TLC_CACHE_VICTIM_CACHE_HH
+#define TLC_CACHE_VICTIM_CACHE_HH
+
+#include "cache/cache.hh"
+#include "cache/hierarchy.hh"
+
+namespace tlc {
+
+/**
+ * Split direct-mapped L1s sharing one small fully-associative
+ * victim buffer. A reference that misses L1 but hits the victim
+ * buffer swaps the two lines (cost-free in this functional model;
+ * timing treats it as an L2 hit). Misses fill L1 from off-chip and
+ * push the L1 victim into the buffer (LRU replacement).
+ */
+class VictimCacheHierarchy : public Hierarchy
+{
+  public:
+    /**
+     * @param l1_params     geometry of EACH of the I and D caches
+     * @param victim_lines  capacity of the shared victim buffer
+     * @param seed          replacement RNG seed
+     */
+    VictimCacheHierarchy(const CacheParams &l1_params,
+                         std::uint32_t victim_lines,
+                         std::uint64_t seed = 1);
+
+    AccessOutcome accessClassified(const TraceRecord &rec) override;
+    unsigned invalidateLineAll(std::uint64_t line_addr) override;
+
+    const Cache &icache() const { return icache_; }
+    const Cache &dcache() const { return dcache_; }
+    const Cache &victimBuffer() const { return victim_; }
+
+  private:
+    Cache icache_;
+    Cache dcache_;
+    Cache victim_; ///< fully associative, LRU
+};
+
+} // namespace tlc
+
+#endif // TLC_CACHE_VICTIM_CACHE_HH

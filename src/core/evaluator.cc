@@ -1,0 +1,83 @@
+/**
+ * @file
+ * Miss-rate evaluator implementation.
+ */
+
+#include "evaluator.hh"
+
+#include <sstream>
+
+#include "cache/single_level.hh"
+#include "util/logging.hh"
+
+namespace tlc {
+
+MissRateEvaluator::MissRateEvaluator(std::uint64_t trace_refs,
+                                     double warmup_fraction)
+    : traceRefs_(trace_refs ? trace_refs : Workloads::defaultTraceLength()),
+      warmupFraction_(warmup_fraction)
+{
+    tlc_assert(warmup_fraction >= 0.0 && warmup_fraction < 1.0,
+               "warmup fraction %f out of range", warmup_fraction);
+}
+
+std::uint64_t
+MissRateEvaluator::warmupRefs() const
+{
+    return static_cast<std::uint64_t>(
+        warmupFraction_ * static_cast<double>(traceRefs_));
+}
+
+const TraceBuffer &
+MissRateEvaluator::trace(Benchmark b)
+{
+    auto it = traces_.find(b);
+    if (it == traces_.end()) {
+        it = traces_.emplace(b, Workloads::generate(b, traceRefs_)).first;
+    }
+    return it->second;
+}
+
+std::string
+MissRateEvaluator::key(Benchmark b, const SystemConfig &c) const
+{
+    std::ostringstream os;
+    os << static_cast<int>(b) << ":" << c.l1Bytes << ":" << c.l2Bytes
+       << ":" << c.assume.lineBytes << ":" << c.assume.l1Assoc;
+    if (c.hasL2()) {
+        os << ":" << c.assume.l2Assoc << ":"
+           << static_cast<int>(c.assume.policy) << ":"
+           << static_cast<int>(c.assume.l2Repl);
+    }
+    return os.str();
+}
+
+const HierarchyStats &
+MissRateEvaluator::missStats(Benchmark b, const SystemConfig &config)
+{
+    std::string k = key(b, config);
+    auto it = results_.find(k);
+    if (it != results_.end())
+        return it->second;
+
+    std::unique_ptr<Hierarchy> h;
+    if (config.hasL2()) {
+        h = std::make_unique<TwoLevelHierarchy>(
+            config.l1Params(), config.l2Params(), config.assume.policy);
+    } else {
+        h = std::make_unique<SingleLevelHierarchy>(config.l1Params());
+    }
+    simulate(b, *h);
+    return results_.emplace(k, h->stats()).first->second;
+}
+
+void
+MissRateEvaluator::simulate(Benchmark b, Hierarchy &h) const
+{
+    // trace() is non-const only for lazy generation.
+    const TraceBuffer &t =
+        const_cast<MissRateEvaluator *>(this)->trace(b);
+    h.simulate(t, warmupRefs());
+}
+
+} // namespace tlc

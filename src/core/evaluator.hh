@@ -1,0 +1,63 @@
+/**
+ * @file
+ * Miss-rate evaluation with caching of traces and results.
+ *
+ * Sweeping the paper's design space touches the same (benchmark,
+ * configuration) miss counts from several experiments; the evaluator
+ * generates each benchmark trace once and memoizes simulation
+ * results so figure drivers stay fast.
+ */
+
+#ifndef TLC_CORE_EVALUATOR_HH
+#define TLC_CORE_EVALUATOR_HH
+
+#include <map>
+#include <memory>
+#include <string>
+
+#include "cache/hierarchy.hh"
+#include "core/system_config.hh"
+#include "trace/workload.hh"
+
+namespace tlc {
+
+/**
+ * Runs configurations against benchmark traces. Results depend only
+ * on the functional cache parameters, so the memoization key ignores
+ * timing-only knobs (off-chip time, dual porting).
+ */
+class MissRateEvaluator
+{
+  public:
+    /**
+     * @param trace_refs      references per benchmark trace
+     *                        (0 => Workloads::defaultTraceLength())
+     * @param warmup_fraction leading fraction excluded from stats
+     */
+    explicit MissRateEvaluator(std::uint64_t trace_refs = 0,
+                               double warmup_fraction = 0.1);
+
+    /** The (lazily generated, cached) trace of a benchmark. */
+    const TraceBuffer &trace(Benchmark b);
+
+    /** Miss statistics of @p config on @p b (memoized). */
+    const HierarchyStats &missStats(Benchmark b, const SystemConfig &config);
+
+    /** Run an arbitrary hierarchy against a benchmark's trace. */
+    void simulate(Benchmark b, Hierarchy &h) const;
+
+    std::uint64_t traceRefs() const { return traceRefs_; }
+    std::uint64_t warmupRefs() const;
+
+  private:
+    std::string key(Benchmark b, const SystemConfig &c) const;
+
+    std::uint64_t traceRefs_;
+    double warmupFraction_;
+    std::map<Benchmark, TraceBuffer> traces_;
+    std::map<std::string, HierarchyStats> results_;
+};
+
+} // namespace tlc
+
+#endif // TLC_CORE_EVALUATOR_HH

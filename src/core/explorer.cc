@@ -1,0 +1,109 @@
+/**
+ * @file
+ * Explorer implementation.
+ */
+
+#include "explorer.hh"
+
+#include "util/logging.hh"
+
+namespace tlc {
+
+Explorer::Explorer(MissRateEvaluator &evaluator,
+                   const AccessTimeModel &timing, const AreaModel &area)
+    : evaluator_(evaluator), timing_(timing), area_(area)
+{
+}
+
+const TimingResult &
+Explorer::timingOf(std::uint64_t size_bytes, std::uint32_t assoc,
+                   std::uint32_t line_bytes)
+{
+    std::uint64_t key = size_bytes * 1024 + assoc * 256 + line_bytes;
+    auto it = timingCache_.find(key);
+    if (it == timingCache_.end()) {
+        SramGeometry g;
+        g.sizeBytes = size_bytes;
+        g.blockBytes = line_bytes;
+        g.assoc = assoc;
+        it = timingCache_.emplace(key, timing_.optimize(g)).first;
+    }
+    return it->second;
+}
+
+double
+Explorer::areaOf(const SystemConfig &config)
+{
+    const std::uint32_t line = config.assume.lineBytes;
+    const TimingResult &l1t =
+        timingOf(config.l1Bytes, config.assume.l1Assoc, line);
+
+    SramGeometry l1g;
+    l1g.sizeBytes = config.l1Bytes;
+    l1g.blockBytes = line;
+    l1g.assoc = config.assume.l1Assoc;
+    CellType l1cell = config.assume.dualPortedL1 ? CellType::DualPorted
+                                                 : CellType::SinglePorted6T;
+    double total = 2.0 * area_.area(l1g, l1t.dataOrg, l1t.tagOrg, l1cell);
+
+    if (config.hasL2()) {
+        const TimingResult &l2t =
+            timingOf(config.l2Bytes, config.assume.l2Assoc, line);
+        SramGeometry l2g;
+        l2g.sizeBytes = config.l2Bytes;
+        l2g.blockBytes = line;
+        l2g.assoc = config.assume.l2Assoc;
+        total += area_.area(l2g, l2t.dataOrg, l2t.tagOrg,
+                            CellType::SinglePorted6T);
+    }
+    return total;
+}
+
+DesignPoint
+Explorer::evaluate(Benchmark b, const SystemConfig &config)
+{
+    DesignPoint p;
+    p.config = config;
+    p.l1Timing = timingOf(config.l1Bytes, config.assume.l1Assoc,
+                          config.assume.lineBytes);
+    if (config.hasL2()) {
+        p.l2Timing = timingOf(config.l2Bytes, config.assume.l2Assoc,
+                              config.assume.lineBytes);
+    }
+    p.areaRbe = areaOf(config);
+    p.miss = evaluator_.missStats(b, config);
+
+    TpiParams tp;
+    tp.l1CycleNs = p.l1Timing.cycleNs;
+    tp.l2CycleNsRaw = config.hasL2() ? p.l2Timing.cycleNs : 0.0;
+    tp.offchipNs = config.assume.offchipNs;
+    tp.issuePerCycle = config.assume.dualPortedL1 ? 2.0 : 1.0;
+    tp.hasL2 = config.hasL2();
+    p.tpi = computeTpi(p.miss, tp);
+    return p;
+}
+
+std::vector<DesignPoint>
+Explorer::sweep(Benchmark b, const SystemAssumptions &assume,
+                bool include_single_level, bool include_two_level)
+{
+    std::vector<DesignPoint> out;
+    for (const SystemConfig &c :
+         DesignSpace::enumerate(assume, include_single_level,
+                                include_two_level)) {
+        out.push_back(evaluate(b, c));
+    }
+    return out;
+}
+
+Envelope
+Explorer::envelopeOf(const std::vector<DesignPoint> &points)
+{
+    std::vector<EnvelopePoint> eps;
+    eps.reserve(points.size());
+    for (const auto &p : points)
+        eps.push_back(p.toEnvelopePoint());
+    return Envelope::of(std::move(eps));
+}
+
+} // namespace tlc

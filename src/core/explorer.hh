@@ -1,0 +1,85 @@
+/**
+ * @file
+ * The design-space explorer: fuses miss rates, the timing model and
+ * the area model into TPI-vs-area design points and best-performance
+ * envelopes — the engine behind every figure in the paper.
+ */
+
+#ifndef TLC_CORE_EXPLORER_HH
+#define TLC_CORE_EXPLORER_HH
+
+#include <map>
+#include <vector>
+
+#include "area/area_model.hh"
+#include "core/evaluator.hh"
+#include "core/system_config.hh"
+#include "core/tpi.hh"
+#include "timing/access_time.hh"
+#include "util/envelope.hh"
+
+namespace tlc {
+
+/** One fully-priced design point. */
+struct DesignPoint
+{
+    SystemConfig config;
+    double areaRbe = 0;       ///< both L1s + L2
+    TimingResult l1Timing;    ///< per-L1-array timing
+    TimingResult l2Timing;    ///< valid only when config.hasL2()
+    HierarchyStats miss;
+    TpiResult tpi;
+
+    /** Envelope-ready (area, tpi, label) projection. */
+    EnvelopePoint toEnvelopePoint() const
+    {
+        return EnvelopePoint{areaRbe, tpi.tpi, config.label()};
+    }
+};
+
+/**
+ * Prices configurations and sweeps design spaces. Timing and area
+ * are memoized per geometry; miss rates come from the shared
+ * MissRateEvaluator (so several explorers can share one).
+ */
+class Explorer
+{
+  public:
+    explicit Explorer(MissRateEvaluator &evaluator,
+                      const AccessTimeModel &timing = AccessTimeModel{},
+                      const AreaModel &area = AreaModel{});
+
+    /** Cached timing of one cache array geometry. */
+    const TimingResult &timingOf(std::uint64_t size_bytes,
+                                 std::uint32_t assoc,
+                                 std::uint32_t line_bytes);
+
+    /** Total chip area of a configuration (both L1s + L2), rbe. */
+    double areaOf(const SystemConfig &config);
+
+    /** Fully price one configuration on one benchmark. */
+    DesignPoint evaluate(Benchmark b, const SystemConfig &config);
+
+    /** Price every configuration of a design space. */
+    std::vector<DesignPoint> sweep(Benchmark b,
+                                   const SystemAssumptions &assume,
+                                   bool include_single_level = true,
+                                   bool include_two_level = true);
+
+    /** Best-performance envelope of a priced sweep. */
+    static Envelope envelopeOf(const std::vector<DesignPoint> &points);
+
+    MissRateEvaluator &evaluator() { return evaluator_; }
+    const AccessTimeModel &timingModel() const { return timing_; }
+    const AreaModel &areaModel() const { return area_; }
+
+  private:
+    MissRateEvaluator &evaluator_;
+    AccessTimeModel timing_;
+    AreaModel area_;
+    std::map<std::uint64_t, TimingResult> timingCache_;
+};
+
+} // namespace tlc
+
+#endif // TLC_CORE_EXPLORER_HH

@@ -1,0 +1,139 @@
+/**
+ * @file
+ * Figure catalog implementation.
+ */
+
+#include "figures.hh"
+
+#include "util/logging.hh"
+
+namespace tlc {
+
+namespace {
+
+SystemAssumptions
+assume(double offchip, std::uint32_t assoc, TwoLevelPolicy policy,
+       bool dual = false)
+{
+    SystemAssumptions a;
+    a.offchipNs = offchip;
+    a.l2Assoc = assoc;
+    a.policy = policy;
+    a.dualPortedL1 = dual;
+    return a;
+}
+
+std::vector<Benchmark>
+allBench()
+{
+    return Workloads::all();
+}
+
+std::vector<FigureSpec>
+buildCatalog()
+{
+    using B = Benchmark;
+    const auto inc = TwoLevelPolicy::Inclusive;
+    const auto exc = TwoLevelPolicy::Exclusive;
+    std::vector<FigureSpec> v;
+
+    v.push_back({"table1", "Test program references",
+                 ExhibitKind::Table, allBench(), {}, false,
+                 "bench_table1_workloads"});
+    v.push_back({"fig01", "First level cache access and cycle times",
+                 ExhibitKind::TimingCurve, {}, {}, false,
+                 "bench_fig01_l1_timing"});
+    v.push_back({"fig02", "L2 access and cycle times with 4KB L1",
+                 ExhibitKind::TimingCurve, {}, {}, false,
+                 "bench_fig02_l2_timing"});
+    v.push_back({"fig03", "gcc1/espresso/doduc/fpppp: 50ns, L1 only",
+                 ExhibitKind::TpiScatter,
+                 {B::Gcc1, B::Espresso, B::Doduc, B::Fpppp},
+                 assume(50, 4, inc), false,
+                 "bench_fig03_04_single_level"});
+    v.push_back({"fig04", "li/eqntott/tomcatv: 50ns, L1 only",
+                 ExhibitKind::TpiScatter,
+                 {B::Li, B::Eqntott, B::Tomcatv}, assume(50, 4, inc),
+                 false, "bench_fig03_04_single_level"});
+    v.push_back({"fig05", "gcc1: 50ns, L2 4-way set-associative",
+                 ExhibitKind::TpiScatter, {B::Gcc1},
+                 assume(50, 4, inc), true, "bench_fig05_08_two_level"});
+    v.push_back({"fig06", "doduc and espresso: 50ns, 4-way L2",
+                 ExhibitKind::TpiScatter, {B::Doduc, B::Espresso},
+                 assume(50, 4, inc), true, "bench_fig05_08_two_level"});
+    v.push_back({"fig07", "fpppp and li: 50ns, 4-way L2",
+                 ExhibitKind::TpiScatter, {B::Fpppp, B::Li},
+                 assume(50, 4, inc), true, "bench_fig05_08_two_level"});
+    v.push_back({"fig08", "tomcatv and eqntott: 50ns, 4-way L2",
+                 ExhibitKind::TpiScatter, {B::Tomcatv, B::Eqntott},
+                 assume(50, 4, inc), true, "bench_fig05_08_two_level"});
+    v.push_back({"fig09", "gcc1: 50ns, L2 direct-mapped",
+                 ExhibitKind::TpiScatter, {B::Gcc1},
+                 assume(50, 1, inc), true, "bench_fig09_dm_l2"});
+    // Figures 10-16: one per workload, dual-ported study.
+    const B dual_order[] = {B::Gcc1, B::Espresso, B::Doduc, B::Fpppp,
+                            B::Li, B::Eqntott, B::Tomcatv};
+    int fig = 10;
+    for (B b : dual_order) {
+        v.push_back({"fig" + std::to_string(fig),
+                     std::string(Workloads::info(b).name) +
+                         ": 50ns, 4-way, 2X L1 area, 2X issue rate",
+                     ExhibitKind::TpiScatter, {b},
+                     assume(50, 4, inc, true), true,
+                     "bench_fig10_16_dual_port"});
+        ++fig;
+    }
+    v.push_back({"fig17", "gcc1: 200ns, L2 4-way",
+                 ExhibitKind::TpiScatter, {B::Gcc1},
+                 assume(200, 4, inc), true, "bench_fig17_20_long_miss"});
+    v.push_back({"fig18", "doduc and espresso: 200ns, 4-way",
+                 ExhibitKind::TpiScatter, {B::Doduc, B::Espresso},
+                 assume(200, 4, inc), true, "bench_fig17_20_long_miss"});
+    v.push_back({"fig19", "fpppp and li: 200ns, 4-way",
+                 ExhibitKind::TpiScatter, {B::Fpppp, B::Li},
+                 assume(200, 4, inc), true, "bench_fig17_20_long_miss"});
+    v.push_back({"fig20", "tomcatv and eqntott: 200ns, 4-way",
+                 ExhibitKind::TpiScatter, {B::Tomcatv, B::Eqntott},
+                 assume(200, 4, inc), true, "bench_fig17_20_long_miss"});
+    v.push_back({"fig21", "Exclusion vs inclusion during swapping",
+                 ExhibitKind::Mechanism, {}, {}, false,
+                 "bench_fig21_exclusion"});
+    v.push_back({"fig22", "gcc1: 50ns, exclusive direct-mapped L2",
+                 ExhibitKind::TpiScatter, {B::Gcc1},
+                 assume(50, 1, exc), true, "bench_fig22_26_exclusive"});
+    v.push_back({"fig23", "gcc1: 50ns, exclusive 4-way L2",
+                 ExhibitKind::TpiScatter, {B::Gcc1},
+                 assume(50, 4, exc), true, "bench_fig22_26_exclusive"});
+    v.push_back({"fig24", "doduc and espresso: 50ns, exclusive 4-way",
+                 ExhibitKind::TpiScatter, {B::Doduc, B::Espresso},
+                 assume(50, 4, exc), true, "bench_fig22_26_exclusive"});
+    v.push_back({"fig25", "fpppp and li: 50ns, exclusive 4-way",
+                 ExhibitKind::TpiScatter, {B::Fpppp, B::Li},
+                 assume(50, 4, exc), true, "bench_fig22_26_exclusive"});
+    v.push_back({"fig26", "eqntott and tomcatv: 50ns, exclusive 4-way",
+                 ExhibitKind::TpiScatter, {B::Eqntott, B::Tomcatv},
+                 assume(50, 4, exc), true, "bench_fig22_26_exclusive"});
+    return v;
+}
+
+} // namespace
+
+const std::vector<FigureSpec> &
+figureCatalog()
+{
+    static const std::vector<FigureSpec> catalog = buildCatalog();
+    return catalog;
+}
+
+const FigureSpec &
+figureById(const std::string &id)
+{
+    for (const auto &f : figureCatalog()) {
+        if (f.id == id)
+            return f;
+    }
+    fatal("unknown exhibit '%s' (try fig01..fig26 or table1)",
+          id.c_str());
+}
+
+} // namespace tlc

@@ -1,0 +1,49 @@
+/**
+ * @file
+ * Catalog of the paper's exhibits: every table and figure, with the
+ * system assumptions and workloads it uses. This is the map between
+ * the paper and this reproduction — the figure-runner example and
+ * the coverage tests consume it, and the bench/ drivers implement
+ * it.
+ */
+
+#ifndef TLC_CORE_FIGURES_HH
+#define TLC_CORE_FIGURES_HH
+
+#include <string>
+#include <vector>
+
+#include "core/system_config.hh"
+#include "trace/workload.hh"
+
+namespace tlc {
+
+/** What kind of exhibit a catalog entry is. */
+enum class ExhibitKind {
+    Table,       ///< printed rows (Table 1)
+    TimingCurve, ///< model curves, no workload (Figs. 1-2)
+    TpiScatter,  ///< TPI-vs-area sweeps and envelopes (most figures)
+    Mechanism    ///< a didactic walk-through (Fig. 21)
+};
+
+/** One table or figure of the paper. */
+struct FigureSpec
+{
+    std::string id;     ///< "table1", "fig05", "fig10-16", ...
+    std::string title;  ///< the paper's caption, abbreviated
+    ExhibitKind kind;
+    std::vector<Benchmark> workloads; ///< empty for model-only plots
+    SystemAssumptions assume;         ///< for TpiScatter exhibits
+    bool compareSingleLevel = false;  ///< plot the 1-level staircase
+    std::string benchTarget;          ///< driver that regenerates it
+};
+
+/** The full catalog, in paper order. */
+const std::vector<FigureSpec> &figureCatalog();
+
+/** Look up one exhibit by id; fatal on unknown ids. */
+const FigureSpec &figureById(const std::string &id);
+
+} // namespace tlc
+
+#endif // TLC_CORE_FIGURES_HH

@@ -1,0 +1,52 @@
+/**
+ * @file
+ * TPI model implementation.
+ */
+
+#include "tpi.hh"
+
+#include "util/logging.hh"
+#include "util/units.hh"
+
+namespace tlc {
+
+TpiResult
+computeTpi(const HierarchyStats &stats, const TpiParams &params)
+{
+    tlc_assert(params.l1CycleNs > 0, "L1 cycle time must be positive");
+    tlc_assert(params.issuePerCycle > 0, "issue rate must be positive");
+    tlc_assert(stats.instrRefs > 0, "TPI undefined without instructions");
+    if (params.hasL2)
+        tlc_assert(params.l2CycleNsRaw > 0, "two-level system needs an "
+                   "L2 cycle time");
+
+    const double t1 = params.l1CycleNs;
+    TpiResult r;
+    r.offchipNsRounded = roundUpToMultiple(params.offchipNs, t1);
+    r.baseTimeNs = static_cast<double>(stats.instrRefs) * t1 /
+        params.issuePerCycle;
+
+    if (params.hasL2) {
+        r.l2CycleNs = roundUpToMultiple(params.l2CycleNsRaw, t1);
+        r.l2CycleCpu = cyclesCeil(params.l2CycleNsRaw, t1);
+        r.l2HitPenaltyCpu = 2 * r.l2CycleCpu + 1;
+        r.l2MissPenaltyCpu = cyclesCeil(params.offchipNs, t1) +
+            3 * r.l2CycleCpu + 1;
+        r.l2HitTimeNs = static_cast<double>(stats.l2Hits) *
+            (2.0 * r.l2CycleNs + t1);
+        r.l2MissTimeNs = static_cast<double>(stats.l2Misses) *
+            (r.offchipNsRounded + 3.0 * r.l2CycleNs + t1);
+    } else {
+        tlc_assert(stats.l2Hits == 0,
+                   "single-level system cannot have L2 hits");
+        r.l2MissPenaltyCpu = cyclesCeil(params.offchipNs, t1) + 1;
+        r.l2MissTimeNs = static_cast<double>(stats.l2Misses) *
+            (r.offchipNsRounded + t1);
+    }
+
+    r.tpi = (r.baseTimeNs + r.l2HitTimeNs + r.l2MissTimeNs) /
+        static_cast<double>(stats.instrRefs);
+    return r;
+}
+
+} // namespace tlc

@@ -1,0 +1,52 @@
+/**
+ * @file
+ * The paper's execution-time model (§2.5): average time per
+ * instruction (TPI) from miss counts and cache cycle times.
+ *
+ *   T = N_instr · t_L1 / issue
+ *     + N_L2hit · (2·t_L2 + t_L1)
+ *     + N_L2miss · (t_off + 3·t_L2 + t_L1)          (two-level)
+ *
+ *   T = N_instr · t_L1 / issue + N_miss · (t_off + t_L1)  (one-level)
+ *
+ * where t_L2 and t_off are rounded UP to integer multiples of the
+ * L1 (= processor) cycle time. TPI = T / N_instr.
+ */
+
+#ifndef TLC_CORE_TPI_HH
+#define TLC_CORE_TPI_HH
+
+#include "cache/hierarchy.hh"
+
+namespace tlc {
+
+/** Timing inputs of the TPI model. */
+struct TpiParams
+{
+    double l1CycleNs = 2.5;   ///< processor cycle time
+    double l2CycleNsRaw = 0;  ///< L2 RAM cycle before rounding
+    double offchipNs = 50.0;  ///< off-chip miss service
+    double issuePerCycle = 1.0; ///< 2.0 for the dual-ported study
+    bool hasL2 = false;
+};
+
+/** TPI and its decomposition. */
+struct TpiResult
+{
+    double tpi = 0;           ///< ns per instruction
+    double l2CycleNs = 0;     ///< rounded L2 cycle
+    double offchipNsRounded = 0;
+    unsigned l2CycleCpu = 0;  ///< rounded L2 cycle in CPU cycles
+    unsigned l2HitPenaltyCpu = 0;  ///< 2·L2 + 1 L1, in CPU cycles
+    unsigned l2MissPenaltyCpu = 0; ///< off + 3·L2 + 1 L1, in CPU cycles
+    double baseTimeNs = 0;    ///< time if no L1 misses
+    double l2HitTimeNs = 0;
+    double l2MissTimeNs = 0;
+};
+
+/** Evaluate the TPI model. Fatal on inconsistent inputs. */
+TpiResult computeTpi(const HierarchyStats &stats, const TpiParams &params);
+
+} // namespace tlc
+
+#endif // TLC_CORE_TPI_HH

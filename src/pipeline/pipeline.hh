@@ -1,0 +1,104 @@
+/**
+ * @file
+ * Multicycle / non-blocking memory pipeline model — the paper's
+ * Future Work section (§10), built out.
+ *
+ * The paper's baseline assumes single-cycle blocking L1 caches whose
+ * cycle time sets the processor clock. Section 10 conjectures:
+ *
+ *  1. With MULTICYCLE (pipelined) first-level caches, a large L1 no
+ *     longer stretches the clock — it just adds load latency — so
+ *     two-level caching should matter less in baseline systems.
+ *  2. With NON-BLOCKING loads, L1 misses overlap with execution, so
+ *     a fast on-chip L2 that keeps miss latency short should matter
+ *     more.
+ *
+ * This module models an in-order processor with a fixed datapath
+ * cycle, pipelined L1 access of configurable latency, a write
+ * buffer, and a configurable number of MSHRs. It is an approximate
+ * (not microarchitecturally exact) timing model: traces carry no
+ * register dependences, so load-to-use stalls are drawn with a
+ * per-workload probability, which is how much load latency the code
+ * can tolerate ("applications that can tolerate large load
+ * latencies, such as numeric benchmarks", §10).
+ */
+
+#ifndef TLC_PIPELINE_PIPELINE_HH
+#define TLC_PIPELINE_PIPELINE_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "cache/hierarchy.hh"
+#include "trace/buffer.hh"
+#include "util/random.hh"
+
+namespace tlc {
+
+/** Parameters of the pipeline timing model. */
+struct PipelineParams
+{
+    double cycleNs = 2.0;       ///< datapath clock (decoupled from L1)
+    unsigned l1Cycles = 1;      ///< pipelined L1 access latency
+    unsigned l2HitCycles = 5;   ///< L1-miss/L2-hit service latency
+    unsigned offchipCycles = 26; ///< L1-miss/off-chip service latency
+    unsigned mshrs = 1;         ///< outstanding misses; 1 => blocking
+    /** Probability a load's value is needed before anything else can
+     *  issue (0 = perfectly latency-tolerant, 1 = every load used
+     *  immediately). */
+    double loadUseStallProb = 0.5;
+    bool blockingIfetch = true; ///< I-misses always stall
+    /** Write-back buffer entries draining to the off-chip port; a
+     *  dirty eviction stalls the pipeline only when the buffer is
+     *  full (0 disables modelling write-back cost entirely). */
+    unsigned writebackBufferDepth = 4;
+    /** Cycles the off-chip port needs per write-back drain. */
+    unsigned writebackDrainCycles = 26;
+    std::uint64_t seed = 0x91;  ///< load-use draw seed
+};
+
+/** Outputs of a pipeline run. */
+struct PipelineResult
+{
+    std::uint64_t instructions = 0;
+    std::uint64_t cycles = 0;
+    std::uint64_t ifetchStallCycles = 0;
+    std::uint64_t loadUseStallCycles = 0;
+    std::uint64_t mshrFullStallCycles = 0;
+    std::uint64_t l1AccessStallCycles = 0; ///< multicycle load-use
+    std::uint64_t writebackStallCycles = 0; ///< write buffer full
+
+    double cpi() const
+    {
+        return instructions ?
+            static_cast<double>(cycles) / instructions : 0.0;
+    }
+    double tpiNs(double cycle_ns) const { return cpi() * cycle_ns; }
+};
+
+/**
+ * Drives a trace through a functional hierarchy while accounting
+ * cycles per the parameters above.
+ */
+class PipelineSimulator
+{
+  public:
+    explicit PipelineSimulator(const PipelineParams &params);
+
+    /**
+     * Run @p trace through @p hierarchy (which supplies hit/miss
+     * outcomes) and return the cycle accounting. The first
+     * @p warmup_refs records update the caches but not the result.
+     */
+    PipelineResult run(Hierarchy &hierarchy, const TraceBuffer &trace,
+                       std::uint64_t warmup_refs = 0);
+
+    const PipelineParams &params() const { return params_; }
+
+  private:
+    PipelineParams params_;
+};
+
+} // namespace tlc
+
+#endif // TLC_PIPELINE_PIPELINE_HH

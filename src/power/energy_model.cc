@@ -1,0 +1,77 @@
+/**
+ * @file
+ * Energy model implementation.
+ */
+
+#include "energy_model.hh"
+
+#include <cmath>
+
+#include "util/bitutil.hh"
+#include "util/logging.hh"
+
+namespace tlc {
+
+EnergyModel::EnergyModel(const EnergyParams &params)
+    : params_(params)
+{
+}
+
+EnergyBreakdown
+EnergyModel::accessEnergy(const SramGeometry &g,
+                          const ArrayOrganization &data_org,
+                          const ArrayOrganization &tag_org,
+                          bool dual_ported) const
+{
+    SubarrayDims dd = SubarrayDims::dataArray(g, data_org);
+    SubarrayDims td = SubarrayDims::tagArray(g, tag_org, 2);
+    tlc_assert(dd.valid && td.valid,
+               "energy model given an invalid organization");
+
+    const EnergyParams &p = params_;
+    EnergyBreakdown e;
+
+    // One data subarray and one tag subarray are activated per
+    // access; the rest stay precharged.
+    e.decoder = p.decPerAddrBit *
+        (log2i(g.numSets()) + log2i(td.rows ? td.rows : 1));
+    e.wordline = p.wlPerCol * (dd.cols + td.cols);
+    e.bitline = p.blPerCell *
+        (static_cast<double>(dd.rows) * dd.cols +
+         static_cast<double>(td.rows) * td.cols);
+    e.sense = p.sensePerCol * (dd.cols + td.cols);
+    e.compare = p.cmpPerTagBit * g.tagBits() * g.assoc;
+    e.output = p.outPerBit * g.outputBits;
+
+    double total_bits = 8.0 * static_cast<double>(g.sizeBytes);
+    e.routing = p.routePerSqrtBit * std::sqrt(total_bits);
+
+    if (dual_ported) {
+        double f = p.dualPortFactor;
+        e.decoder *= f;
+        e.wordline *= f;
+        e.bitline *= f;
+        e.sense *= f;
+        e.compare *= f;
+        e.output *= f;
+        e.routing *= f;
+    }
+    return e;
+}
+
+double
+EnergyModel::energyPerReference(const HierarchyStats &stats, double e_l1,
+                                double e_l2) const
+{
+    double refs = static_cast<double>(stats.totalRefs());
+    if (refs == 0)
+        return 0.0;
+    double l1_accesses = refs;
+    double l2_accesses = static_cast<double>(stats.l1Misses());
+    double offchip = static_cast<double>(stats.l2Misses);
+    return (l1_accesses * e_l1 + l2_accesses * e_l2 +
+            offchip * params_.offchipAccess) /
+        refs;
+}
+
+} // namespace tlc

@@ -1,0 +1,97 @@
+/**
+ * @file
+ * Per-access energy model for on-chip caches.
+ *
+ * Section 1 of the paper lists lower power as the fifth advantage of
+ * two-level on-chip caching: "In a single-level configuration,
+ * wordlines and bitlines are longer, meaning there is a larger
+ * capacitance that needs to be charged or discharged with every
+ * cache access. In a two-level configuration, most accesses only
+ * require an access to a small first-level cache."
+ *
+ * This module makes that argument quantitative with a simple
+ * switched-capacitance model over the same array organizations the
+ * timing model selects: decoder, wordline, bitline/precharge, sense,
+ * comparator and output terms per activated subarray, plus an H-tree
+ * routing term that grows with the square root of the total bit
+ * count (the long global wires of big arrays). Units are arbitrary
+ * "energy units" (eu); only ratios between configurations matter.
+ */
+
+#ifndef TLC_POWER_ENERGY_MODEL_HH
+#define TLC_POWER_ENERGY_MODEL_HH
+
+#include "cache/hierarchy.hh"
+#include "timing/organization.hh"
+
+namespace tlc {
+
+/** Switched-capacitance coefficients (relative units). */
+struct EnergyParams
+{
+    double decPerAddrBit = 2.0;  ///< predecode + decode per address bit
+    double wlPerCol = 0.10;      ///< wordline charge per column
+    double blPerCell = 0.004;    ///< bitline swing per cell on the line
+    double sensePerCol = 0.25;   ///< sense amplifier per column
+    double cmpPerTagBit = 0.6;   ///< comparator per tag bit per way
+    double outPerBit = 1.2;      ///< output driver per datapath bit
+    double routePerSqrtBit = 0.5; ///< global H-tree per sqrt(total bits)
+    /** Energy of one off-chip access (pads + board), in the same
+     *  units; dwarfs any on-chip access. */
+    double offchipAccess = 4000.0;
+    /** Extra factor for dual-ported arrays (two ports switching). */
+    double dualPortFactor = 2.0;
+};
+
+/** Energy decomposition of one read access, in eu. */
+struct EnergyBreakdown
+{
+    double decoder = 0;
+    double wordline = 0;
+    double bitline = 0;
+    double sense = 0;
+    double compare = 0;
+    double output = 0;
+    double routing = 0;
+
+    double total() const
+    {
+        return decoder + wordline + bitline + sense + compare + output +
+            routing;
+    }
+};
+
+/**
+ * Prices one cache array access and whole-hierarchy averages.
+ */
+class EnergyModel
+{
+  public:
+    explicit EnergyModel(const EnergyParams &params = EnergyParams{});
+
+    const EnergyParams &params() const { return params_; }
+
+    /** Energy of one access to an array with a given organization. */
+    EnergyBreakdown accessEnergy(const SramGeometry &g,
+                                 const ArrayOrganization &data_org,
+                                 const ArrayOrganization &tag_org,
+                                 bool dual_ported = false) const;
+
+    /**
+     * Average on+off-chip energy per memory reference of a hierarchy
+     * run, from measured miss statistics:
+     *
+     *   E = E_L1 + missrate_L1 · E_L2 + missrate_global · E_offchip
+     *
+     * Pass e_l2 = 0 for single-level systems.
+     */
+    double energyPerReference(const HierarchyStats &stats, double e_l1,
+                              double e_l2) const;
+
+  private:
+    EnergyParams params_;
+};
+
+} // namespace tlc
+
+#endif // TLC_POWER_ENERGY_MODEL_HH

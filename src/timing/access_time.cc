@@ -1,0 +1,255 @@
+/**
+ * @file
+ * Access-time model implementation.
+ *
+ * Structure follows the Wilton–Jouppi model: the data side proceeds
+ * decoder → wordline → bitline/sense → output driver; the tag side
+ * proceeds decoder → wordline → bitline/sense → comparator, then
+ * (set-associative) drives the output multiplexor or (direct-mapped)
+ * a valid signal. The access completes when both sides are done;
+ * the cycle time adds bitline precharge/equalisation.
+ */
+
+#include "access_time.hh"
+
+#include <algorithm>
+#include <sstream>
+#include <vector>
+
+#include "util/bitutil.hh"
+#include "util/logging.hh"
+
+namespace tlc {
+
+std::string
+TimingResult::toString() const
+{
+    std::ostringstream os;
+    os << "access=" << accessNs << "ns cycle=" << cycleNs << "ns data("
+       << dataOrg.toString() << " " << dataDims.rows << "x"
+       << dataDims.cols << ") tag(" << tagOrg.toString() << " "
+       << tagDims.rows << "x" << tagDims.cols << ")";
+    return os.str();
+}
+
+AccessTimeModel::AccessTimeModel(const TechnologyParams &tech)
+    : tech_(tech)
+{
+}
+
+TimingResult
+AccessTimeModel::evaluate(const SramGeometry &g,
+                          const ArrayOrganization &data_org,
+                          const ArrayOrganization &tag_org) const
+{
+    TimingResult r;
+    SubarrayDims dd = SubarrayDims::dataArray(g, data_org);
+    SubarrayDims td = SubarrayDims::tagArray(g, tag_org, kStatusBits);
+    if (!dd.valid || !td.valid)
+        return r;
+
+    const TechnologyParams &t = tech_;
+    DelayBreakdown b;
+
+    // --- data side -----------------------------------------------------
+    double dec_d = t.decBase + t.decPerAddrBit * log2i(dd.rows) +
+        t.decPerSubarray * data_org.numSubarrays();
+    double wl_d = t.wlBase + t.wlPerCol * dd.cols +
+        t.wlPerCol2 * static_cast<double>(dd.cols) * dd.cols;
+    // Column multiplexing: each subarray outputs outputBits bits, so
+    // cols / (outputBits / ways-sharing) columns share a sense amp.
+    double colmux = std::max(1.0,
+        static_cast<double>(dd.cols) /
+        std::max(1u, g.outputBits));
+    double bl_d = t.blBase + t.blPerRow * dd.rows +
+        t.blPerRow2 * static_cast<double>(dd.rows) * dd.rows +
+        t.blPerMuxLog2 * log2i(static_cast<std::uint64_t>(colmux));
+    double data_side = dec_d + wl_d + bl_d;
+
+    // --- tag side ------------------------------------------------------
+    double dec_t = t.decBase + t.decPerAddrBit * log2i(td.rows) +
+        t.decPerSubarray * tag_org.numSubarrays();
+    double wl_t = t.wlBase + t.wlPerCol * td.cols +
+        t.wlPerCol2 * static_cast<double>(td.cols) * td.cols;
+    double bl_t = t.blBase + t.blPerRow * td.rows +
+        t.blPerRow2 * static_cast<double>(td.rows) * td.rows;
+    double cmp = t.cmpBase + t.cmpPerTagBit * g.tagBits();
+    double tag_side = dec_t + wl_t + bl_t + cmp;
+
+    // --- merge ---------------------------------------------------------
+    double out = t.outBase +
+        t.outPerSubarrayLog2 * log2i(data_org.numSubarrays());
+    double access;
+    if (g.assoc == 1) {
+        // Direct-mapped: data is driven out speculatively while the
+        // tag comparison raises the valid signal in parallel.
+        access = std::max(data_side + out, tag_side + t.validOut);
+    } else {
+        // Set-associative: the comparator must drive the output
+        // multiplexor before data can leave the array.
+        double muxdrv = t.muxBase + t.muxPerWay * g.assoc;
+        b.muxDriver = muxdrv;
+        access = std::max(data_side, tag_side + muxdrv) + out;
+    }
+
+    double pre = t.preBase +
+        t.prePerRow * std::max(dd.rows, td.rows);
+    double cycle = access + pre;
+
+    b.decoder = std::max(dec_d, dec_t);
+    b.wordline = std::max(wl_d, wl_t);
+    b.bitline = std::max(bl_d, bl_t);
+    b.compare = cmp;
+    b.output = out;
+    b.precharge = pre;
+
+    double s = t.processScale;
+    r.accessNs = access * s;
+    r.cycleNs = cycle * s;
+    r.dataOrg = data_org;
+    r.tagOrg = tag_org;
+    r.dataDims = dd;
+    r.tagDims = td;
+    r.breakdown = b;
+    r.valid = true;
+    return r;
+}
+
+namespace {
+
+/**
+ * Rough silicon cost of an organization (padded-cell count). Used
+ * only to break near-ties in the cycle-time search: heavy
+ * subdivision buys little speed at small sizes but costs real area,
+ * and no designer would pay it. The constants mirror the area
+ * model's peripheral charges (see area/area_model.hh).
+ */
+double
+organizationAreaProxy(const SubarrayDims &d, std::uint32_t subarrays)
+{
+    return ((d.rows + 6.0) * (d.cols + 3.0) + 500.0) * subarrays;
+}
+
+} // namespace
+
+TimingResult
+AccessTimeModel::evaluateCam(const SramGeometry &g) const
+{
+    const TechnologyParams &t = tech_;
+    std::uint64_t entries = g.sizeBytes / g.blockBytes;
+    tlc_assert(entries >= 2, "CAM needs at least two entries");
+
+    TimingResult r;
+    SubarrayDims dd;
+    dd.rows = static_cast<std::uint32_t>(entries);
+    dd.cols = 8 * g.blockBytes;
+    dd.valid = true;
+
+    DelayBreakdown b;
+    // Tag side: broadcast the address on the match lines, compare in
+    // every entry, wired-OR into a hit signal that selects the data
+    // wordline.
+    double cam = t.camBase + t.camPerTagBit * g.tagBits() +
+        t.camPerEntryLog2 * log2i(entries);
+    // Data side after the match: one wordline + bitline read.
+    double wl = t.wlBase + t.wlPerCol * dd.cols +
+        t.wlPerCol2 * static_cast<double>(dd.cols) * dd.cols;
+    double bl = t.blBase + t.blPerRow * dd.rows +
+        t.blPerRow2 * static_cast<double>(dd.rows) * dd.rows;
+    double out = t.outBase;
+    double access = cam + wl + bl + out;
+    double pre = t.preBase + t.prePerRow * dd.rows;
+
+    b.compare = cam;
+    b.wordline = wl;
+    b.bitline = bl;
+    b.output = out;
+    b.precharge = pre;
+
+    double sc = t.processScale;
+    r.accessNs = access * sc;
+    r.cycleNs = (access + pre) * sc;
+    r.dataOrg = ArrayOrganization{1, 1, 1};
+    r.tagOrg = ArrayOrganization{1, 1, 1};
+    r.dataDims = dd;
+    SubarrayDims td;
+    td.rows = static_cast<std::uint32_t>(entries);
+    td.cols = g.tagBits() + kStatusBits;
+    td.valid = true;
+    r.tagDims = td;
+    r.breakdown = b;
+    r.valid = true;
+    return r;
+}
+
+TimingResult
+AccessTimeModel::optimize(const SramGeometry &g) const
+{
+    if (g.fullyAssociative())
+        return evaluateCam(g);
+
+    static const std::uint32_t kNwl[] = {1, 2, 4, 8};
+    static const std::uint32_t kNbl[] = {1, 2, 4, 8, 16, 32};
+    static const std::uint32_t kNspd[] = {1, 2, 4, 8};
+    static const std::uint32_t kTwl[] = {1, 2};
+    static const std::uint32_t kTbl[] = {1, 2, 4, 8, 16};
+    static const std::uint32_t kTspd[] = {1, 2, 4};
+
+    struct Candidate
+    {
+        TimingResult timing;
+        double areaProxy;
+    };
+    std::vector<Candidate> cands;
+
+    for (auto nwl : kNwl) {
+        for (auto nbl : kNbl) {
+            for (auto nspd : kNspd) {
+                ArrayOrganization d{nwl, nbl, nspd};
+                SubarrayDims dd = SubarrayDims::dataArray(g, d);
+                if (!dd.valid)
+                    continue;
+                for (auto twl : kTwl) {
+                    for (auto tbl : kTbl) {
+                        for (auto tspd : kTspd) {
+                            ArrayOrganization to{twl, tbl, tspd};
+                            TimingResult r = evaluate(g, d, to);
+                            if (!r.valid)
+                                continue;
+                            double a =
+                                organizationAreaProxy(
+                                    r.dataDims, d.numSubarrays()) +
+                                organizationAreaProxy(
+                                    r.tagDims, to.numSubarrays());
+                            cands.push_back({r, a});
+                        }
+                    }
+                }
+            }
+        }
+    }
+    if (cands.empty()) {
+        panic("no valid organization for cache size %llu",
+              static_cast<unsigned long long>(g.sizeBytes));
+    }
+
+    double min_cycle = cands[0].timing.cycleNs;
+    for (const auto &c : cands)
+        min_cycle = std::min(min_cycle, c.timing.cycleNs);
+
+    // Among organizations within 3% of the best cycle time, pick the
+    // cheapest in silicon; break remaining ties by access time.
+    const Candidate *best = nullptr;
+    for (const auto &c : cands) {
+        if (c.timing.cycleNs > min_cycle * 1.03)
+            continue;
+        if (!best || c.areaProxy < best->areaProxy ||
+            (c.areaProxy == best->areaProxy &&
+             c.timing.accessNs < best->timing.accessNs)) {
+            best = &c;
+        }
+    }
+    return best->timing;
+}
+
+} // namespace tlc

@@ -1,0 +1,68 @@
+/**
+ * @file
+ * Array-organization geometry resolution.
+ */
+
+#include "organization.hh"
+
+#include "util/bitutil.hh"
+#include "util/logging.hh"
+
+namespace tlc {
+
+std::uint32_t
+SramGeometry::tagBits() const
+{
+    std::uint64_t sets = numSets();
+    unsigned index_bits = log2i(sets);
+    unsigned offset_bits = log2i(blockBytes);
+    tlc_assert(addrBits > index_bits + offset_bits,
+               "address too narrow for geometry");
+    return addrBits - index_bits - offset_bits;
+}
+
+SubarrayDims
+SubarrayDims::dataArray(const SramGeometry &g, const ArrayOrganization &o)
+{
+    SubarrayDims d;
+    std::uint64_t denom_rows = static_cast<std::uint64_t>(g.blockBytes) *
+        g.assoc * o.nbl * o.nspd;
+    std::uint64_t cols_num = 8ull * g.blockBytes * g.assoc * o.nspd;
+    if (denom_rows == 0 || g.sizeBytes % denom_rows != 0 ||
+        cols_num % o.nwl != 0) {
+        return d;
+    }
+    std::uint64_t rows = g.sizeBytes / denom_rows;
+    std::uint64_t cols = cols_num / o.nwl;
+    if (rows < 4 || cols < 8 || rows > 8192 || cols > 8192)
+        return d;
+    d.rows = static_cast<std::uint32_t>(rows);
+    d.cols = static_cast<std::uint32_t>(cols);
+    d.valid = true;
+    return d;
+}
+
+SubarrayDims
+SubarrayDims::tagArray(const SramGeometry &g, const ArrayOrganization &o,
+                       std::uint32_t status_bits)
+{
+    SubarrayDims d;
+    std::uint64_t sets = g.numSets();
+    std::uint64_t denom_rows = static_cast<std::uint64_t>(o.nbl) * o.nspd;
+    if (sets % denom_rows != 0)
+        return d;
+    std::uint64_t rows = sets / denom_rows;
+    std::uint64_t bits_per_entry = g.tagBits() + status_bits;
+    std::uint64_t cols_num = bits_per_entry * g.assoc * o.nspd;
+    if (cols_num % o.nwl != 0)
+        return d;
+    std::uint64_t cols = cols_num / o.nwl;
+    if (rows < 2 || cols < 4 || rows > 8192 || cols > 8192)
+        return d;
+    d.rows = static_cast<std::uint32_t>(rows);
+    d.cols = static_cast<std::uint32_t>(cols);
+    d.valid = true;
+    return d;
+}
+
+} // namespace tlc

@@ -1,0 +1,74 @@
+/**
+ * @file
+ * Memory-array organization parameters (Wada's Ndwl/Ndbl/Nspd).
+ */
+
+#ifndef TLC_TIMING_ORGANIZATION_HH
+#define TLC_TIMING_ORGANIZATION_HH
+
+#include <cstdint>
+#include <string>
+
+namespace tlc {
+
+/**
+ * How one memory array (data or tag) is broken into subarrays:
+ *  - Nwl: wordline divisions (columns split across Nwl subarrays)
+ *  - Nbl: bitline divisions (rows split across Nbl subarrays)
+ *  - Nspd: sets mapped to the same wordline (wider, shorter array)
+ *
+ * A cache of C bytes with B-byte blocks and associativity A then has
+ *   rows = C / (B · A · Nbl · Nspd)
+ *   cols = 8 · B · A · Nspd / Nwl
+ * per subarray, with Nwl · Nbl subarrays (Wada et al., 1992).
+ */
+struct ArrayOrganization
+{
+    std::uint32_t nwl = 1;
+    std::uint32_t nbl = 1;
+    std::uint32_t nspd = 1;
+
+    std::uint32_t numSubarrays() const { return nwl * nbl; }
+    std::string toString() const
+    {
+        return "Nwl=" + std::to_string(nwl) + ",Nbl=" +
+            std::to_string(nbl) + ",Nspd=" + std::to_string(nspd);
+    }
+};
+
+/** The geometry the timing/area models need about one cache array. */
+struct SramGeometry
+{
+    std::uint64_t sizeBytes;  ///< capacity
+    std::uint32_t blockBytes; ///< line size
+    std::uint32_t assoc;      ///< ways (>= 1; use numLines for FA)
+    std::uint32_t addrBits = 32; ///< physical address width
+    std::uint32_t outputBits = 64; ///< datapath width (8-byte transfers)
+
+    std::uint64_t numSets() const
+    {
+        return sizeBytes / (static_cast<std::uint64_t>(blockBytes) * assoc);
+    }
+    /** One set: every line is a way (CAM tag path). */
+    bool fullyAssociative() const { return numSets() == 1; }
+    /** Address tag width: addr bits minus set-index and offset bits. */
+    std::uint32_t tagBits() const;
+};
+
+/** Resolved per-subarray dimensions for a geometry + organization. */
+struct SubarrayDims
+{
+    std::uint32_t rows = 0;
+    std::uint32_t cols = 0;
+    bool valid = false; ///< organization divides the array evenly
+
+    static SubarrayDims dataArray(const SramGeometry &g,
+                                  const ArrayOrganization &o);
+    static SubarrayDims tagArray(const SramGeometry &g,
+                                 const ArrayOrganization &o,
+                                 std::uint32_t status_bits);
+};
+
+} // namespace tlc
+
+#endif // TLC_TIMING_ORGANIZATION_HH

@@ -1,0 +1,32 @@
+/**
+ * @file
+ * Technology parameter presets.
+ */
+
+#include "technology.hh"
+
+namespace tlc {
+
+const TechnologyParams &
+TechnologyParams::scaled05um()
+{
+    static const TechnologyParams p = [] {
+        TechnologyParams t;
+        t.processScale = 0.5;
+        return t;
+    }();
+    return p;
+}
+
+const TechnologyParams &
+TechnologyParams::baseline08um()
+{
+    static const TechnologyParams p = [] {
+        TechnologyParams t;
+        t.processScale = 1.0;
+        return t;
+    }();
+    return p;
+}
+
+} // namespace tlc

@@ -1,0 +1,85 @@
+/**
+ * @file
+ * Technology parameters for the analytical SRAM timing model.
+ *
+ * The paper computes cache access and cycle times with the
+ * Wilton–Jouppi enhancement (WRL TR 93/5) of Wada's analytical
+ * model, using SPICE-extracted 0.8 µm constants, then scales the
+ * results by 0.5 to approximate a high-performance 0.5 µm CMOS
+ * process. The original SPICE constants are not reproducible here,
+ * so this module defines a reconstructed constant set with the same
+ * structure: per-stage delay coefficients whose absolute values are
+ * calibrated to the anchors the paper quotes (≈1.8× L1 cycle-time
+ * spread from 1 KB to 256 KB; L2-hit penalty of 5 CPU cycles for a
+ * 4 KB L1; see DESIGN.md §2).
+ */
+
+#ifndef TLC_TIMING_TECHNOLOGY_HH
+#define TLC_TIMING_TECHNOLOGY_HH
+
+namespace tlc {
+
+/**
+ * Delay coefficients, in ns at the 0.8 µm baseline. Each stage is
+ * modelled as fixed + linear (+ small quadratic, for distributed RC
+ * lines) terms in its electrical load.
+ */
+struct TechnologyParams
+{
+    // Row decoder: predecode NAND/NOR chain + wordline select.
+    double decBase = 0.70;       ///< fixed decoder delay
+    double decPerAddrBit = 0.13; ///< per decoded address bit (log2 rows)
+    double decPerSubarray = 0.016; ///< select-wire RC per subarray
+
+    // Wordline: distributed RC along the columns of one subarray.
+    double wlBase = 0.20;
+    double wlPerCol = 0.0026;
+    double wlPerCol2 = 4.5e-7;
+
+    // Bitline discharge + sense amplifier, RC along the rows.
+    double blBase = 0.45;
+    double blPerRow = 0.0040;
+    double blPerRow2 = 6.5e-7;
+    double blPerMuxLog2 = 0.09; ///< column-mux select overhead
+
+    // Tag comparator (dynamic XOR tree).
+    double cmpBase = 0.50;
+    double cmpPerTagBit = 0.040;
+
+    // Set-associative output multiplexor driver.
+    double muxBase = 0.55;
+    double muxPerWay = 0.10;
+
+    // Data output driver to the cache boundary.
+    double outBase = 0.60;
+    double outPerSubarrayLog2 = 0.11;
+
+    // Valid-signal output driver (direct-mapped tag side).
+    double validOut = 0.30;
+
+    // Bitline precharge/equalisation: added to access for cycle time.
+    double preBase = 0.50;
+    double prePerRow = 0.0026;
+
+    // Content-addressable tag path (fully-associative caches, e.g.
+    // victim buffers): match-line delay per tag bit plus a wired-OR
+    // that grows with the entry count.
+    double camBase = 0.90;
+    double camPerTagBit = 0.030;
+    double camPerEntryLog2 = 0.12;
+
+    /**
+     * Final multiplier applied to every time: 0.5 models the shrink
+     * from the 0.8 µm baseline to a 0.5 µm process (paper §2.3).
+     */
+    double processScale = 0.5;
+
+    /** The 0.8 µm baseline constants scaled to 0.5 µm (the default). */
+    static const TechnologyParams &scaled05um();
+    /** The raw 0.8 µm baseline (processScale = 1). */
+    static const TechnologyParams &baseline08um();
+};
+
+} // namespace tlc
+
+#endif // TLC_TIMING_TECHNOLOGY_HH

@@ -1,0 +1,65 @@
+/**
+ * @file
+ * Umbrella header: the whole public API of the two-level-caching
+ * library. Include this (or the individual module headers) and link
+ * against tlc_core.
+ *
+ * The library reproduces Jouppi & Wilton, "Tradeoffs in Two-Level
+ * On-Chip Caching" (WRL 93/3 / ISCA 1994):
+ *
+ *   - trace/   synthetic SPEC89 workload models, trace buffers and
+ *              file formats, multiprogrammed interleaving;
+ *   - cache/   the trace-driven simulator: single-level, two-level
+ *              (inclusive / strict-inclusive / EXCLUSIVE — the
+ *              paper's contribution), victim caches, stream
+ *              buffers, board-level systems, 3C classification;
+ *   - timing/  the Wilton-Jouppi analytical access/cycle-time model
+ *              with organization search;
+ *   - area/    the Mulder register-bit-equivalent area model;
+ *   - power/   per-access energy;
+ *   - pipeline/ the Section-10 multicycle / non-blocking study;
+ *   - vm/      TLB and the page-size translation rule;
+ *   - core/    the TPI model and the design-space explorer that
+ *              fuses everything into the paper's figures.
+ */
+
+#ifndef TLC_TLC_HH
+#define TLC_TLC_HH
+
+#include "area/area_model.hh"
+#include "cache/board_system.hh"
+#include "cache/cache.hh"
+#include "cache/hierarchy.hh"
+#include "cache/params.hh"
+#include "cache/single_level.hh"
+#include "cache/stream_buffer.hh"
+#include "cache/three_c.hh"
+#include "cache/two_level.hh"
+#include "cache/victim_cache.hh"
+#include "core/evaluator.hh"
+#include "core/explorer.hh"
+#include "core/system_config.hh"
+#include "core/tpi.hh"
+#include "pipeline/pipeline.hh"
+#include "power/energy_model.hh"
+#include "timing/access_time.hh"
+#include "timing/organization.hh"
+#include "timing/technology.hh"
+#include "trace/buffer.hh"
+#include "trace/interleave.hh"
+#include "trace/io.hh"
+#include "trace/record.hh"
+#include "trace/stream.hh"
+#include "trace/streams.hh"
+#include "trace/workload.hh"
+#include "util/args.hh"
+#include "util/envelope.hh"
+#include "util/logging.hh"
+#include "util/plot.hh"
+#include "util/random.hh"
+#include "util/stats.hh"
+#include "util/table.hh"
+#include "util/units.hh"
+#include "vm/tlb.hh"
+
+#endif // TLC_TLC_HH

@@ -1,0 +1,40 @@
+/**
+ * @file
+ * Trace buffer implementation.
+ */
+
+#include "buffer.hh"
+
+namespace tlc {
+
+void
+TraceBuffer::append(TraceRecord rec)
+{
+    records_.push_back(rec);
+    switch (rec.type) {
+      case RefType::Instr:
+        ++instr_;
+        break;
+      case RefType::Load:
+        ++loads_;
+        break;
+      case RefType::Store:
+        ++stores_;
+        break;
+    }
+}
+
+void
+TraceBuffer::append(std::uint32_t addr, RefType type)
+{
+    append(TraceRecord{addr, type});
+}
+
+void
+TraceBuffer::clear()
+{
+    records_.clear();
+    instr_ = loads_ = stores_ = 0;
+}
+
+} // namespace tlc

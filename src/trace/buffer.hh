@@ -1,0 +1,59 @@
+/**
+ * @file
+ * In-memory trace buffer with reference-count bookkeeping.
+ */
+
+#ifndef TLC_TRACE_BUFFER_HH
+#define TLC_TRACE_BUFFER_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "trace/record.hh"
+
+namespace tlc {
+
+/**
+ * A sequence of trace records held in memory, with per-type counts
+ * maintained incrementally (the quantities Table 1 of the paper
+ * reports per benchmark).
+ */
+class TraceBuffer
+{
+  public:
+    TraceBuffer() = default;
+
+    void reserve(std::size_t n) { records_.reserve(n); }
+
+    void append(TraceRecord rec);
+    void append(std::uint32_t addr, RefType type);
+
+    const std::vector<TraceRecord> &records() const { return records_; }
+    std::size_t size() const { return records_.size(); }
+    bool empty() const { return records_.empty(); }
+    const TraceRecord &operator[](std::size_t i) const
+    {
+        return records_[i];
+    }
+
+    std::uint64_t instrRefs() const { return instr_; }
+    std::uint64_t loadRefs() const { return loads_; }
+    std::uint64_t storeRefs() const { return stores_; }
+    std::uint64_t dataRefs() const { return loads_ + stores_; }
+    std::uint64_t totalRefs() const { return records_.size(); }
+
+    void clear();
+
+    auto begin() const { return records_.begin(); }
+    auto end() const { return records_.end(); }
+
+  private:
+    std::vector<TraceRecord> records_;
+    std::uint64_t instr_ = 0;
+    std::uint64_t loads_ = 0;
+    std::uint64_t stores_ = 0;
+};
+
+} // namespace tlc
+
+#endif // TLC_TRACE_BUFFER_HH

@@ -1,0 +1,43 @@
+/**
+ * @file
+ * Trace interleaving implementation.
+ */
+
+#include "interleave.hh"
+
+#include "util/logging.hh"
+
+namespace tlc {
+
+TraceBuffer
+interleaveTraces(const std::vector<const TraceBuffer *> &traces,
+                 std::uint64_t quantum_refs, std::uint64_t total_refs)
+{
+    tlc_assert(!traces.empty() && traces.size() <= 4,
+               "interleave supports 1..4 processes, got %zu",
+               traces.size());
+    tlc_assert(quantum_refs > 0, "quantum must be positive");
+    for (const TraceBuffer *t : traces)
+        tlc_assert(t && !t->empty(), "empty process trace");
+
+    TraceBuffer out;
+    out.reserve(total_refs);
+    std::vector<std::size_t> cursor(traces.size(), 0);
+    std::size_t pid = 0;
+    while (out.size() < total_refs) {
+        const TraceBuffer &t = *traces[pid];
+        std::uint64_t n =
+            std::min<std::uint64_t>(quantum_refs,
+                                    total_refs - out.size());
+        for (std::uint64_t i = 0; i < n; ++i) {
+            TraceRecord rec = t[cursor[pid]];
+            rec.addr |= static_cast<std::uint32_t>(pid) << 30;
+            out.append(rec);
+            cursor[pid] = (cursor[pid] + 1) % t.size();
+        }
+        pid = (pid + 1) % traces.size();
+    }
+    return out;
+}
+
+} // namespace tlc

@@ -1,0 +1,41 @@
+/**
+ * @file
+ * Multiprogrammed trace interleaving.
+ *
+ * The paper scopes multiprogramming out ("Effects of
+ * multiprogramming and system references were beyond the scope of
+ * this study", §2.2). This module supplies the machinery to put it
+ * back in: several workload traces are interleaved in round-robin
+ * quanta, with each process placed in a disjoint address-space
+ * slice, so the cache-size sensitivity to context-switch rate can
+ * be measured (cf. Mogul & Borg, "The Effect of Context Switches on
+ * Cache Performance", WRL TN-16).
+ */
+
+#ifndef TLC_TRACE_INTERLEAVE_HH
+#define TLC_TRACE_INTERLEAVE_HH
+
+#include <vector>
+
+#include "trace/buffer.hh"
+
+namespace tlc {
+
+/**
+ * Interleave up to four traces in round-robin quanta.
+ *
+ * Each process's addresses are offset into a disjoint 1 GB slice
+ * (pid << 30) so physically-addressed caches see no sharing between
+ * processes. Traces shorter than needed wrap around.
+ *
+ * @param traces       the per-process reference streams (1..4)
+ * @param quantum_refs references per scheduling quantum
+ * @param total_refs   length of the interleaved result
+ */
+TraceBuffer interleaveTraces(const std::vector<const TraceBuffer *> &traces,
+                             std::uint64_t quantum_refs,
+                             std::uint64_t total_refs);
+
+} // namespace tlc
+
+#endif // TLC_TRACE_INTERLEAVE_HH

@@ -1,0 +1,269 @@
+/**
+ * @file
+ * Trace file I/O implementation.
+ */
+
+#include "io.hh"
+
+#include <cstring>
+#include <fstream>
+#include <istream>
+#include <ostream>
+#include <sstream>
+
+#include "util/logging.hh"
+
+namespace tlc {
+
+const char kTraceMagic[4] = {'T', 'L', 'C', 'T'};
+
+namespace {
+
+void
+putU32(std::ostream &os, std::uint32_t v)
+{
+    char b[4];
+    b[0] = static_cast<char>(v & 0xff);
+    b[1] = static_cast<char>((v >> 8) & 0xff);
+    b[2] = static_cast<char>((v >> 16) & 0xff);
+    b[3] = static_cast<char>((v >> 24) & 0xff);
+    os.write(b, 4);
+}
+
+bool
+getU32(std::istream &is, std::uint32_t &v)
+{
+    unsigned char b[4];
+    if (!is.read(reinterpret_cast<char *>(b), 4))
+        return false;
+    v = static_cast<std::uint32_t>(b[0]) |
+        (static_cast<std::uint32_t>(b[1]) << 8) |
+        (static_cast<std::uint32_t>(b[2]) << 16) |
+        (static_cast<std::uint32_t>(b[3]) << 24);
+    return true;
+}
+
+void
+putU64(std::ostream &os, std::uint64_t v)
+{
+    putU32(os, static_cast<std::uint32_t>(v & 0xffffffffu));
+    putU32(os, static_cast<std::uint32_t>(v >> 32));
+}
+
+bool
+getU64(std::istream &is, std::uint64_t &v)
+{
+    std::uint32_t lo, hi;
+    if (!getU32(is, lo) || !getU32(is, hi))
+        return false;
+    v = (static_cast<std::uint64_t>(hi) << 32) | lo;
+    return true;
+}
+
+} // namespace
+
+void
+writeBinaryTrace(std::ostream &os, const TraceBuffer &buf)
+{
+    os.write(kTraceMagic, 4);
+    putU32(os, kTraceVersion);
+    putU64(os, buf.size());
+    for (const auto &rec : buf) {
+        putU32(os, rec.addr);
+        char t = static_cast<char>(rec.type);
+        os.write(&t, 1);
+    }
+}
+
+bool
+readBinaryTrace(std::istream &is, TraceBuffer &buf)
+{
+    char magic[4];
+    if (!is.read(magic, 4) || std::memcmp(magic, kTraceMagic, 4) != 0)
+        return false;
+    std::uint32_t version;
+    if (!getU32(is, version) || version != kTraceVersion) {
+        warn("unsupported trace version");
+        return false;
+    }
+    std::uint64_t count;
+    if (!getU64(is, count))
+        return false;
+    buf.reserve(buf.size() + count);
+    for (std::uint64_t i = 0; i < count; ++i) {
+        std::uint32_t addr;
+        char t;
+        if (!getU32(is, addr) || !is.read(&t, 1))
+            return false;
+        if (t < 0 || t > 2)
+            return false;
+        buf.append(addr, static_cast<RefType>(t));
+    }
+    return true;
+}
+
+namespace {
+
+void
+putVarint(std::ostream &os, std::uint64_t v)
+{
+    while (v >= 0x80) {
+        char b = static_cast<char>((v & 0x7f) | 0x80);
+        os.write(&b, 1);
+        v >>= 7;
+    }
+    char b = static_cast<char>(v);
+    os.write(&b, 1);
+}
+
+bool
+getVarint(std::istream &is, std::uint64_t &v)
+{
+    v = 0;
+    unsigned shift = 0;
+    for (;;) {
+        char c;
+        if (!is.read(&c, 1) || shift > 63)
+            return false;
+        unsigned char b = static_cast<unsigned char>(c);
+        v |= static_cast<std::uint64_t>(b & 0x7f) << shift;
+        if (!(b & 0x80))
+            return true;
+        shift += 7;
+    }
+}
+
+std::uint64_t
+zigzag(std::int64_t v)
+{
+    return (static_cast<std::uint64_t>(v) << 1) ^
+        static_cast<std::uint64_t>(v >> 63);
+}
+
+std::int64_t
+unzigzag(std::uint64_t v)
+{
+    return static_cast<std::int64_t>(v >> 1) ^
+        -static_cast<std::int64_t>(v & 1);
+}
+
+} // namespace
+
+void
+writeCompressedTrace(std::ostream &os, const TraceBuffer &buf)
+{
+    os.write(kTraceMagic, 4);
+    putU32(os, kTraceVersionCompressed);
+    putU64(os, buf.size());
+    std::uint32_t last[3] = {0, 0, 0};
+    for (const auto &rec : buf) {
+        unsigned ty = static_cast<unsigned>(rec.type);
+        std::int64_t delta = static_cast<std::int64_t>(rec.addr) -
+            static_cast<std::int64_t>(last[ty]);
+        last[ty] = rec.addr;
+        putVarint(os, (zigzag(delta) << 2) | ty);
+    }
+}
+
+bool
+readCompressedTrace(std::istream &is, TraceBuffer &buf)
+{
+    char magic[4];
+    if (!is.read(magic, 4) || std::memcmp(magic, kTraceMagic, 4) != 0)
+        return false;
+    std::uint32_t version;
+    if (!getU32(is, version) || version != kTraceVersionCompressed)
+        return false;
+    std::uint64_t count;
+    if (!getU64(is, count))
+        return false;
+    buf.reserve(buf.size() + count);
+    std::uint32_t last[3] = {0, 0, 0};
+    for (std::uint64_t i = 0; i < count; ++i) {
+        std::uint64_t word;
+        if (!getVarint(is, word))
+            return false;
+        unsigned ty = static_cast<unsigned>(word & 3);
+        if (ty > 2)
+            return false;
+        std::int64_t delta = unzigzag(word >> 2);
+        std::uint32_t addr = static_cast<std::uint32_t>(
+            static_cast<std::int64_t>(last[ty]) + delta);
+        last[ty] = addr;
+        buf.append(addr, static_cast<RefType>(ty));
+    }
+    return true;
+}
+
+void
+writeTextTrace(std::ostream &os, const TraceBuffer &buf)
+{
+    for (const auto &rec : buf) {
+        os << refTypeChar(rec.type) << " 0x" << std::hex << rec.addr
+           << std::dec << '\n';
+    }
+}
+
+bool
+readTextTrace(std::istream &is, TraceBuffer &buf)
+{
+    std::string line;
+    while (std::getline(is, line)) {
+        if (line.empty() || line[0] == '#')
+            continue;
+        std::istringstream ls(line);
+        char tc;
+        std::string addr_str;
+        if (!(ls >> tc >> addr_str))
+            return false;
+        RefType type;
+        if (!refTypeFromChar(tc, type))
+            return false;
+        char *end = nullptr;
+        unsigned long addr = std::strtoul(addr_str.c_str(), &end, 0);
+        if (end == addr_str.c_str() || *end != '\0')
+            return false;
+        buf.append(static_cast<std::uint32_t>(addr), type);
+    }
+    return true;
+}
+
+bool
+loadTraceFile(const std::string &path, TraceBuffer &buf)
+{
+    std::ifstream is(path, std::ios::binary);
+    if (!is) {
+        warn("cannot open trace file '%s'", path.c_str());
+        return false;
+    }
+    char magic[4];
+    if (is.read(magic, 4) && std::memcmp(magic, kTraceMagic, 4) == 0) {
+        std::uint32_t version = 0;
+        getU32(is, version);
+        is.seekg(0);
+        if (version == kTraceVersionCompressed)
+            return readCompressedTrace(is, buf);
+        return readBinaryTrace(is, buf);
+    }
+    is.clear();
+    is.seekg(0);
+    return readTextTrace(is, buf);
+}
+
+bool
+saveTraceFile(const std::string &path, const TraceBuffer &buf,
+              bool compressed)
+{
+    std::ofstream os(path, std::ios::binary);
+    if (!os) {
+        warn("cannot open trace file '%s' for writing", path.c_str());
+        return false;
+    }
+    if (compressed)
+        writeCompressedTrace(os, buf);
+    else
+        writeBinaryTrace(os, buf);
+    return os.good();
+}
+
+} // namespace tlc

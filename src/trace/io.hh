@@ -1,0 +1,78 @@
+/**
+ * @file
+ * Trace file I/O.
+ *
+ * Two formats are supported:
+ *  - a compact binary format ("TLCT"): fixed header followed by
+ *    packed 5-byte records (u32 little-endian address + 1-byte type);
+ *  - a Dinero-style text format: one "<type> <hex-address>" pair per
+ *    line, where type is 'i' (ifetch), 'l' (load) or 's' (store).
+ *
+ * The binary format lets users capture traces once (e.g. with a
+ * Pin/Valgrind tool writing this layout) and replay them through the
+ * simulator instead of using the built-in synthetic workloads.
+ */
+
+#ifndef TLC_TRACE_IO_HH
+#define TLC_TRACE_IO_HH
+
+#include <iosfwd>
+#include <string>
+
+#include "trace/buffer.hh"
+
+namespace tlc {
+
+/** Magic bytes that open a binary trace file. */
+extern const char kTraceMagic[4];
+/** Raw (fixed 5-byte records) binary format version. */
+constexpr std::uint32_t kTraceVersion = 1;
+/** Compressed (per-type delta + varint) format version. */
+constexpr std::uint32_t kTraceVersionCompressed = 2;
+
+/** Write @p buf to @p os in the binary format. */
+void writeBinaryTrace(std::ostream &os, const TraceBuffer &buf);
+
+/**
+ * Read a binary trace from @p is into @p buf (appending).
+ * Returns false (with buf untouched on header errors) when the
+ * stream is not a valid trace.
+ */
+bool readBinaryTrace(std::istream &is, TraceBuffer &buf);
+
+/**
+ * Write @p buf in the compressed binary format: each record stores
+ * its type and the zigzag-varint delta against the previous address
+ * OF THE SAME TYPE, so sequential instruction fetch (delta 4) and
+ * strided data sweeps cost one byte per reference instead of five.
+ * This is the practical format for the paper-scale traces
+ * (tens of millions to billions of references, Table 1); WRL's own
+ * tracing system [2] compressed similarly.
+ */
+void writeCompressedTrace(std::ostream &os, const TraceBuffer &buf);
+
+/** Read a compressed trace (header included). False on errors. */
+bool readCompressedTrace(std::istream &is, TraceBuffer &buf);
+
+/** Write @p buf to @p os in the text format. */
+void writeTextTrace(std::ostream &os, const TraceBuffer &buf);
+
+/**
+ * Read a text trace. Blank lines and lines starting with '#' are
+ * ignored. Returns false on the first malformed line.
+ */
+bool readTextTrace(std::istream &is, TraceBuffer &buf);
+
+/** Convenience: load a trace file (binary or text, sniffed). */
+bool loadTraceFile(const std::string &path, TraceBuffer &buf);
+
+/**
+ * Convenience: save a binary trace file (compressed by default;
+ * pass compressed=false for the raw fixed-record layout).
+ */
+bool saveTraceFile(const std::string &path, const TraceBuffer &buf,
+                   bool compressed = true);
+
+} // namespace tlc
+
+#endif // TLC_TRACE_IO_HH

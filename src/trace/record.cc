@@ -1,0 +1,42 @@
+/**
+ * @file
+ * Trace record helpers.
+ */
+
+#include "record.hh"
+
+namespace tlc {
+
+char
+refTypeChar(RefType t)
+{
+    switch (t) {
+      case RefType::Instr:
+        return 'i';
+      case RefType::Load:
+        return 'l';
+      case RefType::Store:
+        return 's';
+    }
+    return '?';
+}
+
+bool
+refTypeFromChar(char c, RefType &out)
+{
+    switch (c) {
+      case 'i':
+        out = RefType::Instr;
+        return true;
+      case 'l':
+        out = RefType::Load;
+        return true;
+      case 's':
+        out = RefType::Store;
+        return true;
+      default:
+        return false;
+    }
+}
+
+} // namespace tlc

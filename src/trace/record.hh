@@ -1,0 +1,49 @@
+/**
+ * @file
+ * Memory-reference trace records.
+ *
+ * The paper drives its cache simulator with long address traces
+ * (Table 1). A record is one memory reference: an instruction fetch,
+ * a load, or a store. Addresses are 32-bit physical byte addresses
+ * (the paper assumes physically-addressed caches).
+ */
+
+#ifndef TLC_TRACE_RECORD_HH
+#define TLC_TRACE_RECORD_HH
+
+#include <cstdint>
+
+namespace tlc {
+
+/** Kind of memory reference. */
+enum class RefType : std::uint8_t {
+    Instr = 0, ///< instruction fetch
+    Load  = 1, ///< data read
+    Store = 2  ///< data write
+};
+
+/** True for loads and stores. */
+constexpr bool
+isData(RefType t)
+{
+    return t != RefType::Instr;
+}
+
+/** One memory reference. */
+struct TraceRecord
+{
+    std::uint32_t addr; ///< byte address
+    RefType type;       ///< reference kind
+
+    bool operator==(const TraceRecord &) const = default;
+};
+
+/** Single-character mnemonic used by the text trace format. */
+char refTypeChar(RefType t);
+
+/** Inverse of refTypeChar; returns false on unknown characters. */
+bool refTypeFromChar(char c, RefType &out);
+
+} // namespace tlc
+
+#endif // TLC_TRACE_RECORD_HH

@@ -1,0 +1,32 @@
+/**
+ * @file
+ * Abstract memory-reference stream.
+ *
+ * Workload models (src/trace/workload.cc) are mixtures of concrete
+ * streams. Each stream produces an endless sequence of addresses
+ * with a particular locality structure.
+ */
+
+#ifndef TLC_TRACE_STREAM_HH
+#define TLC_TRACE_STREAM_HH
+
+#include <cstdint>
+
+namespace tlc {
+
+/**
+ * A source of byte addresses with some locality structure. Streams
+ * are deterministic given their construction-time seed.
+ */
+class RefStream
+{
+  public:
+    virtual ~RefStream() = default;
+
+    /** Produce the next byte address of this stream. */
+    virtual std::uint32_t next() = 0;
+};
+
+} // namespace tlc
+
+#endif // TLC_TRACE_STREAM_HH

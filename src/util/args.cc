@@ -1,0 +1,102 @@
+/**
+ * @file
+ * Argument-parser implementation.
+ */
+
+#include "args.hh"
+
+#include <cstdlib>
+
+#include "logging.hh"
+
+namespace tlc {
+
+ArgParser::ArgParser(int argc, const char *const *argv)
+{
+    tlc_assert(argc >= 1, "argc must include the program name");
+    program_ = argv[0];
+    for (int i = 1; i < argc; ++i) {
+        std::string arg = argv[i];
+        if (arg.rfind("--", 0) != 0) {
+            positional_.push_back(arg);
+            continue;
+        }
+        std::string body = arg.substr(2);
+        auto eq = body.find('=');
+        if (eq != std::string::npos) {
+            options_[body.substr(0, eq)] = body.substr(eq + 1);
+        } else if (i + 1 < argc && argv[i + 1][0] != '-') {
+            options_[body] = argv[++i];
+        } else {
+            options_[body] = "true";
+        }
+    }
+}
+
+bool
+ArgParser::has(const std::string &key) const
+{
+    return options_.count(key) > 0;
+}
+
+std::string
+ArgParser::getString(const std::string &key, const std::string &def) const
+{
+    auto it = options_.find(key);
+    return it == options_.end() ? def : it->second;
+}
+
+std::int64_t
+ArgParser::getInt(const std::string &key, std::int64_t def) const
+{
+    auto it = options_.find(key);
+    if (it == options_.end())
+        return def;
+    char *end = nullptr;
+    std::int64_t v = std::strtoll(it->second.c_str(), &end, 0);
+    if (end == it->second.c_str() || *end != '\0')
+        fatal("option --%s expects an integer, got '%s'",
+              key.c_str(), it->second.c_str());
+    return v;
+}
+
+double
+ArgParser::getDouble(const std::string &key, double def) const
+{
+    auto it = options_.find(key);
+    if (it == options_.end())
+        return def;
+    char *end = nullptr;
+    double v = std::strtod(it->second.c_str(), &end);
+    if (end == it->second.c_str() || *end != '\0')
+        fatal("option --%s expects a number, got '%s'",
+              key.c_str(), it->second.c_str());
+    return v;
+}
+
+bool
+ArgParser::getBool(const std::string &key, bool def) const
+{
+    auto it = options_.find(key);
+    if (it == options_.end())
+        return def;
+    const std::string &v = it->second;
+    if (v == "true" || v == "1" || v == "yes")
+        return true;
+    if (v == "false" || v == "0" || v == "no")
+        return false;
+    fatal("option --%s expects a boolean, got '%s'",
+          key.c_str(), v.c_str());
+}
+
+std::vector<std::string>
+ArgParser::keys() const
+{
+    std::vector<std::string> out;
+    out.reserve(options_.size());
+    for (const auto &kv : options_)
+        out.push_back(kv.first);
+    return out;
+}
+
+} // namespace tlc

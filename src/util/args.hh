@@ -1,0 +1,48 @@
+/**
+ * @file
+ * Minimal command-line argument parser for the example binaries and
+ * bench drivers: --key=value / --key value / --flag.
+ */
+
+#ifndef TLC_UTIL_ARGS_HH
+#define TLC_UTIL_ARGS_HH
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace tlc {
+
+/**
+ * Parsed command line. Unknown options are collected and can be
+ * rejected by the caller; positional arguments are kept in order.
+ */
+class ArgParser
+{
+  public:
+    ArgParser(int argc, const char *const *argv);
+
+    bool has(const std::string &key) const;
+
+    std::string getString(const std::string &key,
+                          const std::string &def = "") const;
+    std::int64_t getInt(const std::string &key, std::int64_t def = 0) const;
+    double getDouble(const std::string &key, double def = 0.0) const;
+    bool getBool(const std::string &key, bool def = false) const;
+
+    const std::vector<std::string> &positional() const { return positional_; }
+    const std::string &programName() const { return program_; }
+
+    /** All option keys seen, for unknown-option checking. */
+    std::vector<std::string> keys() const;
+
+  private:
+    std::string program_;
+    std::map<std::string, std::string> options_;
+    std::vector<std::string> positional_;
+};
+
+} // namespace tlc
+
+#endif // TLC_UTIL_ARGS_HH

@@ -1,0 +1,73 @@
+/**
+ * @file
+ * Small bit-manipulation helpers used throughout the cache models.
+ */
+
+#ifndef TLC_UTIL_BITUTIL_HH
+#define TLC_UTIL_BITUTIL_HH
+
+#include <cstdint>
+
+namespace tlc {
+
+/** True iff @p x is a (nonzero) power of two. */
+constexpr bool
+isPowerOfTwo(std::uint64_t x)
+{
+    return x != 0 && (x & (x - 1)) == 0;
+}
+
+/** Floor of log2(@p x); log2i(0) is defined as 0. */
+constexpr unsigned
+log2i(std::uint64_t x)
+{
+    unsigned r = 0;
+    while (x > 1) {
+        x >>= 1;
+        ++r;
+    }
+    return r;
+}
+
+/** Ceiling of log2(@p x). */
+constexpr unsigned
+log2Ceil(std::uint64_t x)
+{
+    return (x <= 1) ? 0 : log2i(x - 1) + 1;
+}
+
+/** Smallest power of two >= @p x (x must be <= 2^63). */
+constexpr std::uint64_t
+nextPowerOfTwo(std::uint64_t x)
+{
+    if (x <= 1)
+        return 1;
+    return std::uint64_t{1} << log2Ceil(x);
+}
+
+/** Extract bits [lo, lo+count) of @p x. */
+constexpr std::uint64_t
+bits(std::uint64_t x, unsigned lo, unsigned count)
+{
+    if (count >= 64)
+        return x >> lo;
+    return (x >> lo) & ((std::uint64_t{1} << count) - 1);
+}
+
+/** Align @p x down to a multiple of power-of-two @p align. */
+constexpr std::uint64_t
+alignDown(std::uint64_t x, std::uint64_t align)
+{
+    return x & ~(align - 1);
+}
+
+/** Align @p x up to a multiple of power-of-two @p align. */
+constexpr std::uint64_t
+alignUp(std::uint64_t x, std::uint64_t align)
+{
+    return (x + align - 1) & ~(align - 1);
+}
+
+} // namespace tlc
+
+#endif // TLC_UTIL_BITUTIL_HH

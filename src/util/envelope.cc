@@ -1,0 +1,83 @@
+/**
+ * @file
+ * Envelope implementation.
+ */
+
+#include "envelope.hh"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "logging.hh"
+
+namespace tlc {
+
+Envelope
+Envelope::of(std::vector<EnvelopePoint> points)
+{
+    std::sort(points.begin(), points.end(),
+              [](const EnvelopePoint &a, const EnvelopePoint &b) {
+                  if (a.area != b.area)
+                      return a.area < b.area;
+                  return a.tpi < b.tpi;
+              });
+    Envelope env;
+    double best = std::numeric_limits<double>::infinity();
+    for (const auto &p : points) {
+        if (p.tpi < best) {
+            best = p.tpi;
+            env.points_.push_back(p);
+        }
+    }
+    return env;
+}
+
+double
+Envelope::bestTpiWithin(double area_budget) const
+{
+    const EnvelopePoint *p = bestPointWithin(area_budget);
+    return p ? p->tpi : std::numeric_limits<double>::infinity();
+}
+
+const EnvelopePoint *
+Envelope::bestPointWithin(double area_budget) const
+{
+    const EnvelopePoint *best = nullptr;
+    for (const auto &p : points_) {
+        if (p.area <= area_budget)
+            best = &p;
+        else
+            break;
+    }
+    return best;
+}
+
+double
+Envelope::meanGapAgainst(const Envelope &other, int grid_points) const
+{
+    tlc_assert(grid_points > 1, "need at least 2 grid points");
+    if (points_.empty() || other.points_.empty())
+        return 0.0;
+    double lo = std::max(points_.front().area, other.points_.front().area);
+    double hi = std::min(points_.back().area, other.points_.back().area);
+    if (hi <= lo)
+        return 0.0;
+    double log_lo = std::log(lo);
+    double log_hi = std::log(hi);
+    double sum = 0.0;
+    int n = 0;
+    for (int i = 0; i < grid_points; ++i) {
+        double a = std::exp(log_lo + (log_hi - log_lo) * i /
+                            (grid_points - 1));
+        double t1 = bestTpiWithin(a);
+        double t2 = other.bestTpiWithin(a);
+        if (std::isinf(t1) || std::isinf(t2))
+            continue;
+        sum += t1 - t2;
+        ++n;
+    }
+    return n ? sum / n : 0.0;
+}
+
+} // namespace tlc

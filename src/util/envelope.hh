@@ -1,0 +1,66 @@
+/**
+ * @file
+ * Best-performance-envelope (Pareto staircase) computation.
+ *
+ * Every figure in the paper plots TPI against chip area and draws the
+ * "best performance envelope": for each available area, the lowest
+ * TPI achievable by any configuration that fits. Because cache sizes
+ * are discrete the envelope is a staircase of non-dominated points.
+ */
+
+#ifndef TLC_UTIL_ENVELOPE_HH
+#define TLC_UTIL_ENVELOPE_HH
+
+#include <string>
+#include <vector>
+
+namespace tlc {
+
+/** One candidate design point: cost (area) vs value (TPI). */
+struct EnvelopePoint
+{
+    double area;       ///< cost axis (rbe)
+    double tpi;        ///< value axis (ns/instruction, lower is better)
+    std::string label; ///< configuration label, e.g. "32:256"
+};
+
+/**
+ * The non-dominated staircase of a set of design points.
+ */
+class Envelope
+{
+  public:
+    /** Build the envelope of @p points (order irrelevant). */
+    static Envelope of(std::vector<EnvelopePoint> points);
+
+    /** Points on the staircase, sorted by increasing area. */
+    const std::vector<EnvelopePoint> &points() const { return points_; }
+
+    /**
+     * The best TPI achievable within @p area_budget, i.e. the
+     * staircase evaluated at area_budget. Returns +inf when nothing
+     * fits.
+     */
+    double bestTpiWithin(double area_budget) const;
+
+    /** The staircase point chosen by bestTpiWithin. */
+    const EnvelopePoint *bestPointWithin(double area_budget) const;
+
+    /**
+     * Area-weighted mean height difference against another envelope
+     * over the overlapping area range, evaluated on a log-area grid.
+     * Positive when *this lies above (is worse than) @p other.
+     * This is the quantitative version of the paper's "distance
+     * between the solid and dotted lines".
+     */
+    double meanGapAgainst(const Envelope &other, int grid_points = 64) const;
+
+    bool empty() const { return points_.empty(); }
+
+  private:
+    std::vector<EnvelopePoint> points_;
+};
+
+} // namespace tlc
+
+#endif // TLC_UTIL_ENVELOPE_HH

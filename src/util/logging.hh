@@ -1,0 +1,69 @@
+/**
+ * @file
+ * Error-reporting and status-message helpers.
+ *
+ * Follows the gem5 convention: panic() is for internal invariant
+ * violations (a bug in this library), fatal() is for user errors
+ * (bad configuration or arguments), warn()/inform() are advisory.
+ */
+
+#ifndef TLC_UTIL_LOGGING_HH
+#define TLC_UTIL_LOGGING_HH
+
+#include <cstdarg>
+#include <string>
+
+namespace tlc {
+
+/** Verbosity levels for status messages. */
+enum class LogLevel {
+    Quiet,   ///< only fatal/panic output
+    Normal,  ///< warn + inform
+    Verbose  ///< everything, including debug chatter
+};
+
+/** Set the global verbosity (default: Normal). */
+void setLogLevel(LogLevel level);
+
+/** Current global verbosity. */
+LogLevel logLevel();
+
+/**
+ * Report an internal invariant violation and abort.
+ * Use when the library itself is broken, never for user input.
+ */
+[[noreturn]] void panic(const char *fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+/**
+ * Report an unrecoverable user error (bad configuration, bad
+ * arguments) and exit with status 1.
+ */
+[[noreturn]] void fatal(const char *fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+/** Advisory warning; simulation continues. */
+void warn(const char *fmt, ...) __attribute__((format(printf, 1, 2)));
+
+/** Informational status message. */
+void inform(const char *fmt, ...) __attribute__((format(printf, 1, 2)));
+
+/** Verbose-only debug message. */
+void debugLog(const char *fmt, ...) __attribute__((format(printf, 1, 2)));
+
+/**
+ * Assert an invariant with a formatted message.
+ * Active in all build types (unlike <cassert>).
+ */
+#define tlc_assert(cond, fmt, ...)                                       \
+    do {                                                                 \
+        if (!(cond)) {                                                   \
+            ::tlc::panic("assertion '" #cond "' failed at " __FILE__     \
+                         ":%d: " fmt, __LINE__ __VA_OPT__(, )            \
+                         __VA_ARGS__);                                   \
+        }                                                                \
+    } while (0)
+
+} // namespace tlc
+
+#endif // TLC_UTIL_LOGGING_HH

@@ -1,0 +1,153 @@
+/**
+ * @file
+ * ASCII plot renderer.
+ */
+
+#include "plot.hh"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <iomanip>
+#include <limits>
+#include <sstream>
+
+#include "logging.hh"
+
+namespace tlc {
+
+ScatterPlot::ScatterPlot(unsigned width, unsigned height, bool log_x,
+                         bool log_y)
+    : width_(width), height_(height), logX_(log_x), logY_(log_y)
+{
+    tlc_assert(width >= 16 && height >= 6, "plot area too small");
+}
+
+void
+ScatterPlot::addSeries(const std::string &name, char marker)
+{
+    tlc_assert(find(name) == nullptr, "duplicate series '%s'",
+               name.c_str());
+    series_.push_back(Series{name, marker, {}});
+}
+
+const ScatterPlot::Series *
+ScatterPlot::find(const std::string &name) const
+{
+    for (const auto &s : series_) {
+        if (s.name == name)
+            return &s;
+    }
+    return nullptr;
+}
+
+ScatterPlot::Series *
+ScatterPlot::find(const std::string &name)
+{
+    return const_cast<Series *>(
+        static_cast<const ScatterPlot *>(this)->find(name));
+}
+
+void
+ScatterPlot::addPoint(const std::string &series, double x, double y)
+{
+    Series *s = find(series);
+    tlc_assert(s != nullptr, "unknown series '%s'", series.c_str());
+    tlc_assert(!logX_ || x > 0, "log-x plot needs positive x");
+    tlc_assert(!logY_ || y > 0, "log-y plot needs positive y");
+    s->points.emplace_back(x, y);
+}
+
+std::size_t
+ScatterPlot::numPoints() const
+{
+    std::size_t n = 0;
+    for (const auto &s : series_)
+        n += s.points.size();
+    return n;
+}
+
+void
+ScatterPlot::render(std::ostream &os) const
+{
+    if (numPoints() == 0) {
+        os << "(empty plot)\n";
+        return;
+    }
+
+    double xmin = std::numeric_limits<double>::infinity(), xmax = -xmin;
+    double ymin = xmin, ymax = -xmin;
+    for (const auto &s : series_) {
+        for (auto [x, y] : s.points) {
+            xmin = std::min(xmin, x);
+            xmax = std::max(xmax, x);
+            ymin = std::min(ymin, y);
+            ymax = std::max(ymax, y);
+        }
+    }
+    // Avoid a degenerate range.
+    if (xmax <= xmin)
+        xmax = xmin * (logX_ ? 2.0 : 1.0) + 1.0;
+    if (ymax <= ymin)
+        ymax = ymin * (logY_ ? 2.0 : 1.0) + 1.0;
+
+    auto tx = [&](double v) { return logX_ ? std::log(v) : v; };
+    auto ty = [&](double v) { return logY_ ? std::log(v) : v; };
+    double x0 = tx(xmin), x1 = tx(xmax);
+    double y0 = ty(ymin), y1 = ty(ymax);
+
+    std::vector<std::string> grid(height_, std::string(width_, ' '));
+    for (const auto &s : series_) {
+        for (auto [x, y] : s.points) {
+            unsigned cx = static_cast<unsigned>(
+                std::lround((tx(x) - x0) / (x1 - x0) * (width_ - 1)));
+            unsigned cy = static_cast<unsigned>(
+                std::lround((ty(y) - y0) / (y1 - y0) * (height_ - 1)));
+            grid[height_ - 1 - cy][cx] = s.marker;
+        }
+    }
+
+    auto fmt = [](double v) {
+        char buf[32];
+        if (v >= 1e6)
+            std::snprintf(buf, sizeof(buf), "%.2fM", v / 1e6);
+        else if (v >= 1e4)
+            std::snprintf(buf, sizeof(buf), "%.0fk", v / 1e3);
+        else if (v >= 1e3)
+            std::snprintf(buf, sizeof(buf), "%.1fk", v / 1e3);
+        else
+            std::snprintf(buf, sizeof(buf), "%.3g", v);
+        return std::string(buf);
+    };
+
+    if (!ylabel_.empty())
+        os << ylabel_ << "\n";
+    std::string ytop = fmt(ymax), ybot = fmt(ymin);
+    std::size_t margin = std::max(ytop.size(), ybot.size()) + 1;
+    for (unsigned r = 0; r < height_; ++r) {
+        std::string label;
+        if (r == 0)
+            label = ytop;
+        else if (r == height_ - 1)
+            label = ybot;
+        os << std::setw(static_cast<int>(margin)) << label << "|"
+           << grid[r] << "\n";
+    }
+    os << std::string(margin, ' ') << "+" << std::string(width_, '-')
+       << "\n";
+    std::string xlo = fmt(xmin), xhi = fmt(xmax);
+    os << std::string(margin + 1, ' ') << xlo
+       << std::string(width_ > xlo.size() + xhi.size()
+                          ? width_ - xlo.size() - xhi.size()
+                          : 1,
+                      ' ')
+       << xhi << "\n";
+    if (!xlabel_.empty())
+        os << std::string(margin + 1, ' ') << xlabel_ << "\n";
+    os << std::string(margin + 1, ' ') << "legend:";
+    for (const auto &s : series_)
+        os << "  " << s.marker << "=" << s.name;
+    os << "\n";
+}
+
+} // namespace tlc

@@ -1,0 +1,78 @@
+/**
+ * @file
+ * ASCII scatter/line plots for terminal output.
+ *
+ * The paper's figures are log-log plots of TPI against area; the
+ * bench drivers reproduce the numbers as tables and use this plotter
+ * to also render the figure's shape directly in the terminal, so the
+ * staircases and crossovers can be eyeballed without a plotting
+ * pipeline.
+ */
+
+#ifndef TLC_UTIL_PLOT_HH
+#define TLC_UTIL_PLOT_HH
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace tlc {
+
+/**
+ * A multi-series 2-D scatter plot rendered with ASCII characters,
+ * with optional log scaling per axis.
+ */
+class ScatterPlot
+{
+  public:
+    /**
+     * @param width  plot-area columns (without axis decoration)
+     * @param height plot-area rows
+     * @param log_x  logarithmic x axis
+     * @param log_y  logarithmic y axis
+     */
+    ScatterPlot(unsigned width = 72, unsigned height = 20,
+                bool log_x = true, bool log_y = true);
+
+    /** Register a series with a one-character marker. */
+    void addSeries(const std::string &name, char marker);
+
+    /** Add one point to a registered series. */
+    void addPoint(const std::string &series, double x, double y);
+
+    /** Axis labels shown under/next to the plot. */
+    void setXLabel(std::string label) { xlabel_ = std::move(label); }
+    void setYLabel(std::string label) { ylabel_ = std::move(label); }
+
+    /** Number of points across all series. */
+    std::size_t numPoints() const;
+
+    /**
+     * Render the plot. Later-registered series overdraw earlier
+     * ones where points collide. No-op (with a note) when empty.
+     */
+    void render(std::ostream &os) const;
+
+  private:
+    struct Series
+    {
+        std::string name;
+        char marker;
+        std::vector<std::pair<double, double>> points;
+    };
+
+    const Series *find(const std::string &name) const;
+    Series *find(const std::string &name);
+
+    unsigned width_;
+    unsigned height_;
+    bool logX_;
+    bool logY_;
+    std::string xlabel_;
+    std::string ylabel_;
+    std::vector<Series> series_;
+};
+
+} // namespace tlc
+
+#endif // TLC_UTIL_PLOT_HH

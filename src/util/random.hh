@@ -1,0 +1,59 @@
+/**
+ * @file
+ * Deterministic pseudo-random number generation.
+ *
+ * All stochastic behaviour in the library (trace generators,
+ * pseudo-random cache replacement) draws from Pcg32 streams with
+ * fixed seeds so that every experiment is bit-reproducible.
+ */
+
+#ifndef TLC_UTIL_RANDOM_HH
+#define TLC_UTIL_RANDOM_HH
+
+#include <cstdint>
+
+namespace tlc {
+
+/**
+ * PCG32 generator (O'Neill, pcg-random.org; XSH-RR variant).
+ *
+ * Small, fast, statistically strong, and supports independent
+ * streams via the stream-selector constructor argument.
+ */
+class Pcg32
+{
+  public:
+    /** Construct with a seed and an optional independent stream id. */
+    explicit Pcg32(std::uint64_t seed = 0x853c49e6748fea9bULL,
+                   std::uint64_t stream = 0xda3e39cb94b95bdbULL);
+
+    /** Next uniform 32-bit value. */
+    std::uint32_t next();
+
+    /** Uniform integer in [0, bound) with no modulo bias. */
+    std::uint32_t nextBounded(std::uint32_t bound);
+
+    /** Uniform double in [0, 1). */
+    double nextDouble();
+
+    /** Geometric(p) sample: number of failures before first success. */
+    std::uint32_t nextGeometric(double p);
+
+    /** Exponential sample with the given mean. */
+    double nextExponential(double mean);
+
+    /**
+     * Zipf-like sample over [0, n): rank r drawn with probability
+     * proportional to 1 / (r + 1)^s. Uses rejection-inversion
+     * (Hormann & Derflinger) so setup is O(1).
+     */
+    std::uint32_t nextZipf(std::uint32_t n, double s);
+
+  private:
+    std::uint64_t state_;
+    std::uint64_t inc_;
+};
+
+} // namespace tlc
+
+#endif // TLC_UTIL_RANDOM_HH

@@ -1,0 +1,132 @@
+/**
+ * @file
+ * Statistics package implementation.
+ */
+
+#include "stats.hh"
+
+#include <cmath>
+#include <sstream>
+
+#include "bitutil.hh"
+#include "logging.hh"
+
+namespace tlc {
+
+void
+RunningStat::sample(double x)
+{
+    ++n_;
+    total_ += x;
+    double delta = x - mean_;
+    mean_ += delta / static_cast<double>(n_);
+    m2_ += delta * (x - mean_);
+    if (x < min_)
+        min_ = x;
+    if (x > max_)
+        max_ = x;
+}
+
+double
+RunningStat::variance() const
+{
+    if (n_ < 2)
+        return 0.0;
+    return m2_ / static_cast<double>(n_ - 1);
+}
+
+double
+RunningStat::stddev() const
+{
+    return std::sqrt(variance());
+}
+
+void
+RunningStat::reset()
+{
+    *this = RunningStat();
+}
+
+Log2Histogram::Log2Histogram(unsigned num_buckets)
+    : buckets_(num_buckets, 0), raw_(num_buckets, 0)
+{
+    tlc_assert(num_buckets > 0 && num_buckets <= 64,
+               "bad bucket count %u", num_buckets);
+}
+
+void
+Log2Histogram::sample(std::uint64_t x)
+{
+    unsigned b = (x == 0) ? 0 : log2i(x);
+    if (b >= buckets_.size())
+        b = buckets_.size() - 1;
+    ++buckets_[b];
+    raw_[b] += x;
+    ++count_;
+}
+
+std::uint64_t
+Log2Histogram::bucket(unsigned i) const
+{
+    tlc_assert(i < buckets_.size(), "bucket %u out of range", i);
+    return buckets_[i];
+}
+
+double
+Log2Histogram::fractionBelow(std::uint64_t limit) const
+{
+    if (count_ == 0)
+        return 0.0;
+    std::uint64_t below = 0;
+    for (unsigned i = 0; i < buckets_.size(); ++i) {
+        std::uint64_t lo = (i == 0) ? 0 : (std::uint64_t{1} << i);
+        std::uint64_t hi = std::uint64_t{1} << (i + 1);
+        if (hi <= limit) {
+            below += buckets_[i];
+        } else if (lo < limit) {
+            // Partial bucket: assume uniform within the bucket.
+            double frac = static_cast<double>(limit - lo) /
+                          static_cast<double>(hi - lo);
+            below += static_cast<std::uint64_t>(buckets_[i] * frac);
+        }
+    }
+    return static_cast<double>(below) / static_cast<double>(count_);
+}
+
+std::uint64_t
+Log2Histogram::quantile(double q) const
+{
+    if (count_ == 0)
+        return 0;
+    std::uint64_t target =
+        static_cast<std::uint64_t>(q * static_cast<double>(count_));
+    std::uint64_t seen = 0;
+    for (unsigned i = 0; i < buckets_.size(); ++i) {
+        seen += buckets_[i];
+        if (seen >= target)
+            return std::uint64_t{1} << (i + 1);
+    }
+    return std::uint64_t{1} << buckets_.size();
+}
+
+std::string
+Log2Histogram::toString() const
+{
+    std::ostringstream os;
+    for (unsigned i = 0; i < buckets_.size(); ++i) {
+        if (!buckets_[i])
+            continue;
+        os << "[2^" << i << "): " << buckets_[i] << "  ";
+    }
+    return os.str();
+}
+
+void
+Log2Histogram::reset()
+{
+    std::fill(buckets_.begin(), buckets_.end(), 0);
+    std::fill(raw_.begin(), raw_.end(), 0);
+    count_ = 0;
+}
+
+} // namespace tlc

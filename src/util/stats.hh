@@ -1,0 +1,96 @@
+/**
+ * @file
+ * Lightweight statistics package: scalar counters, means, and
+ * fixed-bucket distributions, in the spirit of gem5's Stats.
+ */
+
+#ifndef TLC_UTIL_STATS_HH
+#define TLC_UTIL_STATS_HH
+
+#include <cstdint>
+#include <limits>
+#include <string>
+#include <vector>
+
+namespace tlc {
+
+/** Scalar event counter. */
+class Counter
+{
+  public:
+    Counter() = default;
+
+    Counter &operator++() { ++value_; return *this; }
+    Counter &operator+=(std::uint64_t n) { value_ += n; return *this; }
+
+    std::uint64_t value() const { return value_; }
+    void reset() { value_ = 0; }
+
+  private:
+    std::uint64_t value_ = 0;
+};
+
+/** Running mean / min / max / variance of a stream of samples. */
+class RunningStat
+{
+  public:
+    void sample(double x);
+
+    std::uint64_t count() const { return n_; }
+    double mean() const { return n_ ? mean_ : 0.0; }
+    double variance() const;
+    double stddev() const;
+    double min() const { return n_ ? min_ : 0.0; }
+    double max() const { return n_ ? max_ : 0.0; }
+    double total() const { return total_; }
+    void reset();
+
+  private:
+    std::uint64_t n_ = 0;
+    double mean_ = 0.0;
+    double m2_ = 0.0;
+    double total_ = 0.0;
+    double min_ = std::numeric_limits<double>::infinity();
+    double max_ = -std::numeric_limits<double>::infinity();
+};
+
+/**
+ * Histogram over power-of-two buckets: bucket i counts samples in
+ * [2^i, 2^(i+1)). Useful for stack-distance and run-length checks.
+ */
+class Log2Histogram
+{
+  public:
+    explicit Log2Histogram(unsigned num_buckets = 32);
+
+    void sample(std::uint64_t x);
+
+    std::uint64_t bucket(unsigned i) const;
+    unsigned numBuckets() const { return buckets_.size(); }
+    std::uint64_t count() const { return count_; }
+
+    /** Fraction of samples strictly below @p limit. */
+    double fractionBelow(std::uint64_t limit) const;
+
+    /** Approximate quantile (by bucket upper edge). */
+    std::uint64_t quantile(double q) const;
+
+    std::string toString() const;
+    void reset();
+
+  private:
+    std::vector<std::uint64_t> buckets_;
+    std::vector<std::uint64_t> raw_; ///< per-bucket sum for quantiles
+    std::uint64_t count_ = 0;
+};
+
+/** Ratio helper that never divides by zero. */
+inline double
+safeRatio(double num, double den)
+{
+    return den == 0.0 ? 0.0 : num / den;
+}
+
+} // namespace tlc
+
+#endif // TLC_UTIL_STATS_HH

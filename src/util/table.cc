@@ -1,0 +1,160 @@
+/**
+ * @file
+ * Table printer implementation.
+ */
+
+#include "table.hh"
+
+#include <algorithm>
+#include <cstdint>
+#include <iomanip>
+#include <sstream>
+
+#include "logging.hh"
+
+namespace tlc {
+
+Table::Table(std::vector<std::string> header)
+    : header_(std::move(header))
+{
+    tlc_assert(!header_.empty(), "table needs at least one column");
+}
+
+void
+Table::beginRow()
+{
+    if (!rows_.empty() && rows_.back().size() != header_.size()) {
+        panic("previous table row has %zu cells, expected %zu",
+              rows_.back().size(), header_.size());
+    }
+    rows_.emplace_back();
+}
+
+void
+Table::cell(const std::string &value)
+{
+    tlc_assert(!rows_.empty(), "cell() before beginRow()");
+    tlc_assert(rows_.back().size() < header_.size(),
+               "too many cells in row");
+    rows_.back().push_back(value);
+}
+
+void
+Table::cell(const char *value)
+{
+    cell(std::string(value));
+}
+
+void
+Table::cell(double value, int precision)
+{
+    std::ostringstream os;
+    os << std::fixed << std::setprecision(precision) << value;
+    cell(os.str());
+}
+
+void
+Table::cell(std::uint64_t value)
+{
+    cell(std::to_string(value));
+}
+
+void
+Table::cell(int value)
+{
+    cell(std::to_string(value));
+}
+
+void
+Table::cell(unsigned value)
+{
+    cell(std::to_string(value));
+}
+
+void
+Table::addRow(std::initializer_list<std::string> cells)
+{
+    tlc_assert(cells.size() == header_.size(),
+               "row has %zu cells, expected %zu",
+               cells.size(), header_.size());
+    beginRow();
+    for (const auto &c : cells)
+        cell(c);
+}
+
+const std::string &
+Table::at(std::size_t row, std::size_t col) const
+{
+    tlc_assert(row < rows_.size() && col < header_.size(),
+               "table index (%zu, %zu) out of range", row, col);
+    return rows_[row][col];
+}
+
+void
+Table::printAscii(std::ostream &os) const
+{
+    std::vector<std::size_t> width(header_.size());
+    for (std::size_t c = 0; c < header_.size(); ++c)
+        width[c] = header_[c].size();
+    for (const auto &row : rows_)
+        for (std::size_t c = 0; c < row.size(); ++c)
+            width[c] = std::max(width[c], row[c].size());
+
+    auto print_row = [&](const std::vector<std::string> &row) {
+        for (std::size_t c = 0; c < row.size(); ++c) {
+            os << std::left << std::setw(static_cast<int>(width[c]))
+               << row[c];
+            if (c + 1 < row.size())
+                os << "  ";
+        }
+        os << '\n';
+    };
+
+    print_row(header_);
+    std::size_t total = 0;
+    for (auto w : width)
+        total += w + 2;
+    os << std::string(total ? total - 2 : 0, '-') << '\n';
+    for (const auto &row : rows_)
+        print_row(row);
+}
+
+void
+Table::printCsv(std::ostream &os) const
+{
+    auto print_row = [&](const std::vector<std::string> &row) {
+        for (std::size_t c = 0; c < row.size(); ++c) {
+            os << row[c];
+            if (c + 1 < row.size())
+                os << ',';
+        }
+        os << '\n';
+    };
+    print_row(header_);
+    for (const auto &row : rows_)
+        print_row(row);
+}
+
+std::string
+formatSize(std::uint64_t bytes)
+{
+    if (bytes == 0)
+        return "0";
+    if (bytes % (1024 * 1024) == 0)
+        return std::to_string(bytes / (1024 * 1024)) + "M";
+    if (bytes % 1024 == 0)
+        return std::to_string(bytes / 1024) + "K";
+    return std::to_string(bytes);
+}
+
+std::string
+formatConfigLabel(std::uint64_t l1_bytes, std::uint64_t l2_bytes)
+{
+    std::string l1 = (l1_bytes % 1024 == 0) ?
+        std::to_string(l1_bytes / 1024) : std::to_string(l1_bytes);
+    std::string l2 = (l2_bytes % 1024 == 0) ?
+        std::to_string(l2_bytes / 1024) : std::to_string(l2_bytes);
+    return l1 + ":" + l2;
+}
+
+} // namespace tlc

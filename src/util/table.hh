@@ -1,0 +1,66 @@
+/**
+ * @file
+ * Simple column-aligned table printer with CSV export, used by the
+ * benchmark harness to print figure/table data series.
+ */
+
+#ifndef TLC_UTIL_TABLE_HH
+#define TLC_UTIL_TABLE_HH
+
+#include <initializer_list>
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace tlc {
+
+/**
+ * A table of string cells with a header row. Numeric convenience
+ * overloads format with sensible defaults. Print as aligned ASCII
+ * (for terminals) or CSV (for plotting).
+ */
+class Table
+{
+  public:
+    explicit Table(std::vector<std::string> header);
+
+    /** Start a new row. Must be followed by cell() calls. */
+    void beginRow();
+
+    /** Append one cell to the current row. */
+    void cell(const std::string &value);
+    void cell(const char *value);
+    void cell(double value, int precision = 3);
+    void cell(std::uint64_t value);
+    void cell(int value);
+    void cell(unsigned value);
+
+    /** Append a whole row at once. */
+    void addRow(std::initializer_list<std::string> cells);
+
+    std::size_t numRows() const { return rows_.size(); }
+    std::size_t numCols() const { return header_.size(); }
+
+    /** The cell at (row, col); panics when out of range. */
+    const std::string &at(std::size_t row, std::size_t col) const;
+
+    /** Render as aligned, human-readable ASCII. */
+    void printAscii(std::ostream &os) const;
+
+    /** Render as CSV. */
+    void printCsv(std::ostream &os) const;
+
+  private:
+    std::vector<std::string> header_;
+    std::vector<std::vector<std::string>> rows_;
+};
+
+/** Format a byte count as "1K", "256K", etc. */
+std::string formatSize(std::uint64_t bytes);
+
+/** Format "L1:L2" configuration labels like the paper ("32:256"). */
+std::string formatConfigLabel(std::uint64_t l1_bytes, std::uint64_t l2_bytes);
+
+} // namespace tlc
+
+#endif // TLC_UTIL_TABLE_HH

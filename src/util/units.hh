@@ -1,0 +1,60 @@
+/**
+ * @file
+ * Unit helpers: byte-size literals and time conversions shared by
+ * the timing and performance models.
+ */
+
+#ifndef TLC_UTIL_UNITS_HH
+#define TLC_UTIL_UNITS_HH
+
+#include <cstdint>
+
+namespace tlc {
+
+constexpr std::uint64_t KiB = 1024;
+constexpr std::uint64_t MiB = 1024 * KiB;
+
+/** User-defined literal: 32_KiB. */
+constexpr std::uint64_t operator""_KiB(unsigned long long v)
+{
+    return v * KiB;
+}
+
+/** User-defined literal: 1_MiB. */
+constexpr std::uint64_t operator""_MiB(unsigned long long v)
+{
+    return v * MiB;
+}
+
+/**
+ * Round @p time up to the next multiple of @p quantum
+ * (used for L2 cycle and off-chip times, which the paper rounds to
+ * integer multiples of the processor/L1 cycle time).
+ */
+constexpr double
+roundUpToMultiple(double time, double quantum)
+{
+    if (quantum <= 0.0)
+        return time;
+    // Tolerate tiny floating-point excess so that an exact multiple
+    // does not round to the next step.
+    double ratio = time / quantum;
+    auto n = static_cast<std::uint64_t>(ratio);
+    if (ratio - static_cast<double>(n) > 1e-9)
+        ++n;
+    if (n == 0)
+        n = 1;
+    return static_cast<double>(n) * quantum;
+}
+
+/** Integer number of quanta after rounding up. */
+constexpr unsigned
+cyclesCeil(double time, double quantum)
+{
+    return static_cast<unsigned>(roundUpToMultiple(time, quantum) /
+                                 quantum + 0.5);
+}
+
+} // namespace tlc
+
+#endif // TLC_UTIL_UNITS_HH

@@ -1,0 +1,73 @@
+/**
+ * @file
+ * TLB implementation.
+ */
+
+#include "tlb.hh"
+
+#include "util/bitutil.hh"
+#include "util/logging.hh"
+
+namespace tlc {
+
+namespace {
+
+CacheParams
+tagParams(const TlbParams &p)
+{
+    tlc_assert(isPowerOfTwo(p.pageBytes) && p.pageBytes >= 512,
+               "bad page size %u", p.pageBytes);
+    tlc_assert(p.entries >= 1, "TLB needs entries");
+    CacheParams c;
+    c.sizeBytes = static_cast<std::uint64_t>(p.entries) * p.pageBytes;
+    c.lineBytes = p.pageBytes; // one tag per page
+    c.assoc = p.assoc;
+    c.repl = p.repl;
+    return c;
+}
+
+} // namespace
+
+Tlb::Tlb(const TlbParams &params, std::uint64_t seed)
+    : params_(params), tags_(tagParams(params), seed)
+{
+}
+
+bool
+Tlb::access(std::uint64_t addr)
+{
+    ++accesses_;
+    if (tags_.lookupAndTouch(addr))
+        return true;
+    ++misses_;
+    tags_.fill(addr);
+    return false;
+}
+
+void
+Tlb::resetStats()
+{
+    accesses_ = 0;
+    misses_ = 0;
+}
+
+TlbRunStats
+runTlb(const TlbParams &params, const TraceBuffer &trace,
+       std::uint64_t warmup_refs)
+{
+    Tlb tlb(params);
+    const auto &recs = trace.records();
+    std::uint64_t warm = std::min<std::uint64_t>(warmup_refs,
+                                                 recs.size());
+    for (std::uint64_t i = 0; i < warm; ++i)
+        tlb.access(recs[i].addr);
+    tlb.resetStats();
+    for (std::uint64_t i = warm; i < recs.size(); ++i)
+        tlb.access(recs[i].addr);
+    TlbRunStats s;
+    s.refs = tlb.accesses();
+    s.misses = tlb.misses();
+    return s;
+}
+
+} // namespace tlc

@@ -1,0 +1,98 @@
+/**
+ * @file
+ * TLB model for the address-translation experiment.
+ *
+ * The paper's fourth advantage of two-level on-chip caching (§1):
+ * primary caches no larger than the page size can be indexed in
+ * parallel with address translation, while a large single-level
+ * cache must wait for (or speculate past) the TLB. By the time a
+ * primary miss reaches the physically-addressed L2, translation has
+ * long finished. This module supplies the TLB reach/miss behaviour
+ * and the translation-serialization rule that the experiment driver
+ * (bench_translation) prices.
+ */
+
+#ifndef TLC_VM_TLB_HH
+#define TLC_VM_TLB_HH
+
+#include <cstdint>
+
+#include "cache/cache.hh"
+#include "trace/buffer.hh"
+
+namespace tlc {
+
+/** TLB geometry. */
+struct TlbParams
+{
+    std::uint32_t entries = 64;
+    std::uint32_t assoc = 0;        ///< 0 = fully associative
+    std::uint32_t pageBytes = 4096; ///< minimum page size (§1: 4-8 KB)
+    ReplPolicy repl = ReplPolicy::LRU;
+
+    /** Bytes of address space the TLB can map at once. */
+    std::uint64_t reachBytes() const
+    {
+        return static_cast<std::uint64_t>(entries) * pageBytes;
+    }
+};
+
+/**
+ * A translation lookaside buffer, modelled as a cache of page-sized
+ * "lines" (one tag per page).
+ */
+class Tlb
+{
+  public:
+    explicit Tlb(const TlbParams &params, std::uint64_t seed = 0x71b);
+
+    /** Translate one reference. @return true on a TLB hit. */
+    bool access(std::uint64_t addr);
+
+    std::uint64_t accesses() const { return accesses_; }
+    std::uint64_t misses() const { return misses_; }
+    double missRate() const
+    {
+        return accesses_ ?
+            static_cast<double>(misses_) / accesses_ : 0.0;
+    }
+
+    const TlbParams &params() const { return params_; }
+    void resetStats();
+
+    /**
+     * §1's rule: can a direct-mapped, virtually-indexed L1 of
+     * @p l1_bytes be accessed in parallel with translation? Only
+     * when its index bits fit inside the page offset.
+     */
+    static bool parallelLookupPossible(std::uint64_t l1_bytes,
+                                       std::uint32_t page_bytes)
+    {
+        return l1_bytes <= page_bytes;
+    }
+
+  private:
+    TlbParams params_;
+    Cache tags_;
+    std::uint64_t accesses_ = 0;
+    std::uint64_t misses_ = 0;
+};
+
+/** TLB miss statistics of a whole trace (I and D share one TLB). */
+struct TlbRunStats
+{
+    std::uint64_t refs = 0;
+    std::uint64_t misses = 0;
+    double missRate() const
+    {
+        return refs ? static_cast<double>(misses) / refs : 0.0;
+    }
+};
+
+/** Run a trace through a TLB (first warmup_refs excluded). */
+TlbRunStats runTlb(const TlbParams &params, const TraceBuffer &trace,
+                   std::uint64_t warmup_refs = 0);
+
+} // namespace tlc
+
+#endif // TLC_VM_TLB_HH

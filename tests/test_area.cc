@@ -1,0 +1,150 @@
+/**
+ * @file
+ * Tests for the rbe area model: Mulder's constants, monotonicity,
+ * the dual-port factor, and the paper's area anchors (§2.4, §3, §5).
+ */
+
+#include <gtest/gtest.h>
+
+#include "area/area_model.hh"
+#include "timing/access_time.hh"
+#include "util/units.hh"
+
+using namespace tlc;
+
+namespace {
+
+SramGeometry
+geom(std::uint64_t size, std::uint32_t assoc)
+{
+    SramGeometry g;
+    g.sizeBytes = size;
+    g.blockBytes = 16;
+    g.assoc = assoc;
+    return g;
+}
+
+/** Area of the timing-optimal organization (what the explorer uses). */
+double
+optimalArea(std::uint64_t size, std::uint32_t assoc,
+            CellType cell = CellType::SinglePorted6T)
+{
+    static AccessTimeModel timing;
+    static AreaModel area;
+    SramGeometry g = geom(size, assoc);
+    TimingResult t = timing.optimize(g);
+    return area.area(g, t.dataOrg, t.tagOrg, cell);
+}
+
+} // namespace
+
+TEST(AreaModel, CoreCellsMatchMulder)
+{
+    // The data core of a C-byte cache is exactly 8C bits at 0.6 rbe.
+    AreaModel m;
+    SramGeometry g = geom(8_KiB, 1);
+    AreaBreakdown b = m.breakdown(g, ArrayOrganization{1, 1, 1},
+                                  ArrayOrganization{1, 1, 1});
+    EXPECT_DOUBLE_EQ(b.dataCells, 8.0 * 8_KiB * 0.6);
+    EXPECT_GT(b.dataPeripheral, 0);
+    EXPECT_GT(b.tagCells, 0);
+}
+
+TEST(AreaModel, ComparatorIsSixCellsPerBitPerWay)
+{
+    // §5: "a comparator only occupies 6x0.6 rbe's" (per bit).
+    AreaModel m;
+    SramGeometry g = geom(8_KiB, 4); // tagBits = 32 - 7 - 4 = 21
+    AreaBreakdown b = m.breakdown(g, ArrayOrganization{1, 1, 1},
+                                  ArrayOrganization{1, 1, 1});
+    EXPECT_DOUBLE_EQ(b.comparators, 4 * 21 * 6 * 0.6);
+}
+
+TEST(AreaModel, ComparatorAreaInsignificant)
+{
+    // §5: set-associativity's comparators are negligible next to the
+    // data and tag arrays.
+    AreaModel m;
+    SramGeometry g = geom(64_KiB, 4);
+    AreaBreakdown b = m.breakdown(g, ArrayOrganization{1, 4, 1},
+                                  ArrayOrganization{1, 2, 1});
+    EXPECT_LT(b.comparators / b.total(), 0.01);
+}
+
+TEST(AreaModel, MonotoneInSize)
+{
+    double prev = 0;
+    for (std::uint64_t s = 1_KiB; s <= 256_KiB; s *= 2) {
+        double a = optimalArea(s, 1);
+        EXPECT_GT(a, prev) << s;
+        prev = a;
+    }
+}
+
+TEST(AreaModel, RoughlyLinearInSizeForLargeCaches)
+{
+    double a64 = optimalArea(64_KiB, 1);
+    double a128 = optimalArea(128_KiB, 1);
+    double ratio = a128 / a64;
+    EXPECT_GT(ratio, 1.6);
+    EXPECT_LT(ratio, 2.4);
+}
+
+TEST(AreaModel, SetAssociativeCostsLittleExtra)
+{
+    // §5: the extra area of a 4-way L2 "does not significantly
+    // affect the performance for a given area".
+    double dm = optimalArea(128_KiB, 1);
+    double sa = optimalArea(128_KiB, 4);
+    EXPECT_LT(std::abs(sa - dm) / dm, 0.15);
+}
+
+TEST(AreaModel, DualPortedDoublesArea)
+{
+    // §6: dual-ported cells take twice the area.
+    double sp = optimalArea(16_KiB, 1, CellType::SinglePorted6T);
+    double dp = optimalArea(16_KiB, 1, CellType::DualPorted);
+    EXPECT_NEAR(dp / sp, 2.0, 1e-9);
+}
+
+TEST(AreaModel, PeripheralShareShrinksWithSize)
+{
+    // §2.4: "For small memories, the area required by RAM peripheral
+    // logic can significantly increase the average area per bit."
+    AreaModel m;
+    AccessTimeModel timing;
+    auto peripheral_share = [&](std::uint64_t size) {
+        SramGeometry g = geom(size, 1);
+        TimingResult t = timing.optimize(g);
+        AreaBreakdown b = m.breakdown(g, t.dataOrg, t.tagOrg);
+        return (b.dataPeripheral + b.tagPeripheral) / b.total();
+    };
+    EXPECT_GT(peripheral_share(1_KiB), peripheral_share(256_KiB));
+}
+
+// --- the paper's anchors --------------------------------------------
+
+TEST(AreaAnchors, PairOf32KCachesNearHalfMillionRbe)
+{
+    // §3: "...about 500,000 rbe's... corresponds to an optimum
+    // single-level cache size of about 32KB" (I + D pair).
+    double pair = 2 * optimalArea(32_KiB, 1);
+    EXPECT_GT(pair, 300000);
+    EXPECT_LT(pair, 700000);
+}
+
+TEST(AreaAnchors, PairOf1KCachesMatchesFigureLeftEdge)
+{
+    // Figures 3-8 start around 2x10^4 rbe at the 1K:0 point.
+    double pair = 2 * optimalArea(1_KiB, 1);
+    EXPECT_GT(pair, 10000);
+    EXPECT_LT(pair, 50000);
+}
+
+TEST(AreaAnchors, PairOf256KCachesInFigureRange)
+{
+    // The figures' right edge: a few million rbe.
+    double pair = 2 * optimalArea(256_KiB, 1);
+    EXPECT_GT(pair, 1500000);
+    EXPECT_LT(pair, 8000000);
+}

@@ -1,0 +1,78 @@
+/**
+ * @file
+ * Unit tests for util/bitutil.hh.
+ */
+
+#include <gtest/gtest.h>
+
+#include "util/bitutil.hh"
+
+using namespace tlc;
+
+TEST(BitUtil, IsPowerOfTwo)
+{
+    EXPECT_FALSE(isPowerOfTwo(0));
+    EXPECT_TRUE(isPowerOfTwo(1));
+    EXPECT_TRUE(isPowerOfTwo(2));
+    EXPECT_FALSE(isPowerOfTwo(3));
+    EXPECT_TRUE(isPowerOfTwo(1024));
+    EXPECT_FALSE(isPowerOfTwo(1025));
+    EXPECT_TRUE(isPowerOfTwo(std::uint64_t{1} << 63));
+}
+
+TEST(BitUtil, Log2Floor)
+{
+    EXPECT_EQ(log2i(1), 0u);
+    EXPECT_EQ(log2i(2), 1u);
+    EXPECT_EQ(log2i(3), 1u);
+    EXPECT_EQ(log2i(4), 2u);
+    EXPECT_EQ(log2i(1023), 9u);
+    EXPECT_EQ(log2i(1024), 10u);
+}
+
+TEST(BitUtil, Log2Ceil)
+{
+    EXPECT_EQ(log2Ceil(1), 0u);
+    EXPECT_EQ(log2Ceil(2), 1u);
+    EXPECT_EQ(log2Ceil(3), 2u);
+    EXPECT_EQ(log2Ceil(4), 2u);
+    EXPECT_EQ(log2Ceil(5), 3u);
+    EXPECT_EQ(log2Ceil(1024), 10u);
+    EXPECT_EQ(log2Ceil(1025), 11u);
+}
+
+TEST(BitUtil, NextPowerOfTwo)
+{
+    EXPECT_EQ(nextPowerOfTwo(0), 1u);
+    EXPECT_EQ(nextPowerOfTwo(1), 1u);
+    EXPECT_EQ(nextPowerOfTwo(2), 2u);
+    EXPECT_EQ(nextPowerOfTwo(3), 4u);
+    EXPECT_EQ(nextPowerOfTwo(1000), 1024u);
+}
+
+TEST(BitUtil, Bits)
+{
+    EXPECT_EQ(bits(0xdeadbeef, 0, 8), 0xefu);
+    EXPECT_EQ(bits(0xdeadbeef, 8, 8), 0xbeu);
+    EXPECT_EQ(bits(0xdeadbeef, 16, 16), 0xdeadu);
+    EXPECT_EQ(bits(0xffffffffffffffffULL, 0, 64), 0xffffffffffffffffULL);
+}
+
+TEST(BitUtil, Align)
+{
+    EXPECT_EQ(alignDown(0x1234, 16), 0x1230u);
+    EXPECT_EQ(alignUp(0x1234, 16), 0x1240u);
+    EXPECT_EQ(alignUp(0x1230, 16), 0x1230u);
+    EXPECT_EQ(alignDown(0x1230, 16), 0x1230u);
+}
+
+// Property: for all powers of two, log2Ceil == log2i, and
+// nextPowerOfTwo is the identity.
+TEST(BitUtil, PowerOfTwoFixpoints)
+{
+    for (unsigned s = 0; s < 63; ++s) {
+        std::uint64_t v = std::uint64_t{1} << s;
+        EXPECT_EQ(log2Ceil(v), log2i(v));
+        EXPECT_EQ(nextPowerOfTwo(v), v);
+    }
+}

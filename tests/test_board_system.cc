@@ -1,0 +1,168 @@
+/**
+ * @file
+ * Tests for the board-level (L3) cache system and the inclusion
+ * property the paper's §8 closing remark relies on.
+ */
+
+#include <gtest/gtest.h>
+
+#include "cache/board_system.hh"
+#include "cache/single_level.hh"
+#include "cache/two_level.hh"
+#include "trace/workload.hh"
+#include "util/random.hh"
+
+using namespace tlc;
+
+namespace {
+
+CacheParams
+params(std::uint64_t size, std::uint32_t assoc)
+{
+    CacheParams p;
+    p.sizeBytes = size;
+    p.lineBytes = 16;
+    p.assoc = assoc;
+    p.repl = ReplPolicy::Random;
+    return p;
+}
+
+std::unique_ptr<Hierarchy>
+chip(std::uint64_t l1, std::uint64_t l2,
+     TwoLevelPolicy pol = TwoLevelPolicy::Inclusive)
+{
+    if (l2 == 0)
+        return std::make_unique<SingleLevelHierarchy>(params(l1, 1));
+    return std::make_unique<TwoLevelHierarchy>(params(l1, 1),
+                                               params(l2, 4), pol);
+}
+
+TraceRecord
+dref(std::uint32_t a)
+{
+    return {a, RefType::Load};
+}
+
+} // namespace
+
+TEST(BoardSystem, BoardCatchesChipMisses)
+{
+    BoardLevelSystem sys(chip(1024, 0), params(64 * 1024, 1));
+    sys.access(dref(0x0000)); // memory
+    sys.access(dref(0x0400)); // conflicts in 1K L1, hits board? no:
+                              // first touch -> memory
+    sys.access(dref(0x0000)); // L1 conflict miss -> board HIT
+    EXPECT_EQ(sys.boardStats().l3Misses, 2u);
+    EXPECT_EQ(sys.boardStats().l3Hits, 1u);
+}
+
+TEST(BoardSystem, L1HitsNeverReachBoard)
+{
+    BoardLevelSystem sys(chip(1024, 0), params(64 * 1024, 1));
+    sys.access(dref(0x0000));
+    for (int i = 0; i < 10; ++i)
+        sys.access(dref(0x0004));
+    EXPECT_EQ(sys.boardStats().l3Hits + sys.boardStats().l3Misses, 1u);
+}
+
+TEST(BoardSystem, MirrorsOnchipStats)
+{
+    BoardLevelSystem sys(chip(1024, 8192), params(64 * 1024, 1));
+    sys.access(dref(0x0000));
+    sys.access(dref(0x0000));
+    EXPECT_EQ(sys.stats().dataRefs, 2u);
+    EXPECT_EQ(sys.stats().l1dMisses, 1u);
+}
+
+TEST(BoardSystem, BackInvalidationEnforcesInclusion)
+{
+    // Board cache smaller than L1 forces evictions of lines that
+    // are still resident on-chip: lines 0 and 64 conflict in the
+    // 64-set board but live in different sets of the 128-set L1.
+    BoardLevelSystem sys(chip(2048, 0), params(1024, 1),
+                         /*maintain_inclusion=*/true);
+    sys.access(dref(0x0000)); // board set 0, L1 set 0
+    sys.access(dref(0x0400)); // board set 0 (evicts line 0), L1 set 64
+    auto *single =
+        dynamic_cast<const SingleLevelHierarchy *>(&sys.onchip());
+    ASSERT_NE(single, nullptr);
+    EXPECT_FALSE(single->dcache().contains(0x0000));
+    EXPECT_TRUE(single->dcache().contains(0x0400));
+    EXPECT_GE(sys.boardStats().backInvalidations, 1u);
+}
+
+TEST(BoardSystem, NoBackInvalidationWhenDisabled)
+{
+    BoardLevelSystem sys(chip(2048, 0), params(1024, 1),
+                         /*maintain_inclusion=*/false);
+    sys.access(dref(0x0000));
+    sys.access(dref(0x0400)); // evicts board line 0
+    auto *single =
+        dynamic_cast<const SingleLevelHierarchy *>(&sys.onchip());
+    EXPECT_TRUE(single->dcache().contains(0x0000));
+    EXPECT_EQ(sys.boardStats().backInvalidations, 0u);
+}
+
+// Property (paper §8): with inclusion maintained, every on-chip line
+// — in L1s AND L2, under the EXCLUSIVE on-chip policy — is covered
+// by the board cache at all times.
+TEST(BoardSystem, InclusionPropertyUnderExclusiveOnchip)
+{
+    auto two = std::make_unique<TwoLevelHierarchy>(
+        params(512, 1), params(2048, 4), TwoLevelPolicy::Exclusive);
+    TwoLevelHierarchy *raw = two.get();
+    BoardLevelSystem sys(std::move(two), params(16 * 1024, 4), true);
+
+    Pcg32 rng(31);
+    for (int i = 0; i < 20000; ++i) {
+        sys.access(dref(rng.nextBounded(1 << 16)));
+        if (i % 200 == 0) {
+            ASSERT_TRUE(sys.inclusionHolds(raw->icache()));
+            ASSERT_TRUE(sys.inclusionHolds(raw->dcache()));
+            ASSERT_TRUE(sys.inclusionHolds(raw->l2cache()));
+        }
+    }
+}
+
+// Without back-invalidation, inclusion is eventually violated on the
+// same traffic (the control for the property above).
+TEST(BoardSystem, InclusionViolatedWithoutMaintenance)
+{
+    auto two = std::make_unique<TwoLevelHierarchy>(
+        params(512, 1), params(2048, 4), TwoLevelPolicy::Exclusive);
+    TwoLevelHierarchy *raw = two.get();
+    BoardLevelSystem sys(std::move(two), params(16 * 1024, 4), false);
+
+    Pcg32 rng(31);
+    bool violated = false;
+    for (int i = 0; i < 20000 && !violated; ++i) {
+        sys.access(dref(rng.nextBounded(1 << 16)));
+        violated = !sys.inclusionHolds(raw->dcache()) ||
+                   !sys.inclusionHolds(raw->l2cache());
+    }
+    EXPECT_TRUE(violated);
+}
+
+TEST(BoardSystem, WarmupResetsBoardStats)
+{
+    TraceBuffer t = Workloads::generate(Benchmark::Espresso, 50000);
+    BoardLevelSystem sys(chip(4096, 0), params(256 * 1024, 4));
+    sys.simulate(t, 25000);
+    // Stats cover only the measured half.
+    EXPECT_EQ(sys.stats().totalRefs(), 25000u);
+    EXPECT_LE(sys.boardStats().l3Hits + sys.boardStats().l3Misses,
+              sys.stats().l2Misses);
+}
+
+TEST(BoardSystem, BackInvalidationCostsOnchipMisses)
+{
+    // Inclusion maintenance must not reduce off-chip traffic; it can
+    // only add on-chip misses. Compare measured chip misses.
+    TraceBuffer t = Workloads::generate(Benchmark::Gcc1, 100000);
+    auto run = [&](bool incl) {
+        BoardLevelSystem sys(chip(4096, 32768), params(65536, 1), incl);
+        sys.simulate(t, 10000);
+        return sys.stats().l1Misses();
+    };
+    EXPECT_GE(run(true), run(false));
+}

@@ -1,0 +1,291 @@
+/**
+ * @file
+ * Unit tests for the single cache array: geometry, hit/miss
+ * sequences, replacement, invalidation, dirty tracking.
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "cache/cache.hh"
+
+using namespace tlc;
+
+namespace {
+
+CacheParams
+makeParams(std::uint64_t size, std::uint32_t assoc,
+           ReplPolicy repl = ReplPolicy::LRU, std::uint32_t line = 16)
+{
+    CacheParams p;
+    p.sizeBytes = size;
+    p.lineBytes = line;
+    p.assoc = assoc;
+    p.repl = repl;
+    return p;
+}
+
+} // namespace
+
+TEST(CacheGeometry, DirectMapped)
+{
+    Cache c(makeParams(1024, 1));
+    EXPECT_EQ(c.numSets(), 64u);
+    EXPECT_EQ(c.ways(), 1u);
+    EXPECT_EQ(c.lineShift(), 4u);
+}
+
+TEST(CacheGeometry, FourWay)
+{
+    Cache c(makeParams(64 * 1024, 4));
+    EXPECT_EQ(c.numSets(), 1024u);
+    EXPECT_EQ(c.ways(), 4u);
+}
+
+TEST(CacheGeometry, FullyAssociative)
+{
+    Cache c(makeParams(512, 0));
+    EXPECT_EQ(c.numSets(), 1u);
+    EXPECT_EQ(c.ways(), 32u);
+}
+
+TEST(CacheGeometry, LineAndSetExtraction)
+{
+    Cache c(makeParams(1024, 1)); // 64 sets, 16B lines
+    EXPECT_EQ(c.lineAddrOf(0x0000), 0u);
+    EXPECT_EQ(c.lineAddrOf(0x000f), 0u);
+    EXPECT_EQ(c.lineAddrOf(0x0010), 1u);
+    EXPECT_EQ(c.setOf(c.lineAddrOf(0x0010)), 1u);
+    // Line 64 wraps back to set 0.
+    EXPECT_EQ(c.setOf(c.lineAddrOf(64 * 16)), 0u);
+}
+
+TEST(CacheBasic, MissThenHit)
+{
+    Cache c(makeParams(1024, 1));
+    EXPECT_FALSE(c.contains(0x100));
+    EXPECT_FALSE(c.lookupAndTouch(0x100));
+    c.fill(0x100);
+    EXPECT_TRUE(c.contains(0x100));
+    EXPECT_TRUE(c.lookupAndTouch(0x100));
+    // Same line, different byte.
+    EXPECT_TRUE(c.lookupAndTouch(0x10f));
+    // Next line misses.
+    EXPECT_FALSE(c.lookupAndTouch(0x110));
+}
+
+TEST(CacheBasic, DirectMappedConflict)
+{
+    Cache c(makeParams(1024, 1));
+    // 0x0 and 0x400 (1KB apart) map to the same set.
+    c.fill(0x0);
+    EXPECT_TRUE(c.contains(0x0));
+    Cache::Victim v = c.fill(0x400);
+    EXPECT_TRUE(v.valid);
+    EXPECT_EQ(v.lineAddr, 0u);
+    EXPECT_FALSE(c.contains(0x0));
+    EXPECT_TRUE(c.contains(0x400));
+}
+
+TEST(CacheBasic, TwoWayHoldsBothConflictingLines)
+{
+    Cache c(makeParams(1024, 2));
+    c.fill(0x0);
+    Cache::Victim v = c.fill(0x400);
+    EXPECT_FALSE(v.valid);
+    EXPECT_TRUE(c.contains(0x0));
+    EXPECT_TRUE(c.contains(0x400));
+}
+
+TEST(CacheBasic, VictimReportsDirtyState)
+{
+    Cache c(makeParams(1024, 1));
+    c.fill(0x0, /*dirty=*/true);
+    Cache::Victim v = c.fill(0x400);
+    EXPECT_TRUE(v.valid);
+    EXPECT_TRUE(v.dirty);
+
+    c.fill(0x810); // set 1, clean
+    Cache::Victim v2 = c.fill(0x410); // conflicts in set 1
+    EXPECT_TRUE(v2.valid);
+    EXPECT_FALSE(v2.dirty);
+}
+
+TEST(CacheBasic, SetDirtyOnHit)
+{
+    Cache c(makeParams(1024, 1));
+    c.fill(0x0);
+    EXPECT_TRUE(c.lookupAndTouch(0x0, /*is_store=*/true));
+    Cache::Victim v = c.fill(0x400);
+    EXPECT_TRUE(v.dirty);
+}
+
+TEST(CacheBasic, InvalidateRemovesLine)
+{
+    Cache c(makeParams(1024, 1));
+    c.fill(0x100);
+    EXPECT_TRUE(c.invalidate(0x100));
+    EXPECT_FALSE(c.contains(0x100));
+    EXPECT_FALSE(c.invalidate(0x100)); // already gone
+}
+
+TEST(CacheBasic, ResidentLineCount)
+{
+    Cache c(makeParams(1024, 2));
+    EXPECT_EQ(c.residentLines(), 0u);
+    c.fill(0x000);
+    c.fill(0x100);
+    c.fill(0x400);
+    EXPECT_EQ(c.residentLines(), 3u);
+    c.reset();
+    EXPECT_EQ(c.residentLines(), 0u);
+}
+
+TEST(CacheLru, EvictsLeastRecentlyUsed)
+{
+    Cache c(makeParams(64, 0, ReplPolicy::LRU)); // 4 lines, FA
+    c.fill(0x00);
+    c.fill(0x10);
+    c.fill(0x20);
+    c.fill(0x30);
+    // Touch 0x00 so 0x10 becomes LRU.
+    EXPECT_TRUE(c.lookupAndTouch(0x00));
+    Cache::Victim v = c.fill(0x40);
+    EXPECT_TRUE(v.valid);
+    EXPECT_EQ(v.lineAddr, 1u); // line of 0x10
+    EXPECT_TRUE(c.contains(0x00));
+}
+
+TEST(CacheFifo, EvictsFirstInserted)
+{
+    Cache c(makeParams(64, 0, ReplPolicy::FIFO)); // 4 lines, FA
+    c.fill(0x00);
+    c.fill(0x10);
+    c.fill(0x20);
+    c.fill(0x30);
+    // Touching 0x00 must NOT save it under FIFO.
+    EXPECT_TRUE(c.lookupAndTouch(0x00));
+    Cache::Victim v = c.fill(0x40);
+    EXPECT_TRUE(v.valid);
+    EXPECT_EQ(v.lineAddr, 0u);
+}
+
+TEST(CacheRandom, VictimAlwaysFromCorrectSet)
+{
+    Cache c(makeParams(2048, 4, ReplPolicy::Random)); // 32 sets
+    // Fill set 3 completely: lines with set index 3.
+    auto addr_of = [&](std::uint64_t i) {
+        return (3 + i * 32) * 16; // line addresses congruent to 3 mod 32
+    };
+    for (int i = 0; i < 4; ++i)
+        c.fill(addr_of(i));
+    for (int i = 4; i < 50; ++i) {
+        Cache::Victim v = c.fill(addr_of(i));
+        ASSERT_TRUE(v.valid);
+        EXPECT_EQ(c.setOf(v.lineAddr), 3u);
+    }
+}
+
+TEST(CacheRandom, UsesInvalidWaysFirst)
+{
+    Cache c(makeParams(1024, 4, ReplPolicy::Random));
+    // First 4 fills into one set must not evict anything.
+    for (int i = 0; i < 4; ++i) {
+        Cache::Victim v = c.fill(i * 1024 / 4 * 4); // set 0 lines
+        EXPECT_FALSE(v.valid) << "fill " << i;
+    }
+}
+
+TEST(CacheInsertPreferring, UpdatesExistingLineWithoutEviction)
+{
+    Cache c(makeParams(1024, 1));
+    c.fill(0x100);
+    bool swapped = true;
+    Cache::Victim v = c.insertLinePreferring(
+        c.lineAddrOf(0x100), /*dirty=*/true, 0, false, &swapped);
+    EXPECT_FALSE(v.valid);
+    EXPECT_FALSE(swapped);
+    // Dirty accumulated.
+    Cache::Victim v2 = c.fill(0x500);
+    EXPECT_TRUE(v2.dirty);
+}
+
+TEST(CacheInsertPreferring, SwapsWithPreferredLineInSameSet)
+{
+    Cache c(makeParams(2048, 4));
+    // Lines A and B in the same set (set width 2048/4/16 = 32 sets).
+    std::uint64_t a_line = 5;          // set 5
+    std::uint64_t b_line = 5 + 32;     // also set 5
+    c.fill(a_line * 16);
+    bool swapped = false;
+    Cache::Victim v = c.insertLinePreferring(b_line, false, a_line, true,
+                                             &swapped);
+    EXPECT_TRUE(swapped);
+    EXPECT_TRUE(v.valid);
+    EXPECT_EQ(v.lineAddr, a_line);
+    EXPECT_FALSE(c.contains(a_line * 16));
+    EXPECT_TRUE(c.contains(b_line * 16));
+}
+
+TEST(CacheInsertPreferring, IgnoresPreferredFromOtherSet)
+{
+    Cache c(makeParams(2048, 4));
+    std::uint64_t a_line = 5;      // set 5
+    std::uint64_t b_line = 6 + 32; // set 6
+    c.fill(a_line * 16);
+    bool swapped = false;
+    c.insertLinePreferring(b_line, false, a_line, true, &swapped);
+    EXPECT_FALSE(swapped);
+    EXPECT_TRUE(c.contains(a_line * 16)); // untouched
+    EXPECT_TRUE(c.contains(b_line * 16));
+}
+
+TEST(CacheInsertPreferring, FallsBackToPolicyWhenPreferredAbsent)
+{
+    Cache c(makeParams(64, 0, ReplPolicy::LRU)); // 4 lines FA
+    c.fill(0x00);
+    c.fill(0x10);
+    c.fill(0x20);
+    c.fill(0x30);
+    bool swapped = false;
+    // Preferred line 99 is not resident; LRU (0x00) must go.
+    Cache::Victim v = c.insertLinePreferring(7, false, 99, true, &swapped);
+    EXPECT_FALSE(swapped);
+    EXPECT_TRUE(v.valid);
+    EXPECT_EQ(v.lineAddr, 0u);
+}
+
+TEST(CacheParamsValidation, ToStringFormats)
+{
+    EXPECT_EQ(makeParams(32 * 1024, 1, ReplPolicy::Random).toString(),
+              "32K/16B/1-way/random");
+    EXPECT_EQ(makeParams(512, 0, ReplPolicy::LRU).toString(),
+              "512/16B/full/lru");
+}
+
+// Parameterized sweep: hit-after-fill and victim-set-correctness
+// hold for every geometry the paper's design space touches.
+class CacheGeometrySweep
+    : public ::testing::TestWithParam<std::tuple<std::uint64_t, int>>
+{
+};
+
+TEST_P(CacheGeometrySweep, FillThenHitEverywhere)
+{
+    auto [size, assoc] = GetParam();
+    Cache c(makeParams(size, assoc, ReplPolicy::Random));
+    // Touch one line per set plus conflicting lines.
+    for (std::uint64_t s = 0; s < c.numSets(); s += 7) {
+        std::uint64_t addr = (s + c.numSets() * 3) * 16;
+        c.fill(addr);
+        EXPECT_TRUE(c.lookupAndTouch(addr));
+    }
+    EXPECT_LE(c.residentLines(), c.params().numLines());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllGeometries, CacheGeometrySweep,
+    ::testing::Combine(::testing::Values(1024, 2048, 4096, 8192, 16384,
+                                         32768, 65536, 131072, 262144),
+                       ::testing::Values(1, 2, 4, 8)));

@@ -1,0 +1,111 @@
+/**
+ * @file
+ * Tests for the fully-associative (CAM) timing and area paths.
+ */
+
+#include <gtest/gtest.h>
+
+#include "area/area_model.hh"
+#include "timing/access_time.hh"
+#include "util/units.hh"
+
+using namespace tlc;
+
+namespace {
+
+/** Fully-associative geometry for @p lines 16-byte entries. */
+SramGeometry
+fa(std::uint32_t lines)
+{
+    SramGeometry g;
+    g.sizeBytes = static_cast<std::uint64_t>(lines) * 16;
+    g.blockBytes = 16;
+    g.assoc = lines;
+    return g;
+}
+
+} // namespace
+
+TEST(CamTiming, FullyAssociativeDetected)
+{
+    EXPECT_TRUE(fa(16).fullyAssociative());
+    SramGeometry dm{1_KiB, 16, 1, 32, 64};
+    EXPECT_FALSE(dm.fullyAssociative());
+}
+
+TEST(CamTiming, OptimizeTakesCamPath)
+{
+    AccessTimeModel m;
+    TimingResult r = m.optimize(fa(16));
+    ASSERT_TRUE(r.valid);
+    EXPECT_GT(r.breakdown.compare, 0);
+    EXPECT_GT(r.cycleNs, r.accessNs);
+}
+
+TEST(CamTiming, MonotoneInEntries)
+{
+    AccessTimeModel m;
+    double prev = 0;
+    for (std::uint32_t lines : {4u, 16u, 64u, 256u}) {
+        double a = m.optimize(fa(lines)).accessNs;
+        EXPECT_GT(a, prev) << lines;
+        prev = a;
+    }
+}
+
+TEST(CamTiming, SmallVictimBufferFasterThanBigL1)
+{
+    // A 16-entry victim buffer must be quicker than a 64 KB L1 —
+    // otherwise victim caching would be pointless.
+    AccessTimeModel m;
+    double cam = m.optimize(fa(16)).accessNs;
+    double l1 = m.optimize(SramGeometry{64_KiB, 16, 1, 32, 64}).accessNs;
+    EXPECT_LT(cam, l1);
+}
+
+TEST(CamTiming, ProcessScaleApplies)
+{
+    AccessTimeModel m05(TechnologyParams::scaled05um());
+    AccessTimeModel m08(TechnologyParams::baseline08um());
+    EXPECT_NEAR(m05.optimize(fa(32)).cycleNs * 2.0,
+                m08.optimize(fa(32)).cycleNs, 1e-9);
+}
+
+TEST(CamArea, ComputesWithoutOrganization)
+{
+    AreaModel a;
+    SramGeometry g = fa(16);
+    AreaBreakdown b = a.breakdown(g, ArrayOrganization{},
+                                  ArrayOrganization{});
+    EXPECT_GT(b.total(), 0);
+    EXPECT_EQ(b.comparators, 0.0); // folded into CAM cells
+    // Core data cells: 16 entries x 128 bits x 0.6 rbe.
+    EXPECT_DOUBLE_EQ(b.dataCells, 16 * 128 * 0.6);
+    // CAM tag cells are the larger cell type.
+    EXPECT_DOUBLE_EQ(b.tagCells, 16 * (28 + 2) * 1.2);
+}
+
+TEST(CamArea, MonotoneInEntries)
+{
+    AreaModel a;
+    double prev = 0;
+    for (std::uint32_t lines : {4u, 16u, 64u}) {
+        double area = a.area(fa(lines), ArrayOrganization{},
+                             ArrayOrganization{});
+        EXPECT_GT(area, prev);
+        prev = area;
+    }
+}
+
+TEST(CamArea, VictimBufferIsTinyNextToL1)
+{
+    // 16 lines of buffer should cost well under a 4 KB L1.
+    AreaModel a;
+    AccessTimeModel t;
+    SramGeometry l1{4_KiB, 16, 1, 32, 64};
+    TimingResult tr = t.optimize(l1);
+    double l1_area = a.area(l1, tr.dataOrg, tr.tagOrg);
+    double cam_area = a.area(fa(16), ArrayOrganization{},
+                             ArrayOrganization{});
+    EXPECT_LT(cam_area, l1_area / 4);
+}

@@ -1,0 +1,213 @@
+/**
+ * @file
+ * Tests for system configuration, design-space enumeration, the
+ * evaluator's memoization, and the explorer's pricing.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/explorer.hh"
+#include "util/units.hh"
+
+using namespace tlc;
+
+TEST(SystemConfig, LabelsMatchPaperNotation)
+{
+    SystemConfig c;
+    c.l1Bytes = 32_KiB;
+    c.l2Bytes = 256_KiB;
+    EXPECT_EQ(c.label(), "32:256");
+    c.l2Bytes = 0;
+    EXPECT_EQ(c.label(), "32:0");
+}
+
+TEST(SystemConfig, ParamsReflectAssumptions)
+{
+    SystemConfig c;
+    c.l1Bytes = 8_KiB;
+    c.l2Bytes = 64_KiB;
+    c.assume.l2Assoc = 4;
+    EXPECT_EQ(c.l1Params().assoc, 1u);
+    EXPECT_EQ(c.l1Params().sizeBytes, 8_KiB);
+    EXPECT_EQ(c.l2Params().assoc, 4u);
+    EXPECT_EQ(c.l2Params().repl, ReplPolicy::Random);
+}
+
+TEST(SystemAssumptions, ToStringIsDescriptive)
+{
+    SystemAssumptions a;
+    a.offchipNs = 200;
+    a.l2Assoc = 1;
+    a.policy = TwoLevelPolicy::Exclusive;
+    a.dualPortedL1 = true;
+    std::string s = a.toString();
+    EXPECT_NE(s.find("200"), std::string::npos);
+    EXPECT_NE(s.find("direct-mapped"), std::string::npos);
+    EXPECT_NE(s.find("exclusive"), std::string::npos);
+    EXPECT_NE(s.find("dual-ported"), std::string::npos);
+}
+
+TEST(DesignSpace, L1SizesSpanPaperRange)
+{
+    const auto &sizes = DesignSpace::l1Sizes();
+    ASSERT_EQ(sizes.size(), 9u);
+    EXPECT_EQ(sizes.front(), 1_KiB);
+    EXPECT_EQ(sizes.back(), 256_KiB);
+}
+
+TEST(DesignSpace, L2AtLeastTwiceL1)
+{
+    auto l2s = DesignSpace::l2SizesFor(8_KiB);
+    ASSERT_FALSE(l2s.empty());
+    EXPECT_EQ(l2s.front(), 16_KiB);
+    EXPECT_EQ(l2s.back(), 256_KiB);
+    // 256K L1 -> no valid (larger) L2.
+    EXPECT_TRUE(DesignSpace::l2SizesFor(256_KiB).empty());
+}
+
+TEST(DesignSpace, EnumerateContainsPaperConfigs)
+{
+    SystemAssumptions a;
+    auto configs = DesignSpace::enumerate(a);
+    auto find = [&](const std::string &label) {
+        for (const auto &c : configs)
+            if (c.label() == label)
+                return true;
+        return false;
+    };
+    // Labels that appear in Figure 5.
+    EXPECT_TRUE(find("1:0"));
+    EXPECT_TRUE(find("1:2"));
+    EXPECT_TRUE(find("32:256"));
+    EXPECT_TRUE(find("256:0"));
+    EXPECT_TRUE(find("128:256"));
+    EXPECT_FALSE(find("256:256")); // L2 must exceed L1
+    EXPECT_FALSE(find("32:32"));
+}
+
+TEST(DesignSpace, SingleAndTwoLevelToggles)
+{
+    SystemAssumptions a;
+    auto single = DesignSpace::enumerate(a, true, false);
+    auto two = DesignSpace::enumerate(a, false, true);
+    EXPECT_EQ(single.size(), 9u);
+    for (const auto &c : single)
+        EXPECT_FALSE(c.hasL2());
+    for (const auto &c : two)
+        EXPECT_TRUE(c.hasL2());
+}
+
+TEST(Evaluator, MemoizesResults)
+{
+    MissRateEvaluator ev(50000);
+    SystemConfig c;
+    c.l1Bytes = 4_KiB;
+    c.l2Bytes = 0;
+    const HierarchyStats &a = ev.missStats(Benchmark::Espresso, c);
+    const HierarchyStats &b = ev.missStats(Benchmark::Espresso, c);
+    EXPECT_EQ(&a, &b); // same cached object
+}
+
+TEST(Evaluator, KeyDistinguishesPolicies)
+{
+    MissRateEvaluator ev(50000);
+    SystemConfig inc;
+    inc.l1Bytes = 1_KiB;
+    inc.l2Bytes = 8_KiB;
+    inc.assume.policy = TwoLevelPolicy::Inclusive;
+    SystemConfig exc = inc;
+    exc.assume.policy = TwoLevelPolicy::Exclusive;
+    const HierarchyStats &a = ev.missStats(Benchmark::Gcc1, inc);
+    const HierarchyStats &b = ev.missStats(Benchmark::Gcc1, exc);
+    EXPECT_NE(&a, &b);
+}
+
+TEST(Evaluator, TimingOnlyKnobsShareMissResults)
+{
+    MissRateEvaluator ev(50000);
+    SystemConfig a;
+    a.l1Bytes = 4_KiB;
+    a.l2Bytes = 32_KiB;
+    SystemConfig b = a;
+    b.assume.offchipNs = 200;
+    b.assume.dualPortedL1 = true;
+    const HierarchyStats &sa = ev.missStats(Benchmark::Li, a);
+    const HierarchyStats &sb = ev.missStats(Benchmark::Li, b);
+    EXPECT_EQ(&sa, &sb);
+}
+
+TEST(Evaluator, WarmupExcluded)
+{
+    MissRateEvaluator ev(100000, 0.1);
+    EXPECT_EQ(ev.warmupRefs(), 10000u);
+    SystemConfig c;
+    c.l1Bytes = 4_KiB;
+    c.l2Bytes = 0;
+    const HierarchyStats &s = ev.missStats(Benchmark::Doduc, c);
+    EXPECT_EQ(s.totalRefs(), 90000u);
+}
+
+TEST(Explorer, DesignPointIsConsistent)
+{
+    MissRateEvaluator ev(100000);
+    Explorer ex(ev);
+    SystemConfig c;
+    c.l1Bytes = 4_KiB;
+    c.l2Bytes = 32_KiB;
+    DesignPoint p = ex.evaluate(Benchmark::Gcc1, c);
+    EXPECT_GT(p.areaRbe, 0);
+    EXPECT_GT(p.l1Timing.cycleNs, 0);
+    EXPECT_GT(p.l2Timing.cycleNs, p.l1Timing.cycleNs * 0.5);
+    EXPECT_GT(p.tpi.tpi, p.l1Timing.cycleNs); // misses cost something
+    EXPECT_EQ(p.miss.l2Hits + p.miss.l2Misses, p.miss.l1Misses());
+}
+
+TEST(Explorer, AreaAddsL2)
+{
+    MissRateEvaluator ev(50000);
+    Explorer ex(ev);
+    SystemConfig single;
+    single.l1Bytes = 8_KiB;
+    single.l2Bytes = 0;
+    SystemConfig two = single;
+    two.l2Bytes = 64_KiB;
+    EXPECT_GT(ex.areaOf(two), ex.areaOf(single));
+}
+
+TEST(Explorer, DualPortedDoublesL1AreaOnly)
+{
+    MissRateEvaluator ev(50000);
+    Explorer ex(ev);
+    SystemConfig base;
+    base.l1Bytes = 8_KiB;
+    base.l2Bytes = 64_KiB;
+    SystemConfig dual = base;
+    dual.assume.dualPortedL1 = true;
+    double a_base = ex.areaOf(base);
+    double a_dual = ex.areaOf(dual);
+    SystemConfig l1only = base;
+    l1only.l2Bytes = 0;
+    double l1_area = ex.areaOf(l1only);
+    EXPECT_NEAR(a_dual - a_base, l1_area, 1.0);
+}
+
+TEST(Explorer, SweepCoversWholeSpace)
+{
+    MissRateEvaluator ev(50000);
+    Explorer ex(ev);
+    SystemAssumptions a;
+    auto points = ex.sweep(Benchmark::Espresso, a);
+    EXPECT_EQ(points.size(), DesignSpace::enumerate(a).size());
+}
+
+TEST(Explorer, EnvelopeIsPareto)
+{
+    MissRateEvaluator ev(100000);
+    Explorer ex(ev);
+    SystemAssumptions a;
+    auto points = ex.sweep(Benchmark::Gcc1, a);
+    Envelope env = Explorer::envelopeOf(points);
+    ASSERT_FALSE(env.empty());
+    for (const auto &p : points)
+        EXPECT_GE(p.tpi.tpi + 1e-12, env.bestTpiWithin(p.areaRbe));
+}

@@ -1,0 +1,145 @@
+/**
+ * @file
+ * Additional core tests: replacement-policy keys, line-size keys,
+ * default trace length, and explorer timing-cache behaviour.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+
+#include "core/explorer.hh"
+#include "util/units.hh"
+
+using namespace tlc;
+
+TEST(EvaluatorExtra, KeyDistinguishesL2Replacement)
+{
+    MissRateEvaluator ev(50000);
+    SystemConfig a;
+    a.l1Bytes = 2_KiB;
+    a.l2Bytes = 16_KiB;
+    a.assume.l2Repl = ReplPolicy::Random;
+    SystemConfig b = a;
+    b.assume.l2Repl = ReplPolicy::LRU;
+    const HierarchyStats &sa = ev.missStats(Benchmark::Gcc1, a);
+    const HierarchyStats &sb = ev.missStats(Benchmark::Gcc1, b);
+    EXPECT_NE(&sa, &sb);
+}
+
+TEST(EvaluatorExtra, KeyDistinguishesLineSize)
+{
+    MissRateEvaluator ev(50000);
+    SystemConfig a;
+    a.l1Bytes = 4_KiB;
+    a.l2Bytes = 0;
+    SystemConfig b = a;
+    b.assume.lineBytes = 32;
+    const HierarchyStats &sa = ev.missStats(Benchmark::Li, a);
+    const HierarchyStats &sb = ev.missStats(Benchmark::Li, b);
+    EXPECT_NE(&sa, &sb);
+    // Longer lines exploit spatial locality: fewer misses here.
+    EXPECT_LT(sb.l1MissRate(), sa.l1MissRate());
+}
+
+TEST(EvaluatorExtra, LruL2BeatsOrMatchesRandom)
+{
+    MissRateEvaluator ev(100000);
+    SystemConfig rnd;
+    rnd.l1Bytes = 2_KiB;
+    rnd.l2Bytes = 16_KiB;
+    rnd.assume.l2Repl = ReplPolicy::Random;
+    SystemConfig lru = rnd;
+    lru.assume.l2Repl = ReplPolicy::LRU;
+    for (Benchmark b : {Benchmark::Gcc1, Benchmark::Doduc}) {
+        EXPECT_LE(ev.missStats(b, lru).l2Misses,
+                  ev.missStats(b, rnd).l2Misses * 1.02)
+            << Workloads::info(b).name;
+    }
+}
+
+TEST(WorkloadsExtra, DefaultTraceLengthRespectsScaleEnv)
+{
+    ::setenv("TLC_TRACE_SCALE", "0.5", 1);
+    EXPECT_EQ(Workloads::defaultTraceLength(), 2000000u);
+    ::setenv("TLC_TRACE_SCALE", "2", 1);
+    EXPECT_EQ(Workloads::defaultTraceLength(), 8000000u);
+    ::setenv("TLC_TRACE_SCALE", "garbage", 1);
+    EXPECT_EQ(Workloads::defaultTraceLength(), 4000000u);
+    ::unsetenv("TLC_TRACE_SCALE");
+    EXPECT_EQ(Workloads::defaultTraceLength(), 4000000u);
+}
+
+TEST(ExplorerExtra, TimingCacheReturnsSameObject)
+{
+    MissRateEvaluator ev(50000);
+    Explorer ex(ev);
+    const TimingResult &a = ex.timingOf(32_KiB, 1, 16);
+    const TimingResult &b = ex.timingOf(32_KiB, 1, 16);
+    EXPECT_EQ(&a, &b);
+    const TimingResult &c = ex.timingOf(32_KiB, 4, 16);
+    EXPECT_NE(&a, &c);
+}
+
+TEST(ExplorerExtra, TwoHundredNsRaisesTpiOnly)
+{
+    MissRateEvaluator ev(100000);
+    Explorer ex(ev);
+    SystemConfig c;
+    c.l1Bytes = 4_KiB;
+    c.l2Bytes = 32_KiB;
+    DesignPoint p50 = ex.evaluate(Benchmark::Espresso, c);
+    c.assume.offchipNs = 200;
+    DesignPoint p200 = ex.evaluate(Benchmark::Espresso, c);
+    EXPECT_GT(p200.tpi.tpi, p50.tpi.tpi);
+    EXPECT_DOUBLE_EQ(p200.areaRbe, p50.areaRbe);
+    EXPECT_EQ(p200.miss.l2Misses, p50.miss.l2Misses);
+}
+
+TEST(ExplorerExtra, ExclusiveSweepNeverWorseOnAverage)
+{
+    MissRateEvaluator ev(200000);
+    Explorer ex(ev);
+    SystemAssumptions inc;
+    inc.l2Assoc = 4;
+    inc.policy = TwoLevelPolicy::Inclusive;
+    SystemAssumptions exc = inc;
+    exc.policy = TwoLevelPolicy::Exclusive;
+    for (Benchmark b : {Benchmark::Espresso, Benchmark::Doduc}) {
+        Envelope ei = Explorer::envelopeOf(ex.sweep(b, inc));
+        Envelope ee = Explorer::envelopeOf(ex.sweep(b, exc));
+        EXPECT_LE(ee.meanGapAgainst(ei), 5e-3)
+            << Workloads::info(b).name;
+    }
+}
+
+TEST(ExplorerExtra, SetAssociativeL1Supported)
+{
+    MissRateEvaluator ev(100000);
+    Explorer ex(ev);
+    SystemConfig dm;
+    dm.l1Bytes = 8_KiB;
+    dm.l2Bytes = 0;
+    SystemConfig sa = dm;
+    sa.assume.l1Assoc = 4;
+    DesignPoint pd = ex.evaluate(Benchmark::Gcc1, dm);
+    DesignPoint ps = ex.evaluate(Benchmark::Gcc1, sa);
+    // Associativity reduces misses but stretches the cycle (Hill).
+    EXPECT_LT(ps.miss.l1MissRate(), pd.miss.l1MissRate());
+    EXPECT_GT(ps.l1Timing.cycleNs, pd.l1Timing.cycleNs);
+    EXPECT_NE(ps.config.assume.toString().find("4-way L1"),
+              std::string::npos);
+}
+
+TEST(ExplorerExtra, KeyDistinguishesL1Assoc)
+{
+    MissRateEvaluator ev(50000);
+    SystemConfig a;
+    a.l1Bytes = 4_KiB;
+    a.l2Bytes = 0;
+    SystemConfig b = a;
+    b.assume.l1Assoc = 2;
+    const HierarchyStats &sa = ev.missStats(Benchmark::Li, a);
+    const HierarchyStats &sb = ev.missStats(Benchmark::Li, b);
+    EXPECT_NE(&sa, &sb);
+}

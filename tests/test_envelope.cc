@@ -1,0 +1,101 @@
+/**
+ * @file
+ * Unit and property tests for the best-performance envelope.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "util/envelope.hh"
+#include "util/random.hh"
+
+using namespace tlc;
+
+TEST(Envelope, EmptyInput)
+{
+    Envelope e = Envelope::of({});
+    EXPECT_TRUE(e.empty());
+    EXPECT_TRUE(std::isinf(e.bestTpiWithin(1e9)));
+    EXPECT_EQ(e.bestPointWithin(1e9), nullptr);
+}
+
+TEST(Envelope, SinglePoint)
+{
+    Envelope e = Envelope::of({{100, 5.0, "a"}});
+    ASSERT_EQ(e.points().size(), 1u);
+    EXPECT_TRUE(std::isinf(e.bestTpiWithin(99)));
+    EXPECT_DOUBLE_EQ(e.bestTpiWithin(100), 5.0);
+    EXPECT_DOUBLE_EQ(e.bestTpiWithin(1000), 5.0);
+}
+
+TEST(Envelope, DominatedPointsDropped)
+{
+    // (200, 6.0) is dominated: more area, worse TPI than (100, 5.0).
+    Envelope e = Envelope::of({
+        {100, 5.0, "good"},
+        {200, 6.0, "dominated"},
+        {300, 4.0, "bigger-better"},
+    });
+    ASSERT_EQ(e.points().size(), 2u);
+    EXPECT_EQ(e.points()[0].label, "good");
+    EXPECT_EQ(e.points()[1].label, "bigger-better");
+}
+
+TEST(Envelope, StaircaseLookup)
+{
+    Envelope e = Envelope::of({
+        {100, 5.0, "a"},
+        {200, 3.0, "b"},
+        {400, 2.0, "c"},
+    });
+    EXPECT_DOUBLE_EQ(e.bestTpiWithin(150), 5.0);
+    EXPECT_DOUBLE_EQ(e.bestTpiWithin(200), 3.0);
+    EXPECT_DOUBLE_EQ(e.bestTpiWithin(399), 3.0);
+    EXPECT_DOUBLE_EQ(e.bestTpiWithin(400), 2.0);
+    EXPECT_EQ(e.bestPointWithin(250)->label, "b");
+}
+
+TEST(Envelope, TieOnAreaKeepsBest)
+{
+    Envelope e = Envelope::of({
+        {100, 5.0, "worse"},
+        {100, 4.0, "better"},
+    });
+    ASSERT_EQ(e.points().size(), 1u);
+    EXPECT_EQ(e.points()[0].label, "better");
+}
+
+// Property test: the envelope is monotone nonincreasing in TPI and
+// strictly increasing in area, and every input point lies on or
+// above it.
+TEST(Envelope, PropertyNonDominatedAndMonotone)
+{
+    Pcg32 rng(99);
+    for (int iter = 0; iter < 50; ++iter) {
+        std::vector<EnvelopePoint> pts;
+        int n = 2 + rng.nextBounded(60);
+        for (int i = 0; i < n; ++i) {
+            pts.push_back({1.0 + rng.nextBounded(10000),
+                           0.5 + rng.nextDouble() * 20.0, "p"});
+        }
+        Envelope e = Envelope::of(pts);
+        const auto &ep = e.points();
+        ASSERT_FALSE(ep.empty());
+        for (std::size_t i = 1; i < ep.size(); ++i) {
+            EXPECT_GT(ep[i].area, ep[i - 1].area);
+            EXPECT_LT(ep[i].tpi, ep[i - 1].tpi);
+        }
+        for (const auto &p : pts)
+            EXPECT_GE(p.tpi + 1e-12, e.bestTpiWithin(p.area));
+    }
+}
+
+TEST(Envelope, MeanGapSignConvention)
+{
+    Envelope low = Envelope::of({{100, 2.0, "l"}, {1000, 1.0, "l2"}});
+    Envelope high = Envelope::of({{100, 4.0, "h"}, {1000, 3.0, "h2"}});
+    EXPECT_GT(high.meanGapAgainst(low), 0.0);
+    EXPECT_LT(low.meanGapAgainst(high), 0.0);
+    EXPECT_NEAR(low.meanGapAgainst(low), 0.0, 1e-12);
+}

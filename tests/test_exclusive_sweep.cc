@@ -1,0 +1,133 @@
+/**
+ * @file
+ * Parameterized property sweep for two-level exclusive caching:
+ * the §8 invariants must hold over the whole geometry grid, under
+ * realistic mixed instruction/data traffic, not just in the
+ * hand-picked didactic cases.
+ */
+
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "cache/two_level.hh"
+#include "trace/workload.hh"
+
+using namespace tlc;
+
+namespace {
+
+CacheParams
+params(std::uint64_t size, std::uint32_t assoc)
+{
+    CacheParams p;
+    p.sizeBytes = size;
+    p.lineBytes = 16;
+    p.assoc = assoc;
+    p.repl = ReplPolicy::Random;
+    return p;
+}
+
+const TraceBuffer &
+sharedTrace()
+{
+    static const TraceBuffer t =
+        Workloads::generate(Benchmark::Gcc1, 120000);
+    return t;
+}
+
+} // namespace
+
+class ExclusiveSweep
+    : public ::testing::TestWithParam<
+          std::tuple<std::uint64_t, std::uint64_t, std::uint32_t>>
+{
+  protected:
+    std::uint64_t l1() const { return std::get<0>(GetParam()); }
+    std::uint64_t l2() const { return std::get<1>(GetParam()); }
+    std::uint32_t assoc() const { return std::get<2>(GetParam()); }
+
+    bool valid() const
+    {
+        // L2 must be larger than one L1 and hold at least one set.
+        return l2() >= 2 * l1() && l2() / 16 >= assoc();
+    }
+};
+
+TEST_P(ExclusiveSweep, CountsPartitionAndSwapsBounded)
+{
+    if (!valid())
+        GTEST_SKIP();
+    TwoLevelHierarchy h(params(l1(), 1), params(l2(), assoc()),
+                        TwoLevelPolicy::Exclusive);
+    h.simulate(sharedTrace(), 12000);
+    const HierarchyStats &s = h.stats();
+    EXPECT_EQ(s.l2Hits + s.l2Misses, s.l1Misses());
+    EXPECT_LE(s.swaps, s.l2Hits);
+    EXPECT_GT(s.totalRefs(), 0u);
+}
+
+TEST_P(ExclusiveSweep, NeverMoreOffchipThanInclusive)
+{
+    if (!valid())
+        GTEST_SKIP();
+    auto run = [&](TwoLevelPolicy pol) {
+        TwoLevelHierarchy h(params(l1(), 1), params(l2(), assoc()), pol);
+        h.simulate(sharedTrace(), 12000);
+        return h.stats().l2Misses;
+    };
+    std::uint64_t exc = run(TwoLevelPolicy::Exclusive);
+    std::uint64_t inc = run(TwoLevelPolicy::Inclusive);
+    // Allow a 2% statistical wobble from random replacement; the
+    // systematic direction must favour exclusion.
+    EXPECT_LE(exc, inc + inc / 50) << l1() << ":" << l2();
+}
+
+TEST_P(ExclusiveSweep, ReferencedLineEndsUpInL1)
+{
+    if (!valid())
+        GTEST_SKIP();
+    TwoLevelHierarchy h(params(l1(), 1), params(l2(), assoc()),
+                        TwoLevelPolicy::Exclusive);
+    const auto &recs = sharedTrace().records();
+    for (std::size_t i = 0; i < 20000; ++i) {
+        h.access(recs[i]);
+        if (i % 97 == 0) {
+            const Cache &c = recs[i].type == RefType::Instr
+                                 ? h.icache()
+                                 : h.dcache();
+            ASSERT_TRUE(c.contains(recs[i].addr));
+        }
+    }
+}
+
+TEST_P(ExclusiveSweep, OnchipLineCountNeverExceedsCapacity)
+{
+    if (!valid())
+        GTEST_SKIP();
+    TwoLevelHierarchy h(params(l1(), 1), params(l2(), assoc()),
+                        TwoLevelPolicy::Exclusive);
+    const auto &recs = sharedTrace().records();
+    std::uint64_t cap =
+        2 * (l1() / 16) + l2() / 16; // the paper's 2x + y bound
+    for (std::size_t i = 0; i < 20000; ++i) {
+        h.access(recs[i]);
+        if (i % 499 == 0) {
+            std::uint64_t resident = h.icache().residentLines() +
+                                     h.dcache().residentLines() +
+                                     h.l2cache().residentLines();
+            ASSERT_LE(resident, cap);
+        }
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Geometries, ExclusiveSweep,
+    ::testing::Combine(::testing::Values(1024, 4096, 16384),
+                       ::testing::Values(2048, 8192, 32768, 131072),
+                       ::testing::Values(1, 2, 4)),
+    [](const auto &info) {
+        return "l1_" + std::to_string(std::get<0>(info.param)) +
+               "_l2_" + std::to_string(std::get<1>(info.param)) +
+               "_w" + std::to_string(std::get<2>(info.param));
+    });

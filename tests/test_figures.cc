@@ -1,0 +1,85 @@
+/**
+ * @file
+ * Tests for the figure catalog: complete coverage of the paper's
+ * exhibits and internally-consistent specifications.
+ */
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "core/figures.hh"
+
+using namespace tlc;
+
+TEST(FigureCatalog, CoversEveryExhibit)
+{
+    std::set<std::string> ids;
+    for (const auto &f : figureCatalog())
+        ids.insert(f.id);
+    EXPECT_TRUE(ids.count("table1"));
+    for (int i = 1; i <= 26; ++i) {
+        char buf[8];
+        std::snprintf(buf, sizeof(buf), "fig%02d", i);
+        EXPECT_TRUE(ids.count(buf)) << buf;
+    }
+    EXPECT_EQ(ids.size(), 27u);
+}
+
+TEST(FigureCatalog, LookupById)
+{
+    const FigureSpec &f = figureById("fig23");
+    EXPECT_EQ(f.assume.policy, TwoLevelPolicy::Exclusive);
+    EXPECT_EQ(f.assume.l2Assoc, 4u);
+    ASSERT_EQ(f.workloads.size(), 1u);
+    EXPECT_EQ(f.workloads[0], Benchmark::Gcc1);
+}
+
+TEST(FigureCatalog, UnknownIdIsFatal)
+{
+    EXPECT_EXIT(figureById("fig99"), ::testing::ExitedWithCode(1),
+                "unknown exhibit");
+}
+
+TEST(FigureCatalog, AssumptionsMatchThePaper)
+{
+    EXPECT_DOUBLE_EQ(figureById("fig05").assume.offchipNs, 50.0);
+    EXPECT_DOUBLE_EQ(figureById("fig17").assume.offchipNs, 200.0);
+    EXPECT_EQ(figureById("fig09").assume.l2Assoc, 1u);
+    EXPECT_TRUE(figureById("fig10").assume.dualPortedL1);
+    EXPECT_FALSE(figureById("fig05").assume.dualPortedL1);
+    EXPECT_EQ(figureById("fig22").assume.l2Assoc, 1u);
+    EXPECT_EQ(figureById("fig22").assume.policy,
+              TwoLevelPolicy::Exclusive);
+}
+
+TEST(FigureCatalog, EveryTpiExhibitHasWorkloadsAndDriver)
+{
+    for (const auto &f : figureCatalog()) {
+        EXPECT_FALSE(f.benchTarget.empty()) << f.id;
+        if (f.kind == ExhibitKind::TpiScatter) {
+            EXPECT_FALSE(f.workloads.empty()) << f.id;
+        }
+    }
+}
+
+TEST(FigureCatalog, WorkloadsCoverAllSevenAcrossFigures3to4)
+{
+    std::set<Benchmark> seen;
+    for (const auto &f : {figureById("fig03"), figureById("fig04")})
+        for (Benchmark b : f.workloads)
+            seen.insert(b);
+    EXPECT_EQ(seen.size(), 7u);
+}
+
+TEST(FigureCatalog, DualPortFiguresCoverAllSeven)
+{
+    std::set<Benchmark> seen;
+    for (int i = 10; i <= 16; ++i) {
+        char buf[8];
+        std::snprintf(buf, sizeof(buf), "fig%02d", i);
+        for (Benchmark b : figureById(buf).workloads)
+            seen.insert(b);
+    }
+    EXPECT_EQ(seen.size(), 7u);
+}

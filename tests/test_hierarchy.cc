@@ -1,0 +1,257 @@
+/**
+ * @file
+ * Tests for the single- and two-level hierarchies: counting,
+ * warmup handling, inclusive-baseline behaviour, and the victim
+ * cache. (Exclusive-policy semantics get their own file.)
+ */
+
+#include <gtest/gtest.h>
+
+#include "cache/single_level.hh"
+#include "cache/two_level.hh"
+#include "cache/victim_cache.hh"
+#include "trace/buffer.hh"
+#include "util/random.hh"
+
+using namespace tlc;
+
+namespace {
+
+CacheParams
+l1p(std::uint64_t size)
+{
+    CacheParams p;
+    p.sizeBytes = size;
+    p.lineBytes = 16;
+    p.assoc = 1;
+    return p;
+}
+
+CacheParams
+l2p(std::uint64_t size, std::uint32_t assoc)
+{
+    CacheParams p;
+    p.sizeBytes = size;
+    p.lineBytes = 16;
+    p.assoc = assoc;
+    p.repl = ReplPolicy::Random;
+    return p;
+}
+
+TraceRecord
+iref(std::uint32_t a)
+{
+    return {a, RefType::Instr};
+}
+
+TraceRecord
+dref(std::uint32_t a)
+{
+    return {a, RefType::Load};
+}
+
+} // namespace
+
+TEST(SingleLevel, CountsRefsByType)
+{
+    SingleLevelHierarchy h(l1p(1024));
+    h.access(iref(0x1000));
+    h.access(dref(0x2000));
+    h.access({0x3000, RefType::Store});
+    EXPECT_EQ(h.stats().instrRefs, 1u);
+    EXPECT_EQ(h.stats().dataRefs, 2u);
+}
+
+TEST(SingleLevel, ColdMissesThenHits)
+{
+    SingleLevelHierarchy h(l1p(1024));
+    h.access(iref(0x1000));
+    h.access(iref(0x1000));
+    h.access(iref(0x1004)); // same line
+    EXPECT_EQ(h.stats().l1iMisses, 1u);
+    EXPECT_EQ(h.stats().l2Misses, 1u); // every L1 miss goes off-chip
+    EXPECT_EQ(h.stats().l2Hits, 0u);
+}
+
+TEST(SingleLevel, SplitCachesDoNotInterfere)
+{
+    SingleLevelHierarchy h(l1p(1024));
+    // Same address as instruction and data: both must miss once
+    // (separate arrays), then both hit.
+    h.access(iref(0x5000));
+    h.access(dref(0x5000));
+    h.access(iref(0x5000));
+    h.access(dref(0x5000));
+    EXPECT_EQ(h.stats().l1iMisses, 1u);
+    EXPECT_EQ(h.stats().l1dMisses, 1u);
+}
+
+TEST(SingleLevel, ConflictThrashing)
+{
+    SingleLevelHierarchy h(l1p(1024));
+    // Two data lines 1 KB apart thrash a 1 KB DM cache.
+    for (int i = 0; i < 10; ++i) {
+        h.access(dref(0x0000));
+        h.access(dref(0x0400));
+    }
+    EXPECT_EQ(h.stats().l1dMisses, 20u);
+}
+
+TEST(SingleLevel, MissRateArithmetic)
+{
+    SingleLevelHierarchy h(l1p(1024));
+    h.access(dref(0x0));
+    h.access(dref(0x0));
+    h.access(dref(0x0));
+    h.access(dref(0x0));
+    EXPECT_DOUBLE_EQ(h.stats().l1MissRate(), 0.25);
+    EXPECT_DOUBLE_EQ(h.stats().globalMissRate(), 0.25);
+}
+
+TEST(Hierarchy, WarmupExcludedFromStats)
+{
+    TraceBuffer t;
+    t.append(0x0, RefType::Load);    // cold miss (warmup)
+    t.append(0x0, RefType::Load);    // hit (warmup)
+    t.append(0x0, RefType::Load);    // hit (measured)
+    t.append(0x100, RefType::Load);  // miss (measured)
+    SingleLevelHierarchy h(l1p(1024));
+    h.simulate(t, /*warmup_refs=*/2);
+    EXPECT_EQ(h.stats().totalRefs(), 2u);
+    EXPECT_EQ(h.stats().l1dMisses, 1u);
+}
+
+TEST(Hierarchy, WarmupLargerThanTraceIsSafe)
+{
+    TraceBuffer t;
+    t.append(0x0, RefType::Load);
+    SingleLevelHierarchy h(l1p(1024));
+    h.simulate(t, 100);
+    EXPECT_EQ(h.stats().totalRefs(), 0u);
+}
+
+TEST(TwoLevelInclusive, L2CatchesL1ConflictMisses)
+{
+    // Two lines conflict in a 1 KB DM L1 but coexist in a 4-way L2.
+    TwoLevelHierarchy h(l1p(1024), l2p(8192, 4),
+                        TwoLevelPolicy::Inclusive);
+    for (int i = 0; i < 10; ++i) {
+        h.access(dref(0x0000));
+        h.access(dref(0x0400));
+    }
+    const auto &s = h.stats();
+    EXPECT_EQ(s.l1dMisses, 20u);
+    EXPECT_EQ(s.l2Misses, 2u); // only the two cold misses
+    EXPECT_EQ(s.l2Hits, 18u);
+}
+
+TEST(TwoLevelInclusive, SameLineLivesInBothLevels)
+{
+    TwoLevelHierarchy h(l1p(1024), l2p(8192, 4),
+                        TwoLevelPolicy::Inclusive);
+    h.access(dref(0x1230));
+    EXPECT_TRUE(h.dcache().contains(0x1230));
+    EXPECT_TRUE(h.l2cache().contains(0x1230));
+}
+
+TEST(TwoLevelInclusive, MixedL2SharesCodeAndData)
+{
+    TwoLevelHierarchy h(l1p(1024), l2p(8192, 4),
+                        TwoLevelPolicy::Inclusive);
+    h.access(iref(0x4000));
+    h.access(dref(0x8000));
+    EXPECT_TRUE(h.l2cache().contains(0x4000));
+    EXPECT_TRUE(h.l2cache().contains(0x8000));
+}
+
+TEST(TwoLevelStrictInclusive, L2EvictionInvalidatesL1)
+{
+    // L1 larger than the (direct-mapped) L2, so two lines can
+    // coexist in L1 while conflicting in L2: lines 0x00 and 0x40
+    // land in L1 sets 0 and 64 but both in L2 set 0.
+    TwoLevelHierarchy h(l1p(2048), l2p(1024, 1),
+                        TwoLevelPolicy::StrictInclusive);
+    h.access(dref(0x0000));
+    h.access(dref(0x0400)); // L2 evicts line 0 -> back-invalidation
+    EXPECT_FALSE(h.dcache().contains(0x0000));
+    EXPECT_TRUE(h.dcache().contains(0x0400));
+}
+
+TEST(TwoLevelMostlyInclusive, L2EvictionLeavesL1Alone)
+{
+    TwoLevelHierarchy h(l1p(2048), l2p(1024, 1),
+                        TwoLevelPolicy::Inclusive);
+    h.access(dref(0x0000));
+    h.access(dref(0x0400)); // evicts line 0 from DM L2 (same set)...
+    EXPECT_TRUE(h.dcache().contains(0x0000)); // ...but L1 keeps it
+}
+
+TEST(TwoLevel, RejectsMismatchedLineSizes)
+{
+    CacheParams l1 = l1p(1024);
+    CacheParams l2 = l2p(8192, 4);
+    l2.lineBytes = 32;
+    EXPECT_EXIT(TwoLevelHierarchy(l1, l2, TwoLevelPolicy::Inclusive),
+                ::testing::ExitedWithCode(1), "line sizes");
+}
+
+TEST(VictimCache, CatchesConflictMisses)
+{
+    // 1 KB DM L1 with a 4-line victim buffer: the 2-line ping-pong
+    // misses twice (cold) then always hits the buffer.
+    VictimCacheHierarchy h(l1p(1024), 4);
+    for (int i = 0; i < 10; ++i) {
+        h.access(dref(0x0000));
+        h.access(dref(0x0400));
+    }
+    const auto &s = h.stats();
+    EXPECT_EQ(s.l1dMisses, 20u);
+    EXPECT_EQ(s.l2Misses, 2u);
+    EXPECT_EQ(s.l2Hits, 18u);
+    EXPECT_EQ(s.swaps, 18u);
+}
+
+TEST(VictimCache, LineNeverInBothL1AndBuffer)
+{
+    VictimCacheHierarchy h(l1p(1024), 4);
+    Pcg32 rng(123);
+    for (int i = 0; i < 2000; ++i) {
+        std::uint32_t a = rng.nextBounded(4096) * 16;
+        h.access(dref(a));
+        // Exclusion invariant of a victim cache.
+        ASSERT_FALSE(h.dcache().contains(a) &&
+                     h.victimBuffer().contains(a));
+    }
+}
+
+TEST(VictimCache, CapacityMissesStillGoOffChip)
+{
+    VictimCacheHierarchy h(l1p(1024), 2);
+    // Sweep far more lines than L1 + buffer hold.
+    for (std::uint32_t a = 0; a < 64 * 1024; a += 16)
+        h.access(dref(a));
+    EXPECT_EQ(h.stats().l2Misses, 4096u);
+    EXPECT_EQ(h.stats().l2Hits, 0u);
+}
+
+TEST(HierarchyStats, Accumulate)
+{
+    HierarchyStats a, b;
+    a.instrRefs = 10;
+    a.l2Hits = 2;
+    b.instrRefs = 5;
+    b.l2Hits = 3;
+    b.swaps = 7;
+    a += b;
+    EXPECT_EQ(a.instrRefs, 15u);
+    EXPECT_EQ(a.l2Hits, 5u);
+    EXPECT_EQ(a.swaps, 7u);
+}
+
+TEST(HierarchyStats, RatesWithNoTraffic)
+{
+    HierarchyStats s;
+    EXPECT_EQ(s.l1MissRate(), 0.0);
+    EXPECT_EQ(s.l2LocalMissRate(), 0.0);
+    EXPECT_EQ(s.globalMissRate(), 0.0);
+}

@@ -1,0 +1,256 @@
+/**
+ * @file
+ * End-to-end integration tests: the paper's section-level claims
+ * checked through the full pipeline (trace -> misses -> timing ->
+ * area -> TPI -> envelope) at reduced trace length.
+ */
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "core/explorer.hh"
+#include "util/units.hh"
+
+using namespace tlc;
+
+namespace {
+
+/** Shared evaluator/explorer so traces and sims are reused. */
+class IntegrationTest : public ::testing::Test
+{
+  protected:
+    static MissRateEvaluator &ev()
+    {
+        static MissRateEvaluator e(600000);
+        return e;
+    }
+    static Explorer &ex()
+    {
+        static Explorer x(ev());
+        return x;
+    }
+
+    static SystemAssumptions
+    assume(double offchip, std::uint32_t assoc, TwoLevelPolicy policy)
+    {
+        SystemAssumptions a;
+        a.offchipNs = offchip;
+        a.l2Assoc = assoc;
+        a.policy = policy;
+        return a;
+    }
+};
+
+/** Area of the TPI-minimising single-level configuration. */
+std::uint64_t
+bestSingleLevelL1(Explorer &ex, Benchmark b, double offchip)
+{
+    SystemAssumptions a;
+    a.offchipNs = offchip;
+    auto points = ex.sweep(b, a, true, false);
+    const DesignPoint *best = &points.front();
+    for (const auto &p : points)
+        if (p.tpi.tpi < best->tpi.tpi)
+            best = &p;
+    return best->config.l1Bytes;
+}
+
+} // namespace
+
+// §3: "All seven workloads exhibit a minimum TPI between 8KB and
+// 128KB" for single-level systems at 50 ns.
+TEST_F(IntegrationTest, SingleLevelMinimaBetween8KAnd128K)
+{
+    for (Benchmark b : Workloads::all()) {
+        std::uint64_t best = bestSingleLevelL1(ex(), b, 50.0);
+        EXPECT_GE(best, 8_KiB) << Workloads::info(b).name;
+        EXPECT_LE(best, 128_KiB) << Workloads::info(b).name;
+    }
+}
+
+// §3: espresso, eqntott and tomcatv favor SMALL caches; gcc and
+// fpppp favor larger ones.
+TEST_F(IntegrationTest, SmallVsLargeCachePreference)
+{
+    std::uint64_t esp = bestSingleLevelL1(ex(), Benchmark::Espresso, 50.0);
+    std::uint64_t tom = bestSingleLevelL1(ex(), Benchmark::Tomcatv, 50.0);
+    std::uint64_t gcc = bestSingleLevelL1(ex(), Benchmark::Gcc1, 50.0);
+    std::uint64_t fpp = bestSingleLevelL1(ex(), Benchmark::Fpppp, 50.0);
+    EXPECT_LE(esp, 32_KiB);
+    EXPECT_LE(tom, 32_KiB);
+    EXPECT_GE(gcc, 32_KiB);
+    EXPECT_GE(fpp, 64_KiB);
+}
+
+// §4's worked example for gcc1: the "1:2" two-level configuration is
+// dominated by the "2:0" single-level one at about the same area.
+TEST_F(IntegrationTest, Gcc1OneTwoDominatedByTwoZero)
+{
+    SystemAssumptions a = assume(50, 4, TwoLevelPolicy::Inclusive);
+    SystemConfig c12;
+    c12.l1Bytes = 1_KiB;
+    c12.l2Bytes = 2_KiB;
+    c12.assume = a;
+    SystemConfig c20;
+    c20.l1Bytes = 2_KiB;
+    c20.l2Bytes = 0;
+    c20.assume = a;
+    DesignPoint p12 = ex().evaluate(Benchmark::Gcc1, c12);
+    DesignPoint p20 = ex().evaluate(Benchmark::Gcc1, c20);
+    // Comparable area...
+    EXPECT_LT(std::abs(p12.areaRbe - p20.areaRbe) / p20.areaRbe, 0.5);
+    // ...but the tiny L2 mostly duplicates L1 and just gets in the
+    // way.
+    EXPECT_GT(p12.tpi.tpi, p20.tpi.tpi);
+}
+
+// §7: moving off-chip service from 50 ns to 200 ns raises TPI
+// sharply for small caches and much less for big hierarchies.
+TEST_F(IntegrationTest, LongMissServiceHurtsSmallCachesMost)
+{
+    SystemConfig small;
+    small.l1Bytes = 1_KiB;
+    small.l2Bytes = 0;
+    SystemConfig big;
+    big.l1Bytes = 32_KiB;
+    big.l2Bytes = 256_KiB;
+
+    auto ratio = [&](SystemConfig c) {
+        c.assume.offchipNs = 50;
+        double t50 = ex().evaluate(Benchmark::Gcc1, c).tpi.tpi;
+        c.assume.offchipNs = 200;
+        double t200 = ex().evaluate(Benchmark::Gcc1, c).tpi.tpi;
+        return t200 / t50;
+    };
+    double r_small = ratio(small);
+    double r_big = ratio(big);
+    EXPECT_GT(r_small, 2.0); // paper: "about 3X" at 1 KB
+    EXPECT_LT(r_big, r_small);
+}
+
+// §7: two-level caching is a bigger win at 200 ns than at 50 ns
+// (the envelope gap grows for every workload).
+TEST_F(IntegrationTest, TwoLevelGapGrowsWithOffchipTime)
+{
+    for (Benchmark b : {Benchmark::Gcc1, Benchmark::Li}) {
+        auto gap = [&](double offchip) {
+            SystemAssumptions a =
+                assume(offchip, 4, TwoLevelPolicy::Inclusive);
+            Envelope single =
+                Explorer::envelopeOf(ex().sweep(b, a, true, false));
+            Envelope both = Explorer::envelopeOf(ex().sweep(b, a));
+            // Positive when the single-level envelope sits above the
+            // unrestricted one.
+            return single.meanGapAgainst(both);
+        };
+        double g50 = gap(50);
+        double g200 = gap(200);
+        EXPECT_GE(g50, -1e-9);
+        EXPECT_GT(g200, g50) << Workloads::info(b).name;
+    }
+}
+
+// §8: exclusive caching never loses to the inclusive baseline in
+// off-chip misses for matched configurations (it strictly reduces
+// duplication), and helps most when L2/L1 capacity ratio is small.
+TEST_F(IntegrationTest, ExclusiveReducesOffchipMisses)
+{
+    for (Benchmark b : {Benchmark::Gcc1, Benchmark::Doduc}) {
+        SystemConfig inc;
+        inc.l1Bytes = 8_KiB;
+        inc.l2Bytes = 32_KiB;
+        inc.assume = assume(50, 4, TwoLevelPolicy::Inclusive);
+        SystemConfig exc = inc;
+        exc.assume.policy = TwoLevelPolicy::Exclusive;
+        const HierarchyStats &si = ev().missStats(b, inc);
+        const HierarchyStats &se = ev().missStats(b, exc);
+        EXPECT_LE(se.l2Misses, si.l2Misses) << Workloads::info(b).name;
+    }
+}
+
+// §8: a direct-mapped exclusive L2 performs about as well as a
+// 4-way inclusive L2 (for gcc1), and a 4-way exclusive L2 beats
+// both.
+TEST_F(IntegrationTest, ExclusiveDmComparableToInclusiveFourWay)
+{
+    Benchmark b = Benchmark::Gcc1;
+    SystemConfig cfg;
+    cfg.l1Bytes = 8_KiB;
+    cfg.l2Bytes = 64_KiB;
+
+    cfg.assume = assume(50, 1, TwoLevelPolicy::Exclusive);
+    double ex_dm = ex().evaluate(b, cfg).tpi.tpi;
+    cfg.assume = assume(50, 4, TwoLevelPolicy::Inclusive);
+    double in_4w = ex().evaluate(b, cfg).tpi.tpi;
+    cfg.assume = assume(50, 4, TwoLevelPolicy::Exclusive);
+    double ex_4w = ex().evaluate(b, cfg).tpi.tpi;
+
+    // "about as well": within 10%.
+    EXPECT_NEAR(ex_dm / in_4w, 1.0, 0.10);
+    // Combining beats either alone.
+    EXPECT_LE(ex_4w, ex_dm + 1e-9);
+    EXPECT_LE(ex_4w, in_4w + 1e-9);
+}
+
+// §8: exclusive caching's envelope is never worse than the
+// baseline's over the shared area range.
+TEST_F(IntegrationTest, ExclusiveEnvelopeAtOrBelowInclusive)
+{
+    Benchmark b = Benchmark::Gcc1;
+    SystemAssumptions inc = assume(50, 4, TwoLevelPolicy::Inclusive);
+    SystemAssumptions exc = assume(50, 4, TwoLevelPolicy::Exclusive);
+    Envelope e_inc = Explorer::envelopeOf(ex().sweep(b, inc));
+    Envelope e_exc = Explorer::envelopeOf(ex().sweep(b, exc));
+    // Mean gap of exclusive against inclusive must not be positive.
+    EXPECT_LE(e_exc.meanGapAgainst(e_inc), 1e-3);
+}
+
+// §6: doubling L1 cell area for 2x issue helps big-cache systems
+// and hurts tiny-cache ones (the dotted/dashed crossover in Figures
+// 10-16).
+TEST_F(IntegrationTest, DualPortCrossover)
+{
+    Benchmark b = Benchmark::Gcc1;
+    auto tpi_area = [&](std::uint64_t l1, bool dual) {
+        SystemConfig c;
+        c.l1Bytes = l1;
+        c.l2Bytes = 0;
+        c.assume.dualPortedL1 = dual;
+        DesignPoint p = ex().evaluate(b, c);
+        return std::pair<double, double>(p.tpi.tpi, p.areaRbe);
+    };
+    // Same capacity: dual-ported is strictly faster (2x issue).
+    EXPECT_LT(tpi_area(32_KiB, true).first, tpi_area(32_KiB, false).first);
+    // Fixed area comparison at the small end: a 1K dual-ported pair
+    // costs about a 2K single-ported pair but performs worse,
+    // because misses dominate.
+    auto [t_dual_1k, a_dual_1k] = tpi_area(1_KiB, true);
+    auto [t_sp_2k, a_sp_2k] = tpi_area(2_KiB, false);
+    EXPECT_NEAR(a_dual_1k / a_sp_2k, 1.0, 0.35);
+    EXPECT_GT(t_dual_1k, t_sp_2k);
+    // At the large end the tradeoff flips: 64K dual-ported beats
+    // 128K single-ported in TPI at comparable area.
+    auto [t_dual_64k, a_dual_64k] = tpi_area(64_KiB, true);
+    auto [t_sp_128k, a_sp_128k] = tpi_area(128_KiB, false);
+    EXPECT_NEAR(a_dual_64k / a_sp_128k, 1.0, 0.35);
+    EXPECT_LT(t_dual_64k, t_sp_128k);
+}
+
+// The quickstart path: pricing a configuration works end to end and
+// produces internally-consistent numbers.
+TEST_F(IntegrationTest, FullPipelineConsistency)
+{
+    SystemConfig c;
+    c.l1Bytes = 8_KiB;
+    c.l2Bytes = 128_KiB;
+    c.assume = assume(50, 4, TwoLevelPolicy::Exclusive);
+    DesignPoint p = ex().evaluate(Benchmark::Gcc1, c);
+    EXPECT_EQ(p.miss.l2Hits + p.miss.l2Misses, p.miss.l1Misses());
+    EXPECT_GE(p.tpi.tpi, p.l1Timing.cycleNs);
+    EXPECT_GT(p.miss.swaps, 0u);
+    double manual = (p.tpi.baseTimeNs + p.tpi.l2HitTimeNs +
+                     p.tpi.l2MissTimeNs) /
+                    static_cast<double>(p.miss.instrRefs);
+    EXPECT_NEAR(p.tpi.tpi, manual, 1e-9);
+}

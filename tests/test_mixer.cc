@@ -1,0 +1,118 @@
+/**
+ * @file
+ * Tests for the workload mixer: interleaving, weights, and edge
+ * cases not covered by the per-benchmark workload tests.
+ */
+
+#include <gtest/gtest.h>
+
+#include "trace/streams.hh"
+#include "trace/workload.hh"
+
+using namespace tlc;
+
+namespace {
+
+/** A stream that returns a fixed address, for composition checks. */
+class ConstStream : public RefStream
+{
+  public:
+    explicit ConstStream(std::uint32_t addr) : addr_(addr) {}
+    std::uint32_t next() override { return addr_; }
+
+  private:
+    std::uint32_t addr_;
+};
+
+std::unique_ptr<RefStream>
+code()
+{
+    LoopCodeParams p;
+    return std::make_unique<LoopCodeStream>(p, 3);
+}
+
+} // namespace
+
+TEST(Mixer, ZeroDataRatioGivesInstructionOnlyTrace)
+{
+    WorkloadMixer m(code(), 0.0, 0.0, 9);
+    TraceBuffer buf;
+    m.generate(buf, 5000);
+    EXPECT_EQ(buf.totalRefs(), 5000u);
+    EXPECT_EQ(buf.dataRefs(), 0u);
+}
+
+TEST(Mixer, DataRatioApproximatelyHonoured)
+{
+    WorkloadMixer m(code(), 0.5, 0.3, 9);
+    m.addDataStream(std::make_unique<ConstStream>(0x10000000), 1.0);
+    TraceBuffer buf;
+    m.generate(buf, 60000);
+    double ratio = static_cast<double>(buf.dataRefs()) /
+                   static_cast<double>(buf.instrRefs());
+    EXPECT_NEAR(ratio, 0.5, 0.03);
+}
+
+TEST(Mixer, StoreFractionApproximatelyHonoured)
+{
+    WorkloadMixer m(code(), 0.5, 0.3, 9);
+    m.addDataStream(std::make_unique<ConstStream>(0x10000000), 1.0);
+    TraceBuffer buf;
+    m.generate(buf, 60000);
+    double frac = static_cast<double>(buf.storeRefs()) /
+                  static_cast<double>(buf.dataRefs());
+    EXPECT_NEAR(frac, 0.3, 0.03);
+}
+
+TEST(Mixer, WeightsSelectStreamsProportionally)
+{
+    WorkloadMixer m(code(), 1.0, 0.0, 9);
+    m.addDataStream(std::make_unique<ConstStream>(0x10000000), 3.0);
+    m.addDataStream(std::make_unique<ConstStream>(0x20000000), 1.0);
+    TraceBuffer buf;
+    m.generate(buf, 80000);
+    std::uint64_t a = 0, b = 0;
+    for (const auto &rec : buf) {
+        if (rec.type == RefType::Instr)
+            continue;
+        if (rec.addr == 0x10000000)
+            ++a;
+        else if (rec.addr == 0x20000000)
+            ++b;
+    }
+    ASSERT_GT(b, 0u);
+    EXPECT_NEAR(static_cast<double>(a) / static_cast<double>(b), 3.0,
+                0.3);
+}
+
+TEST(Mixer, ExactRequestedLength)
+{
+    // Regardless of interleaving, the buffer ends at exactly the
+    // requested length (the last record may be an instruction).
+    WorkloadMixer m(code(), 0.9, 0.5, 9);
+    m.addDataStream(std::make_unique<ConstStream>(0x10000000), 1.0);
+    for (std::uint64_t n : {1u, 2u, 3u, 1001u}) {
+        TraceBuffer buf;
+        m.generate(buf, n);
+        EXPECT_EQ(buf.totalRefs(), n);
+    }
+}
+
+TEST(Mixer, AppendsToExistingBuffer)
+{
+    WorkloadMixer m(code(), 0.0, 0.0, 9);
+    TraceBuffer buf;
+    buf.append(0xdead0000, RefType::Load);
+    m.generate(buf, 10);
+    EXPECT_EQ(buf.totalRefs(), 11u);
+    EXPECT_EQ(buf[0].addr, 0xdead0000u);
+}
+
+TEST(Mixer, FirstRecordIsInstruction)
+{
+    WorkloadMixer m(code(), 1.0, 0.0, 9);
+    m.addDataStream(std::make_unique<ConstStream>(0x10000000), 1.0);
+    TraceBuffer buf;
+    m.generate(buf, 100);
+    EXPECT_EQ(buf[0].type, RefType::Instr);
+}

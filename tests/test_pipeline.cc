@@ -1,0 +1,237 @@
+/**
+ * @file
+ * Tests for the multicycle / non-blocking pipeline model (§10).
+ */
+
+#include <gtest/gtest.h>
+
+#include "cache/single_level.hh"
+#include "cache/two_level.hh"
+#include "pipeline/pipeline.hh"
+#include "trace/workload.hh"
+
+using namespace tlc;
+
+namespace {
+
+CacheParams
+dm(std::uint64_t size)
+{
+    CacheParams p;
+    p.sizeBytes = size;
+    p.lineBytes = 16;
+    p.assoc = 1;
+    return p;
+}
+
+TraceBuffer
+instrOnlyTrace(int n, std::uint32_t stride = 0)
+{
+    TraceBuffer t;
+    for (int i = 0; i < n; ++i)
+        t.append(0x1000 + i * stride, RefType::Instr);
+    return t;
+}
+
+PipelineParams
+baseParams()
+{
+    PipelineParams p;
+    p.cycleNs = 2.0;
+    p.l1Cycles = 1;
+    p.l2HitCycles = 5;
+    p.offchipCycles = 26;
+    p.mshrs = 1;
+    p.loadUseStallProb = 1.0; // deterministic unless a test says so
+    return p;
+}
+
+} // namespace
+
+TEST(Pipeline, AllHitsIsOneCpi)
+{
+    TraceBuffer t = instrOnlyTrace(1000, 0); // same line every time
+    SingleLevelHierarchy h(dm(1024));
+    PipelineSimulator sim(baseParams());
+    PipelineResult r = sim.run(h, t, /*warmup=*/1);
+    EXPECT_EQ(r.instructions, 999u);
+    EXPECT_DOUBLE_EQ(r.cpi(), 1.0);
+    EXPECT_DOUBLE_EQ(r.tpiNs(2.0), 2.0);
+}
+
+TEST(Pipeline, IfetchMissStallsFullLatency)
+{
+    // Two instructions on different lines, never seen before:
+    // 2 issue cycles + 2 off-chip stalls.
+    TraceBuffer t = instrOnlyTrace(2, 4096);
+    SingleLevelHierarchy h(dm(1024));
+    PipelineSimulator sim(baseParams());
+    PipelineResult r = sim.run(h, t);
+    EXPECT_EQ(r.cycles, 2u + 2u * 26u);
+    EXPECT_EQ(r.ifetchStallCycles, 52u);
+}
+
+TEST(Pipeline, BlockingLoadMissStalls)
+{
+    TraceBuffer t;
+    t.append(0x1000, RefType::Instr);
+    t.append(0x8000, RefType::Load); // cold miss
+    SingleLevelHierarchy h(dm(1024));
+    PipelineSimulator sim(baseParams()); // loadUseStallProb = 1
+    PipelineResult r = sim.run(h, t);
+    // 1 ifetch-miss stall + issue + load miss stall.
+    EXPECT_EQ(r.loadUseStallCycles, 26u);
+}
+
+TEST(Pipeline, LatencyTolerantLoadsDontStall)
+{
+    TraceBuffer t;
+    for (int i = 0; i < 100; ++i) {
+        t.append(0x1000, RefType::Instr);
+        t.append(0x8000 + i * 4096, RefType::Load); // all miss
+    }
+    SingleLevelHierarchy h(dm(1024));
+    PipelineParams p = baseParams();
+    p.loadUseStallProb = 0.0;
+    p.mshrs = 64; // plenty
+    PipelineSimulator sim(p);
+    PipelineResult r = sim.run(h, t);
+    EXPECT_EQ(r.loadUseStallCycles, 0u);
+    // Only the first ifetch misses; all loads retire in background.
+    EXPECT_EQ(r.cycles, 100u + 26u);
+}
+
+TEST(Pipeline, SingleMshrSerializesMisses)
+{
+    // Back-to-back tolerant load misses with ONE MSHR: the second
+    // must wait for the first to retire.
+    TraceBuffer t;
+    t.append(0x1000, RefType::Instr);
+    t.append(0x8000, RefType::Load);
+    t.append(0x1000, RefType::Instr);
+    t.append(0x10000, RefType::Load);
+    SingleLevelHierarchy h(dm(1024));
+    PipelineParams p = baseParams();
+    p.loadUseStallProb = 0.0;
+    p.mshrs = 1;
+    PipelineSimulator sim(p);
+    PipelineResult r1 = sim.run(h, t);
+    EXPECT_GT(r1.mshrFullStallCycles, 0u);
+
+    SingleLevelHierarchy h2(dm(1024));
+    p.mshrs = 2;
+    PipelineSimulator sim2(p);
+    PipelineResult r2 = sim2.run(h2, t);
+    EXPECT_EQ(r2.mshrFullStallCycles, 0u);
+    EXPECT_LT(r2.cycles, r1.cycles);
+}
+
+TEST(Pipeline, MulticycleL1AddsLoadUseStalls)
+{
+    TraceBuffer t;
+    for (int i = 0; i < 100; ++i) {
+        t.append(0x1000, RefType::Instr);
+        t.append(0x2000, RefType::Load); // always hits after first
+    }
+    PipelineParams p = baseParams();
+    p.l1Cycles = 3;
+    p.loadUseStallProb = 1.0;
+    SingleLevelHierarchy h(dm(8192));
+    PipelineSimulator sim(p);
+    PipelineResult r = sim.run(h, t, /*warmup=*/4);
+    EXPECT_GT(r.l1AccessStallCycles, 0u);
+    // Every measured load hits and stalls l1Cycles-1 = 2 cycles, one
+    // load per instruction.
+    EXPECT_EQ(r.l1AccessStallCycles, 2 * r.instructions);
+}
+
+TEST(Pipeline, WarmupResetsAccounting)
+{
+    TraceBuffer t = instrOnlyTrace(100, 4096); // all miss
+    SingleLevelHierarchy h(dm(1024));
+    PipelineSimulator sim(baseParams());
+    PipelineResult r = sim.run(h, t, 50);
+    EXPECT_EQ(r.instructions, 50u);
+    EXPECT_EQ(r.cycles, 50u + 50u * 26u);
+}
+
+TEST(Pipeline, NonBlockingHelpsOnRealWorkload)
+{
+    TraceBuffer t = Workloads::generate(Benchmark::Tomcatv, 150000);
+    PipelineParams p = baseParams();
+    p.loadUseStallProb = 0.3; // numeric code tolerates latency (§10)
+
+    auto run = [&](unsigned mshrs) {
+        p.mshrs = mshrs;
+        TwoLevelHierarchy h(dm(8192), CacheParams{65536, 16, 4,
+                                                  ReplPolicy::Random},
+                            TwoLevelPolicy::Inclusive);
+        PipelineSimulator sim(p);
+        return sim.run(h, t, 15000).cpi();
+    };
+    double blocking = run(1);
+    double nonblocking = run(8);
+    EXPECT_LT(nonblocking, blocking);
+}
+
+TEST(Pipeline, WritebackBufferAbsorbsDirtyEvictions)
+{
+    // A store-heavy thrash pattern generates a dirty eviction per
+    // access; a deep write buffer must stall less than a single-slot
+    // one.
+    TraceBuffer t;
+    for (int i = 0; i < 500; ++i) {
+        t.append({0x1000, RefType::Instr});
+        // Two conflicting lines, always stores: each miss evicts a
+        // dirty line.
+        t.append({i % 2 ? 0x8000u : 0x8400u, RefType::Store});
+    }
+    PipelineParams p = baseParams();
+    p.loadUseStallProb = 0.0;
+    p.mshrs = 8;
+
+    auto run = [&](unsigned depth) {
+        p.writebackBufferDepth = depth;
+        SingleLevelHierarchy h(dm(1024));
+        PipelineSimulator sim(p);
+        return sim.run(h, t);
+    };
+    PipelineResult shallow = run(1);
+    PipelineResult deep = run(16);
+    EXPECT_GT(shallow.writebackStallCycles, 0u);
+    EXPECT_LT(deep.writebackStallCycles, shallow.writebackStallCycles);
+    EXPECT_LE(deep.cycles, shallow.cycles);
+}
+
+TEST(Pipeline, ZeroDepthWritebackBufferIsFree)
+{
+    TraceBuffer t;
+    for (int i = 0; i < 100; ++i) {
+        t.append({0x1000, RefType::Instr});
+        t.append({i % 2 ? 0x8000u : 0x8400u, RefType::Store});
+    }
+    PipelineParams p = baseParams();
+    p.loadUseStallProb = 0.0;
+    p.writebackBufferDepth = 0; // disables write-back modelling
+    SingleLevelHierarchy h(dm(1024));
+    PipelineSimulator sim(p);
+    PipelineResult r = sim.run(h, t);
+    EXPECT_EQ(r.writebackStallCycles, 0u);
+}
+
+TEST(Pipeline, FasterL2ReducesCpi)
+{
+    TraceBuffer t = Workloads::generate(Benchmark::Gcc1, 150000);
+    PipelineParams p = baseParams();
+    p.loadUseStallProb = 0.6;
+
+    auto run = [&](unsigned l2_cycles) {
+        p.l2HitCycles = l2_cycles;
+        TwoLevelHierarchy h(dm(8192), CacheParams{65536, 16, 4,
+                                                  ReplPolicy::Random},
+                            TwoLevelPolicy::Inclusive);
+        PipelineSimulator sim(p);
+        return sim.run(h, t, 15000).cpi();
+    };
+    EXPECT_LT(run(5), run(15));
+}

@@ -1,0 +1,107 @@
+/**
+ * @file
+ * Tests for the ASCII scatter plotter.
+ */
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "util/plot.hh"
+
+using namespace tlc;
+
+TEST(ScatterPlot, EmptyPlotSaysSo)
+{
+    ScatterPlot p;
+    std::ostringstream os;
+    p.render(os);
+    EXPECT_NE(os.str().find("empty"), std::string::npos);
+}
+
+TEST(ScatterPlot, MarkersAppear)
+{
+    ScatterPlot p(40, 10, false, false);
+    p.addSeries("a", '*');
+    p.addSeries("b", 'o');
+    p.addPoint("a", 1, 1);
+    p.addPoint("b", 10, 10);
+    std::ostringstream os;
+    p.render(os);
+    std::string s = os.str();
+    EXPECT_NE(s.find('*'), std::string::npos);
+    EXPECT_NE(s.find('o'), std::string::npos);
+    EXPECT_NE(s.find("legend:"), std::string::npos);
+    EXPECT_NE(s.find("*=a"), std::string::npos);
+}
+
+TEST(ScatterPlot, ExtremesLandInCorners)
+{
+    ScatterPlot p(40, 10, false, false);
+    p.addSeries("a", '*');
+    p.addPoint("a", 0, 0);
+    p.addPoint("a", 100, 100);
+    std::ostringstream os;
+    p.render(os);
+    std::string s = os.str();
+    // First plot row contains the max-y point; a later row has min.
+    auto first_line = s.substr(0, s.find('\n'));
+    EXPECT_NE(first_line.find('*'), std::string::npos);
+}
+
+TEST(ScatterPlot, LogAxesAcceptOnlyPositive)
+{
+    ScatterPlot p(40, 10, true, true);
+    p.addSeries("a", '*');
+    EXPECT_DEATH(p.addPoint("a", 0.0, 1.0), "positive");
+}
+
+TEST(ScatterPlot, UnknownSeriesPanics)
+{
+    ScatterPlot p;
+    EXPECT_DEATH(p.addPoint("nope", 1, 1), "unknown series");
+}
+
+TEST(ScatterPlot, DuplicateSeriesPanics)
+{
+    ScatterPlot p;
+    p.addSeries("a", '*');
+    EXPECT_DEATH(p.addSeries("a", 'o'), "duplicate");
+}
+
+TEST(ScatterPlot, CountsPoints)
+{
+    ScatterPlot p;
+    p.addSeries("a", '*');
+    p.addPoint("a", 1, 1);
+    p.addPoint("a", 2, 2);
+    EXPECT_EQ(p.numPoints(), 2u);
+}
+
+TEST(ScatterPlot, AxisLabelsRendered)
+{
+    ScatterPlot p(40, 10, true, true);
+    p.addSeries("a", '*');
+    p.addPoint("a", 10000, 5);
+    p.addPoint("a", 1000000, 10);
+    p.setXLabel("area (rbe)");
+    p.setYLabel("TPI (ns)");
+    std::ostringstream os;
+    p.render(os);
+    std::string s = os.str();
+    EXPECT_NE(s.find("area (rbe)"), std::string::npos);
+    EXPECT_NE(s.find("TPI (ns)"), std::string::npos);
+    // Human-readable bounds: 10k and 1.00M.
+    EXPECT_NE(s.find("10k"), std::string::npos);
+    EXPECT_NE(s.find("1.00M"), std::string::npos);
+}
+
+TEST(ScatterPlot, SinglePointDoesNotCrash)
+{
+    ScatterPlot p(40, 10, true, true);
+    p.addSeries("a", '*');
+    p.addPoint("a", 5, 5);
+    std::ostringstream os;
+    p.render(os);
+    EXPECT_NE(os.str().find('*'), std::string::npos);
+}

@@ -1,0 +1,157 @@
+/**
+ * @file
+ * Unit and property tests for the Pcg32 generator.
+ */
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "util/random.hh"
+
+using namespace tlc;
+
+TEST(Pcg32, DeterministicForSameSeed)
+{
+    Pcg32 a(42, 7), b(42, 7);
+    for (int i = 0; i < 1000; ++i)
+        EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Pcg32, DifferentSeedsDiffer)
+{
+    Pcg32 a(42), b(43);
+    int same = 0;
+    for (int i = 0; i < 1000; ++i)
+        same += (a.next() == b.next());
+    EXPECT_LT(same, 5);
+}
+
+TEST(Pcg32, DifferentStreamsDiffer)
+{
+    Pcg32 a(42, 1), b(42, 2);
+    int same = 0;
+    for (int i = 0; i < 1000; ++i)
+        same += (a.next() == b.next());
+    EXPECT_LT(same, 5);
+}
+
+TEST(Pcg32, BoundedStaysInBounds)
+{
+    Pcg32 rng(1);
+    for (std::uint32_t bound : {1u, 2u, 3u, 10u, 1000u, 1u << 30}) {
+        for (int i = 0; i < 200; ++i)
+            EXPECT_LT(rng.nextBounded(bound), bound);
+    }
+}
+
+TEST(Pcg32, BoundedZeroIsZero)
+{
+    Pcg32 rng(1);
+    EXPECT_EQ(rng.nextBounded(0), 0u);
+}
+
+TEST(Pcg32, DoubleInUnitInterval)
+{
+    Pcg32 rng(3);
+    for (int i = 0; i < 10000; ++i) {
+        double d = rng.nextDouble();
+        EXPECT_GE(d, 0.0);
+        EXPECT_LT(d, 1.0);
+    }
+}
+
+TEST(Pcg32, DoubleMeanIsHalf)
+{
+    Pcg32 rng(4);
+    double sum = 0;
+    const int n = 100000;
+    for (int i = 0; i < n; ++i)
+        sum += rng.nextDouble();
+    EXPECT_NEAR(sum / n, 0.5, 0.01);
+}
+
+TEST(Pcg32, BoundedIsRoughlyUniform)
+{
+    Pcg32 rng(5);
+    const std::uint32_t bound = 10;
+    std::vector<int> hist(bound, 0);
+    const int n = 100000;
+    for (int i = 0; i < n; ++i)
+        ++hist[rng.nextBounded(bound)];
+    for (auto h : hist) {
+        EXPECT_GT(h, n / bound * 0.9);
+        EXPECT_LT(h, n / bound * 1.1);
+    }
+}
+
+TEST(Pcg32, GeometricMeanMatches)
+{
+    Pcg32 rng(6);
+    const double p = 0.2;
+    double sum = 0;
+    const int n = 100000;
+    for (int i = 0; i < n; ++i)
+        sum += rng.nextGeometric(p);
+    // Mean of failures-before-success geometric is (1-p)/p = 4.
+    EXPECT_NEAR(sum / n, (1 - p) / p, 0.15);
+}
+
+TEST(Pcg32, ExponentialMeanMatches)
+{
+    Pcg32 rng(7);
+    const double mean = 5.0;
+    double sum = 0;
+    const int n = 100000;
+    for (int i = 0; i < n; ++i)
+        sum += rng.nextExponential(mean);
+    EXPECT_NEAR(sum / n, mean, 0.2);
+}
+
+TEST(Pcg32, ZipfStaysInRange)
+{
+    Pcg32 rng(8);
+    for (int i = 0; i < 10000; ++i)
+        EXPECT_LT(rng.nextZipf(100, 1.0), 100u);
+}
+
+TEST(Pcg32, ZipfSingleElement)
+{
+    Pcg32 rng(9);
+    for (int i = 0; i < 10; ++i)
+        EXPECT_EQ(rng.nextZipf(1, 1.2), 0u);
+}
+
+TEST(Pcg32, ZipfIsSkewedTowardLowRanks)
+{
+    Pcg32 rng(10);
+    const int n = 100000;
+    int rank0 = 0, upper_half = 0;
+    for (int i = 0; i < n; ++i) {
+        std::uint32_t r = rng.nextZipf(1000, 1.2);
+        rank0 += (r == 0);
+        upper_half += (r >= 500);
+    }
+    // Rank 0 must dominate any individual high rank, and the whole
+    // upper half should receive a small share.
+    EXPECT_GT(rank0, n / 20);
+    EXPECT_LT(upper_half, n / 10);
+}
+
+// Property: skew increases with s.
+TEST(Pcg32, ZipfSkewGrowsWithS)
+{
+    auto top10_share = [](double s) {
+        Pcg32 rng(11);
+        const int n = 50000;
+        int top = 0;
+        for (int i = 0; i < n; ++i)
+            top += (rng.nextZipf(1000, s) < 10);
+        return static_cast<double>(top) / n;
+    };
+    double s08 = top10_share(0.8);
+    double s12 = top10_share(1.2);
+    double s16 = top10_share(1.6);
+    EXPECT_LT(s08, s12);
+    EXPECT_LT(s12, s16);
+}

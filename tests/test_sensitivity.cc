@@ -1,0 +1,107 @@
+/**
+ * @file
+ * Sensitivity tests: the headline results must be properties of the
+ * calibrated workload *structure*, not accidents of one random
+ * seed. Trace variants regenerate each benchmark with independent
+ * randomness but identical structural parameters.
+ */
+
+#include <gtest/gtest.h>
+
+#include "cache/single_level.hh"
+#include "cache/two_level.hh"
+#include "trace/workload.hh"
+
+using namespace tlc;
+
+namespace {
+
+constexpr std::uint64_t kRefs = 300000;
+
+CacheParams
+dm(std::uint64_t size)
+{
+    CacheParams p;
+    p.sizeBytes = size;
+    p.lineBytes = 16;
+    p.assoc = 1;
+    return p;
+}
+
+double
+missRate(Benchmark b, unsigned variant, std::uint64_t l1)
+{
+    TraceBuffer t = Workloads::generate(b, kRefs, variant);
+    SingleLevelHierarchy h(dm(l1));
+    h.simulate(t, kRefs / 10);
+    return h.stats().l1MissRate();
+}
+
+} // namespace
+
+TEST(Sensitivity, VariantsAreDistinctTraces)
+{
+    TraceBuffer a = Workloads::generate(Benchmark::Gcc1, 10000, 0);
+    TraceBuffer b = Workloads::generate(Benchmark::Gcc1, 10000, 1);
+    ASSERT_EQ(a.size(), b.size());
+    int same = 0;
+    for (std::size_t i = 0; i < a.size(); ++i)
+        same += (a[i] == b[i]);
+    EXPECT_LT(same, 5000);
+}
+
+TEST(Sensitivity, VariantZeroIsCanonical)
+{
+    TraceBuffer a = Workloads::generate(Benchmark::Li, 10000);
+    TraceBuffer b = Workloads::generate(Benchmark::Li, 10000, 0);
+    ASSERT_EQ(a.size(), b.size());
+    for (std::size_t i = 0; i < a.size(); ++i)
+        ASSERT_EQ(a[i], b[i]);
+}
+
+TEST(Sensitivity, MissRatesStableAcrossVariants)
+{
+    // The 32 KB anchor miss rates must agree across three variants
+    // to within 25 % relative — the calibration is structural.
+    for (Benchmark b :
+         {Benchmark::Espresso, Benchmark::Gcc1, Benchmark::Tomcatv}) {
+        double m0 = missRate(b, 0, 32 * 1024);
+        for (unsigned v : {1u, 2u}) {
+            double mv = missRate(b, v, 32 * 1024);
+            EXPECT_NEAR(mv, m0, 0.25 * m0)
+                << Workloads::info(b).name << " variant " << v;
+        }
+    }
+}
+
+TEST(Sensitivity, ExclusiveGainHoldsAcrossVariants)
+{
+    // The paper's headline (exclusive <= inclusive off-chip misses)
+    // must hold for every variant, not just the canonical trace.
+    for (unsigned v : {0u, 1u, 2u}) {
+        TraceBuffer t = Workloads::generate(Benchmark::Gcc1, kRefs, v);
+        auto run = [&](TwoLevelPolicy pol) {
+            CacheParams l2;
+            l2.sizeBytes = 32 * 1024;
+            l2.lineBytes = 16;
+            l2.assoc = 4;
+            l2.repl = ReplPolicy::Random;
+            TwoLevelHierarchy h(dm(8 * 1024), l2, pol);
+            h.simulate(t, kRefs / 10);
+            return h.stats().l2Misses;
+        };
+        EXPECT_LE(run(TwoLevelPolicy::Exclusive),
+                  run(TwoLevelPolicy::Inclusive))
+            << "variant " << v;
+    }
+}
+
+TEST(Sensitivity, SizeOrderingStableAcrossVariants)
+{
+    // Bigger caches never lose across variants.
+    for (unsigned v : {0u, 1u, 2u}) {
+        double m4 = missRate(Benchmark::Doduc, v, 4 * 1024);
+        double m64 = missRate(Benchmark::Doduc, v, 64 * 1024);
+        EXPECT_GT(m4, m64) << "variant " << v;
+    }
+}

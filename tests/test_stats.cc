@@ -1,0 +1,116 @@
+/**
+ * @file
+ * Unit tests for the statistics package.
+ */
+
+#include <gtest/gtest.h>
+
+#include "util/stats.hh"
+
+using namespace tlc;
+
+TEST(Counter, StartsAtZeroAndCounts)
+{
+    Counter c;
+    EXPECT_EQ(c.value(), 0u);
+    ++c;
+    ++c;
+    c += 5;
+    EXPECT_EQ(c.value(), 7u);
+    c.reset();
+    EXPECT_EQ(c.value(), 0u);
+}
+
+TEST(RunningStat, EmptyIsZero)
+{
+    RunningStat s;
+    EXPECT_EQ(s.count(), 0u);
+    EXPECT_EQ(s.mean(), 0.0);
+    EXPECT_EQ(s.variance(), 0.0);
+    EXPECT_EQ(s.min(), 0.0);
+    EXPECT_EQ(s.max(), 0.0);
+}
+
+TEST(RunningStat, KnownMoments)
+{
+    RunningStat s;
+    for (double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0})
+        s.sample(x);
+    EXPECT_EQ(s.count(), 8u);
+    EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+    EXPECT_NEAR(s.variance(), 32.0 / 7.0, 1e-12); // sample variance
+    EXPECT_DOUBLE_EQ(s.min(), 2.0);
+    EXPECT_DOUBLE_EQ(s.max(), 9.0);
+    EXPECT_DOUBLE_EQ(s.total(), 40.0);
+}
+
+TEST(RunningStat, SingleSample)
+{
+    RunningStat s;
+    s.sample(3.5);
+    EXPECT_DOUBLE_EQ(s.mean(), 3.5);
+    EXPECT_EQ(s.variance(), 0.0);
+    EXPECT_DOUBLE_EQ(s.min(), 3.5);
+    EXPECT_DOUBLE_EQ(s.max(), 3.5);
+}
+
+TEST(RunningStat, ResetClears)
+{
+    RunningStat s;
+    s.sample(1.0);
+    s.sample(2.0);
+    s.reset();
+    EXPECT_EQ(s.count(), 0u);
+    EXPECT_EQ(s.mean(), 0.0);
+}
+
+TEST(Log2Histogram, BucketsCorrectly)
+{
+    Log2Histogram h(8);
+    h.sample(0); // bucket 0
+    h.sample(1); // bucket 0
+    h.sample(2); // bucket 1
+    h.sample(3); // bucket 1
+    h.sample(4); // bucket 2
+    h.sample(7); // bucket 2
+    h.sample(8); // bucket 3
+    EXPECT_EQ(h.bucket(0), 2u);
+    EXPECT_EQ(h.bucket(1), 2u);
+    EXPECT_EQ(h.bucket(2), 2u);
+    EXPECT_EQ(h.bucket(3), 1u);
+    EXPECT_EQ(h.count(), 7u);
+}
+
+TEST(Log2Histogram, OverflowGoesToLastBucket)
+{
+    Log2Histogram h(4);
+    h.sample(1u << 20);
+    EXPECT_EQ(h.bucket(3), 1u);
+}
+
+TEST(Log2Histogram, FractionBelow)
+{
+    Log2Histogram h(16);
+    for (int i = 0; i < 100; ++i)
+        h.sample(1); // bucket 0: [1, 2)
+    for (int i = 0; i < 100; ++i)
+        h.sample(1000); // bucket 9
+    EXPECT_NEAR(h.fractionBelow(2), 0.5, 0.01);
+    EXPECT_NEAR(h.fractionBelow(2048), 1.0, 0.01);
+    EXPECT_NEAR(h.fractionBelow(512), 0.5, 0.01);
+}
+
+TEST(Log2Histogram, QuantileOrdering)
+{
+    Log2Histogram h(20);
+    for (std::uint64_t i = 1; i <= 10000; ++i)
+        h.sample(i);
+    EXPECT_LE(h.quantile(0.1), h.quantile(0.5));
+    EXPECT_LE(h.quantile(0.5), h.quantile(0.9));
+}
+
+TEST(SafeRatio, HandlesZeroDenominator)
+{
+    EXPECT_EQ(safeRatio(5.0, 0.0), 0.0);
+    EXPECT_DOUBLE_EQ(safeRatio(5.0, 2.0), 2.5);
+}

@@ -1,0 +1,241 @@
+/**
+ * @file
+ * Tests for the synthetic reference-stream generators: determinism,
+ * range containment, and the locality structure each is meant to
+ * produce.
+ */
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <vector>
+
+#include "trace/streams.hh"
+
+using namespace tlc;
+
+namespace {
+
+template <typename S>
+std::vector<std::uint32_t>
+take(S &s, int n)
+{
+    std::vector<std::uint32_t> v;
+    v.reserve(n);
+    for (int i = 0; i < n; ++i)
+        v.push_back(s.next());
+    return v;
+}
+
+} // namespace
+
+TEST(SequentialStream, Deterministic)
+{
+    SequentialStream a(0x1000, 4096, 2, 8, 0.2, 4, 42);
+    SequentialStream b(0x1000, 4096, 2, 8, 0.2, 4, 42);
+    EXPECT_EQ(take(a, 500), take(b, 500));
+}
+
+TEST(SequentialStream, PureSweepIsUnitStride)
+{
+    SequentialStream s(0x1000, 256, 1, 8, 0.0, 1, 1);
+    auto v = take(s, 32); // one full pass of 256/8 = 32 elements
+    for (int i = 0; i < 32; ++i)
+        EXPECT_EQ(v[i], 0x1000u + 8 * i);
+    // Wraps to the start.
+    EXPECT_EQ(s.next(), 0x1000u);
+}
+
+TEST(SequentialStream, RoundRobinsArrays)
+{
+    SequentialStream s(0x1000, 64, 3, 8, 0.0, 1, 1);
+    auto v = take(s, 24); // 8 elements per array, 3 arrays
+    EXPECT_EQ(v[0], 0x1000u);
+    EXPECT_EQ(v[8], 0x1000u + 64);  // second array
+    EXPECT_EQ(v[16], 0x1000u + 128); // third array
+}
+
+TEST(SequentialStream, StaysInRegion)
+{
+    SequentialStream s(0x1000, 4096, 2, 8, 0.3, 8, 7);
+    for (auto a : take(s, 5000)) {
+        EXPECT_GE(a, 0x1000u);
+        EXPECT_LT(a, 0x1000u + 2 * 4096u);
+    }
+}
+
+TEST(SequentialStream, ReuseRevisitsRecentAddresses)
+{
+    SequentialStream s(0x1000, 1 << 20, 1, 8, 0.5, 4, 3);
+    auto v = take(s, 10000);
+    // With 50% reuse the stream must revisit addresses; a pure sweep
+    // over 1 MB would never repeat within 10k refs.
+    std::set<std::uint32_t> uniq(v.begin(), v.end());
+    EXPECT_LT(uniq.size(), v.size());
+}
+
+TEST(StackDistStream, Deterministic)
+{
+    StackDistStream a(0x0, 1 << 20, 32, 0.01, 0.1, 0.7, 1.0, 9);
+    StackDistStream b(0x0, 1 << 20, 32, 0.01, 0.1, 0.7, 1.0, 9);
+    EXPECT_EQ(take(a, 2000), take(b, 2000));
+}
+
+TEST(StackDistStream, StaysInRegion)
+{
+    const std::uint32_t base = 0x10000000, bytes = 1 << 16;
+    StackDistStream s(base, bytes, 32, 0.05, 0.1, 0.7, 1.0, 9);
+    for (auto a : take(s, 20000)) {
+        EXPECT_GE(a, base);
+        EXPECT_LT(a, base + bytes);
+    }
+}
+
+TEST(StackDistStream, StackBoundedByRegion)
+{
+    const std::uint32_t bytes = 1 << 12; // 128 objects at 32 B
+    StackDistStream s(0x0, bytes, 32, 0.5, 0.1, 0.5, 1.0, 9);
+    take(s, 10000);
+    EXPECT_LE(s.stackSize(), 128u);
+}
+
+TEST(StackDistStream, TemporalLocalityDominates)
+{
+    StackDistStream s(0x0, 1 << 22, 32, 0.002, 0.1, 0.7, 1.0, 9);
+    auto v = take(s, 50000);
+    // Count re-references within a short window: with a geometric
+    // near-top component they must be frequent.
+    std::set<std::uint32_t> recent;
+    std::vector<std::uint32_t> window;
+    int close_reuse = 0;
+    for (auto a : v) {
+        std::uint32_t obj = a / 32;
+        if (recent.count(obj))
+            ++close_reuse;
+        window.push_back(obj);
+        recent.insert(obj);
+        if (window.size() > 64) {
+            recent.erase(window.front());
+            window.erase(window.begin());
+        }
+    }
+    EXPECT_GT(close_reuse, 50000 / 4);
+}
+
+TEST(ZipfStream, Deterministic)
+{
+    ZipfStream a(0x0, 1 << 16, 16, 1.1, 5);
+    ZipfStream b(0x0, 1 << 16, 16, 1.1, 5);
+    EXPECT_EQ(take(a, 1000), take(b, 1000));
+}
+
+TEST(ZipfStream, StaysInRegion)
+{
+    const std::uint32_t base = 0x30000000, bytes = 1 << 16;
+    ZipfStream s(base, bytes, 16, 1.1, 5);
+    for (auto a : take(s, 10000)) {
+        EXPECT_GE(a, base);
+        EXPECT_LT(a, base + bytes);
+    }
+}
+
+TEST(ZipfStream, HotSetIsScattered)
+{
+    // The most popular object must not be at the region start
+    // (ranks are scattered by a fixed multiplier).
+    ZipfStream s(0x0, 1 << 16, 16, 1.4, 5);
+    std::map<std::uint32_t, int> freq;
+    for (int i = 0; i < 20000; ++i)
+        ++freq[s.next() / 16];
+    auto hottest = std::max_element(
+        freq.begin(), freq.end(),
+        [](auto &a, auto &b) { return a.second < b.second; });
+    EXPECT_NE(hottest->first, 0u);
+}
+
+TEST(PointerChaseStream, VisitsEveryLineBeforeRepeating)
+{
+    const std::uint32_t bytes = 1 << 10; // 64 lines at 16 B
+    PointerChaseStream s(0x0, bytes, 16, 3);
+    std::set<std::uint32_t> seen;
+    for (int i = 0; i < 64; ++i)
+        seen.insert(s.next());
+    EXPECT_EQ(seen.size(), 64u); // full cycle: all distinct
+}
+
+TEST(PointerChaseStream, Deterministic)
+{
+    PointerChaseStream a(0x0, 1 << 12, 16, 3);
+    PointerChaseStream b(0x0, 1 << 12, 16, 3);
+    EXPECT_EQ(take(a, 1000), take(b, 1000));
+}
+
+TEST(LoopCodeStream, Deterministic)
+{
+    LoopCodeParams p;
+    LoopCodeStream a(p, 17), b(p, 17);
+    EXPECT_EQ(take(a, 5000), take(b, 5000));
+}
+
+TEST(LoopCodeStream, StaysInCodeSegment)
+{
+    LoopCodeParams p;
+    p.base = 0x00400000;
+    p.codeBytes = 64 * 1024;
+    LoopCodeStream s(p, 17);
+    for (auto a : take(s, 20000)) {
+        EXPECT_GE(a, p.base);
+        EXPECT_LT(a, p.base + p.codeBytes);
+    }
+}
+
+TEST(LoopCodeStream, AddressesAreInstructionAligned)
+{
+    LoopCodeParams p;
+    LoopCodeStream s(p, 17);
+    for (auto a : take(s, 5000))
+        EXPECT_EQ(a % 4, 0u);
+}
+
+TEST(LoopCodeStream, MostlySequentialFetch)
+{
+    LoopCodeParams p;
+    p.loopStartProb = 0.01;
+    p.callProb = 0.002;
+    LoopCodeStream s(p, 17);
+    auto v = take(s, 20000);
+    int sequential = 0;
+    for (std::size_t i = 1; i < v.size(); ++i)
+        sequential += (v[i] == v[i - 1] + 4);
+    // Instruction fetch is overwhelmingly sequential.
+    EXPECT_GT(sequential, 18000);
+}
+
+TEST(LoopCodeStream, LoopsReexecuteCode)
+{
+    LoopCodeParams p;
+    p.loopStartProb = 0.05;
+    p.avgLoopIters = 20;
+    LoopCodeStream s(p, 17);
+    auto v = take(s, 20000);
+    std::set<std::uint32_t> uniq(v.begin(), v.end());
+    // Heavy looping means far fewer unique addresses than fetches.
+    EXPECT_LT(uniq.size() * 3, v.size());
+}
+
+TEST(LoopCodeStream, SkewConcentratesFunctions)
+{
+    auto unique_lines = [](double zipf_s) {
+        LoopCodeParams p;
+        p.codeBytes = 128 * 1024;
+        p.numFuncs = 128;
+        p.zipfS = zipf_s;
+        LoopCodeStream s(p, 23);
+        std::set<std::uint32_t> lines;
+        for (int i = 0; i < 50000; ++i)
+            lines.insert(s.next() / 16);
+        return lines.size();
+    };
+    // Stronger skew => smaller instruction working set.
+    EXPECT_LT(unique_lines(1.4), unique_lines(0.3));
+}

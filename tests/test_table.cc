@@ -1,0 +1,73 @@
+/**
+ * @file
+ * Unit tests for the table printer and label formatting.
+ */
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "util/table.hh"
+
+using namespace tlc;
+
+TEST(Table, AsciiLayout)
+{
+    Table t({"name", "value"});
+    t.beginRow();
+    t.cell("alpha");
+    t.cell(std::uint64_t{42});
+    t.beginRow();
+    t.cell("b");
+    t.cell(7);
+    std::ostringstream os;
+    t.printAscii(os);
+    std::string s = os.str();
+    EXPECT_NE(s.find("name"), std::string::npos);
+    EXPECT_NE(s.find("alpha"), std::string::npos);
+    EXPECT_NE(s.find("42"), std::string::npos);
+    EXPECT_NE(s.find("---"), std::string::npos);
+}
+
+TEST(Table, CsvLayout)
+{
+    Table t({"a", "b"});
+    t.addRow({"1", "2"});
+    t.addRow({"x", "y"});
+    std::ostringstream os;
+    t.printCsv(os);
+    EXPECT_EQ(os.str(), "a,b\n1,2\nx,y\n");
+}
+
+TEST(Table, NumericFormatting)
+{
+    Table t({"v"});
+    t.beginRow();
+    t.cell(3.14159, 2);
+    EXPECT_EQ(t.at(0, 0), "3.14");
+}
+
+TEST(Table, CountsRowsAndCols)
+{
+    Table t({"a", "b", "c"});
+    EXPECT_EQ(t.numCols(), 3u);
+    EXPECT_EQ(t.numRows(), 0u);
+    t.addRow({"1", "2", "3"});
+    EXPECT_EQ(t.numRows(), 1u);
+}
+
+TEST(FormatSize, HumanReadable)
+{
+    EXPECT_EQ(formatSize(0), "0");
+    EXPECT_EQ(formatSize(512), "512");
+    EXPECT_EQ(formatSize(1024), "1K");
+    EXPECT_EQ(formatSize(32 * 1024), "32K");
+    EXPECT_EQ(formatSize(1024 * 1024), "1M");
+}
+
+TEST(FormatConfigLabel, MatchesPaperNotation)
+{
+    EXPECT_EQ(formatConfigLabel(1024, 0), "1:0");
+    EXPECT_EQ(formatConfigLabel(32 * 1024, 256 * 1024), "32:256");
+    EXPECT_EQ(formatConfigLabel(8 * 1024, 64 * 1024), "8:64");
+}

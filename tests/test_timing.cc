@@ -1,0 +1,208 @@
+/**
+ * @file
+ * Tests for the analytical access/cycle-time model: geometry
+ * resolution, monotonicity, associativity penalty, the organization
+ * search, and the paper's timing anchors (§2.3, Figs. 1-2).
+ */
+
+#include <gtest/gtest.h>
+
+#include "timing/access_time.hh"
+#include "util/units.hh"
+
+using namespace tlc;
+
+namespace {
+
+SramGeometry
+geom(std::uint64_t size, std::uint32_t assoc, std::uint32_t block = 16)
+{
+    SramGeometry g;
+    g.sizeBytes = size;
+    g.blockBytes = block;
+    g.assoc = assoc;
+    return g;
+}
+
+} // namespace
+
+TEST(SramGeometry, TagBits)
+{
+    // 1 KB DM, 16 B lines: 64 sets -> 6 index + 4 offset = 22 tag.
+    EXPECT_EQ(geom(1_KiB, 1).tagBits(), 22u);
+    // 256 KB DM: 14 index + 4 offset = 14 tag.
+    EXPECT_EQ(geom(256_KiB, 1).tagBits(), 14u);
+    // 256 KB 4-way: 12 index + 4 offset = 16 tag.
+    EXPECT_EQ(geom(256_KiB, 4).tagBits(), 16u);
+}
+
+TEST(SubarrayDims, DataArrayBasic)
+{
+    // 1 KB DM: 64 lines of 128 bits.
+    SubarrayDims d = SubarrayDims::dataArray(geom(1_KiB, 1),
+                                             ArrayOrganization{1, 1, 1});
+    ASSERT_TRUE(d.valid);
+    EXPECT_EQ(d.rows, 64u);
+    EXPECT_EQ(d.cols, 128u);
+}
+
+TEST(SubarrayDims, DataArraySubdivision)
+{
+    // Nbl=2 halves the rows; Nwl=2 halves the columns; Nspd=2
+    // doubles columns and halves rows.
+    SubarrayDims d = SubarrayDims::dataArray(geom(4_KiB, 1),
+                                             ArrayOrganization{2, 2, 2});
+    ASSERT_TRUE(d.valid);
+    EXPECT_EQ(d.rows, 64u);  // 256 / (2*2)
+    EXPECT_EQ(d.cols, 128u); // 128 * 2 / 2
+}
+
+TEST(SubarrayDims, InvalidWhenNotDivisible)
+{
+    // 16 rows with Nbl=32 cannot divide evenly / gets too small.
+    SubarrayDims d = SubarrayDims::dataArray(geom(1_KiB, 1),
+                                             ArrayOrganization{1, 32, 1});
+    EXPECT_FALSE(d.valid);
+}
+
+TEST(SubarrayDims, TagArrayIncludesStatusBits)
+{
+    // 1 KB DM: 64 sets x (22 tag + 2 status) bits.
+    SubarrayDims d = SubarrayDims::tagArray(geom(1_KiB, 1),
+                                            ArrayOrganization{1, 1, 1}, 2);
+    ASSERT_TRUE(d.valid);
+    EXPECT_EQ(d.rows, 64u);
+    EXPECT_EQ(d.cols, 24u);
+}
+
+TEST(AccessTime, EvaluateMatchesOptimizeContract)
+{
+    AccessTimeModel m;
+    SramGeometry g = geom(8_KiB, 1);
+    TimingResult best = m.optimize(g);
+    ASSERT_TRUE(best.valid);
+    // Re-evaluating the chosen organization reproduces the numbers.
+    TimingResult re = m.evaluate(g, best.dataOrg, best.tagOrg);
+    EXPECT_DOUBLE_EQ(re.accessNs, best.accessNs);
+    EXPECT_DOUBLE_EQ(re.cycleNs, best.cycleNs);
+}
+
+TEST(AccessTime, CycleExceedsAccess)
+{
+    AccessTimeModel m;
+    for (std::uint64_t s = 1_KiB; s <= 256_KiB; s *= 2) {
+        TimingResult r = m.optimize(geom(s, 1));
+        EXPECT_GT(r.cycleNs, r.accessNs) << s;
+    }
+}
+
+TEST(AccessTime, MonotoneInSize)
+{
+    AccessTimeModel m;
+    double prev_access = 0, prev_cycle = 0;
+    for (std::uint64_t s = 1_KiB; s <= 256_KiB; s *= 2) {
+        TimingResult r = m.optimize(geom(s, 1));
+        EXPECT_GE(r.accessNs + 1e-9, prev_access) << s;
+        EXPECT_GE(r.cycleNs + 1e-9, prev_cycle) << s;
+        prev_access = r.accessNs;
+        prev_cycle = r.cycleNs;
+    }
+}
+
+TEST(AccessTime, SetAssociativeSlowerThanDirectMapped)
+{
+    AccessTimeModel m;
+    for (std::uint64_t s = 8_KiB; s <= 256_KiB; s *= 4) {
+        double dm = m.optimize(geom(s, 1)).accessNs;
+        double sa = m.optimize(geom(s, 4)).accessNs;
+        EXPECT_GT(sa, dm) << s;
+    }
+}
+
+TEST(AccessTime, OptimizeBeatsNaiveOrganization)
+{
+    AccessTimeModel m;
+    SramGeometry g = geom(64_KiB, 1);
+    TimingResult naive = m.evaluate(g, ArrayOrganization{1, 1, 1},
+                                    ArrayOrganization{1, 1, 1});
+    TimingResult best = m.optimize(g);
+    ASSERT_TRUE(naive.valid);
+    EXPECT_LE(best.cycleNs, naive.cycleNs);
+}
+
+TEST(AccessTime, ProcessScaleHalvesTimes)
+{
+    AccessTimeModel m05(TechnologyParams::scaled05um());
+    AccessTimeModel m08(TechnologyParams::baseline08um());
+    SramGeometry g = geom(16_KiB, 1);
+    TimingResult a = m05.optimize(g);
+    TimingResult b = m08.optimize(g);
+    EXPECT_NEAR(a.cycleNs * 2.0, b.cycleNs, 1e-9);
+    EXPECT_NEAR(a.accessNs * 2.0, b.accessNs, 1e-9);
+}
+
+// --- the paper's anchors --------------------------------------------
+
+TEST(TimingAnchors, L1CycleSpreadNearOnePointEight)
+{
+    // §2.1: "a variation in machine cycle time of about 1.8X from
+    // processors with 1KB caches through 256KB caches".
+    AccessTimeModel m;
+    double c1 = m.optimize(geom(1_KiB, 1)).cycleNs;
+    double c256 = m.optimize(geom(256_KiB, 1)).cycleNs;
+    double spread = c256 / c1;
+    EXPECT_GT(spread, 1.5);
+    EXPECT_LT(spread, 2.1);
+}
+
+TEST(TimingAnchors, AbsoluteCycleTimesPlausibleFor05um)
+{
+    AccessTimeModel m;
+    double c4 = m.optimize(geom(4_KiB, 1)).cycleNs;
+    EXPECT_GT(c4, 1.5);
+    EXPECT_LT(c4, 3.5);
+}
+
+TEST(TimingAnchors, L2HitPenaltyMatchesPaperExample)
+{
+    // §2.5 example with Fig. 2's parameters (4 KB L1): the L2 cycle
+    // rounds to 2 CPU cycles, so the L2-hit penalty is 5 cycles.
+    AccessTimeModel m;
+    double l1 = m.optimize(geom(4_KiB, 1)).cycleNs;
+    for (std::uint64_t s = 8_KiB; s <= 256_KiB; s *= 2) {
+        double l2 = m.optimize(geom(s, 4)).cycleNs;
+        unsigned cycles = cyclesCeil(l2, l1);
+        EXPECT_EQ(cycles, 2u) << "L2 size " << s;
+        EXPECT_EQ(2 * cycles + 1, 5u);
+    }
+}
+
+TEST(TimingAnchors, OnChipL2MuchFasterThanOffChip)
+{
+    // The motivating observation for Fig. 2: on-chip L1->L2 distance
+    // is far smaller than L1 -> off-chip (50 ns).
+    AccessTimeModel m;
+    double l2 = m.optimize(geom(256_KiB, 4)).accessNs;
+    EXPECT_LT(l2, 50.0 / 4);
+}
+
+TEST(TimingAnchors, BreakdownComponentsPositive)
+{
+    AccessTimeModel m;
+    TimingResult r = m.optimize(geom(32_KiB, 4));
+    EXPECT_GT(r.breakdown.decoder, 0);
+    EXPECT_GT(r.breakdown.wordline, 0);
+    EXPECT_GT(r.breakdown.bitline, 0);
+    EXPECT_GT(r.breakdown.compare, 0);
+    EXPECT_GT(r.breakdown.muxDriver, 0);
+    EXPECT_GT(r.breakdown.output, 0);
+    EXPECT_GT(r.breakdown.precharge, 0);
+}
+
+TEST(TimingAnchors, ToStringMentionsOrganization)
+{
+    AccessTimeModel m;
+    std::string s = m.optimize(geom(8_KiB, 1)).toString();
+    EXPECT_NE(s.find("Nwl="), std::string::npos);
+    EXPECT_NE(s.find("access="), std::string::npos);
+}

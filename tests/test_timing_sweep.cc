@@ -1,0 +1,102 @@
+/**
+ * @file
+ * Parameterized sweep of the timing model over the full
+ * (size, associativity) grid the experiments touch.
+ */
+
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "timing/access_time.hh"
+#include "util/units.hh"
+
+using namespace tlc;
+
+namespace {
+
+const AccessTimeModel &
+model()
+{
+    static const AccessTimeModel m;
+    return m;
+}
+
+SramGeometry
+geom(std::uint64_t size, std::uint32_t assoc)
+{
+    return SramGeometry{size, 16, assoc, 32, 64};
+}
+
+} // namespace
+
+class TimingSweep
+    : public ::testing::TestWithParam<std::tuple<std::uint64_t, int>>
+{
+  protected:
+    std::uint64_t size() const { return std::get<0>(GetParam()); }
+    std::uint32_t assoc() const
+    {
+        return static_cast<std::uint32_t>(std::get<1>(GetParam()));
+    }
+    bool valid() const
+    {
+        // Need at least 2 sets for the set-mapped model.
+        return size() / 16 / assoc() >= 2;
+    }
+};
+
+TEST_P(TimingSweep, OptimizeProducesSaneNumbers)
+{
+    if (!valid())
+        GTEST_SKIP();
+    TimingResult r = model().optimize(geom(size(), assoc()));
+    ASSERT_TRUE(r.valid);
+    EXPECT_GT(r.accessNs, 0.5);
+    EXPECT_LT(r.accessNs, 10.0);
+    EXPECT_GT(r.cycleNs, r.accessNs);
+    EXPECT_LT(r.cycleNs, r.accessNs * 2.0);
+}
+
+TEST_P(TimingSweep, ChosenOrganizationIsReproducible)
+{
+    if (!valid())
+        GTEST_SKIP();
+    TimingResult r = model().optimize(geom(size(), assoc()));
+    TimingResult re =
+        model().evaluate(geom(size(), assoc()), r.dataOrg, r.tagOrg);
+    ASSERT_TRUE(re.valid);
+    EXPECT_DOUBLE_EQ(re.cycleNs, r.cycleNs);
+}
+
+TEST_P(TimingSweep, SubarrayDimsConserveBits)
+{
+    if (!valid())
+        GTEST_SKIP();
+    TimingResult r = model().optimize(geom(size(), assoc()));
+    std::uint64_t data_bits = static_cast<std::uint64_t>(r.dataDims.rows) *
+        r.dataDims.cols * r.dataOrg.numSubarrays();
+    EXPECT_EQ(data_bits, 8 * size());
+}
+
+TEST_P(TimingSweep, MoreAssociativeIsNeverFaster)
+{
+    if (!valid())
+        GTEST_SKIP();
+    if (assoc() == 1)
+        GTEST_SKIP();
+    double sa = model().optimize(geom(size(), assoc())).accessNs;
+    double dm = model().optimize(geom(size(), 1)).accessNs;
+    EXPECT_GE(sa + 1e-9, dm);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, TimingSweep,
+    ::testing::Combine(::testing::Values(1_KiB, 2_KiB, 4_KiB, 8_KiB,
+                                         16_KiB, 32_KiB, 64_KiB,
+                                         128_KiB, 256_KiB),
+                       ::testing::Values(1, 2, 4, 8)),
+    [](const auto &info) {
+        return std::to_string(std::get<0>(info.param) / 1024) + "K_w" +
+               std::to_string(std::get<1>(info.param));
+    });

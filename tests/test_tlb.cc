@@ -1,0 +1,96 @@
+/**
+ * @file
+ * Tests for the TLB model and the §1 parallel-translation rule.
+ */
+
+#include <gtest/gtest.h>
+
+#include "trace/workload.hh"
+#include "vm/tlb.hh"
+
+using namespace tlc;
+
+TEST(Tlb, HitsWithinPage)
+{
+    Tlb tlb(TlbParams{4, 0, 4096, ReplPolicy::LRU});
+    EXPECT_FALSE(tlb.access(0x1000));
+    EXPECT_TRUE(tlb.access(0x1ffc)); // same page
+    EXPECT_FALSE(tlb.access(0x2000)); // next page
+    EXPECT_EQ(tlb.misses(), 2u);
+    EXPECT_EQ(tlb.accesses(), 3u);
+}
+
+TEST(Tlb, CapacityEviction)
+{
+    Tlb tlb(TlbParams{2, 0, 4096, ReplPolicy::LRU});
+    tlb.access(0x0000);
+    tlb.access(0x1000);
+    tlb.access(0x2000); // evicts page 0 (LRU)
+    EXPECT_FALSE(tlb.access(0x0000));
+}
+
+TEST(Tlb, ReachComputation)
+{
+    TlbParams p{64, 0, 8192, ReplPolicy::LRU};
+    EXPECT_EQ(p.reachBytes(), 64u * 8192u);
+}
+
+TEST(Tlb, ResetStatsKeepsContents)
+{
+    Tlb tlb(TlbParams{4, 0, 4096, ReplPolicy::LRU});
+    tlb.access(0x1000);
+    tlb.resetStats();
+    EXPECT_EQ(tlb.accesses(), 0u);
+    EXPECT_TRUE(tlb.access(0x1000)); // still mapped
+}
+
+TEST(Tlb, ParallelLookupRule)
+{
+    // §1: primary caches <= page size translate in parallel.
+    EXPECT_TRUE(Tlb::parallelLookupPossible(4096, 4096));
+    EXPECT_TRUE(Tlb::parallelLookupPossible(2048, 4096));
+    EXPECT_FALSE(Tlb::parallelLookupPossible(8192, 4096));
+    EXPECT_TRUE(Tlb::parallelLookupPossible(8192, 8192));
+}
+
+TEST(Tlb, RunOverWorkloadGivesLowMissRate)
+{
+    // The workloads' working sets are far smaller than the reach of
+    // a 64-entry x 4 KB TLB for code, and data pages are reused.
+    TraceBuffer t = Workloads::generate(Benchmark::Espresso, 100000);
+    TlbRunStats s = runTlb(TlbParams{64, 0, 4096, ReplPolicy::LRU}, t,
+                           10000);
+    EXPECT_LT(s.missRate(), 0.01);
+    EXPECT_EQ(s.refs, 90000u);
+}
+
+TEST(Tlb, SmallerTlbMissesMore)
+{
+    TraceBuffer t = Workloads::generate(Benchmark::Gcc1, 100000);
+    double m8 =
+        runTlb(TlbParams{8, 0, 4096, ReplPolicy::LRU}, t).missRate();
+    double m128 =
+        runTlb(TlbParams{128, 0, 4096, ReplPolicy::LRU}, t).missRate();
+    EXPECT_GE(m8, m128);
+}
+
+TEST(Tlb, LargerPagesMissLess)
+{
+    TraceBuffer t = Workloads::generate(Benchmark::Tomcatv, 100000);
+    double p4k =
+        runTlb(TlbParams{32, 0, 4096, ReplPolicy::LRU}, t).missRate();
+    double p8k =
+        runTlb(TlbParams{32, 0, 8192, ReplPolicy::LRU}, t).missRate();
+    EXPECT_GE(p4k + 1e-12, p8k);
+}
+
+TEST(Tlb, SetAssociativeTlbWorks)
+{
+    Tlb tlb(TlbParams{64, 4, 4096, ReplPolicy::LRU});
+    for (std::uint64_t page = 0; page < 64; ++page)
+        tlb.access(page * 4096);
+    tlb.resetStats();
+    for (std::uint64_t page = 0; page < 64; ++page)
+        tlb.access(page * 4096);
+    EXPECT_EQ(tlb.misses(), 0u);
+}

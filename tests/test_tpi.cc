@@ -1,0 +1,177 @@
+/**
+ * @file
+ * Tests for the TPI execution-time model (§2.5) against
+ * hand-computed values and the paper's worked penalty example.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/tpi.hh"
+
+using namespace tlc;
+
+namespace {
+
+HierarchyStats
+stats(std::uint64_t instr, std::uint64_t data, std::uint64_t l2hits,
+      std::uint64_t l2misses)
+{
+    HierarchyStats s;
+    s.instrRefs = instr;
+    s.dataRefs = data;
+    s.l2Hits = l2hits;
+    s.l2Misses = l2misses;
+    return s;
+}
+
+} // namespace
+
+TEST(Tpi, PerfectCacheIsOneCyclePerInstruction)
+{
+    TpiParams p;
+    p.l1CycleNs = 2.5;
+    p.offchipNs = 50;
+    p.hasL2 = false;
+    TpiResult r = computeTpi(stats(1000, 300, 0, 0), p);
+    EXPECT_DOUBLE_EQ(r.tpi, 2.5);
+}
+
+TEST(Tpi, SingleLevelMissPenalty)
+{
+    // 100 instructions, 10 off-chip misses at (50 + 2.5) ns each.
+    TpiParams p;
+    p.l1CycleNs = 2.5;
+    p.offchipNs = 50;
+    p.hasL2 = false;
+    TpiResult r = computeTpi(stats(100, 0, 0, 10), p);
+    EXPECT_DOUBLE_EQ(r.offchipNsRounded, 50.0);
+    EXPECT_DOUBLE_EQ(r.tpi, 2.5 + 10 * 52.5 / 100);
+}
+
+TEST(Tpi, OffchipTimeRoundsUpToCycleMultiple)
+{
+    // 50 ns at a 2.6 ns cycle -> 20 cycles -> 52 ns.
+    TpiParams p;
+    p.l1CycleNs = 2.6;
+    p.offchipNs = 50;
+    p.hasL2 = false;
+    TpiResult r = computeTpi(stats(100, 0, 0, 1), p);
+    EXPECT_NEAR(r.offchipNsRounded, 52.0, 1e-9);
+}
+
+TEST(Tpi, PaperL2HitPenaltyExample)
+{
+    // §2.5: with the Fig. 2 parameters the L2-hit penalty is
+    // (2x2)+1 = 5 CPU cycles.
+    TpiParams p;
+    p.l1CycleNs = 2.5;
+    p.l2CycleNsRaw = 4.2; // rounds to 2 cycles = 5.0 ns
+    p.offchipNs = 50;
+    p.hasL2 = true;
+    TpiResult r = computeTpi(stats(100, 0, 10, 0), p);
+    EXPECT_EQ(r.l2CycleCpu, 2u);
+    EXPECT_EQ(r.l2HitPenaltyCpu, 5u);
+    EXPECT_DOUBLE_EQ(r.l2CycleNs, 5.0);
+    // TPI = base + hits*(2*5.0 + 2.5)/instr.
+    EXPECT_DOUBLE_EQ(r.tpi, 2.5 + 10 * 12.5 / 100);
+}
+
+TEST(Tpi, L2MissPenaltyFormula)
+{
+    // Penalty = offchip(rounded) + 3*L2 + L1.
+    TpiParams p;
+    p.l1CycleNs = 2.5;
+    p.l2CycleNsRaw = 4.2;
+    p.offchipNs = 50;
+    p.hasL2 = true;
+    TpiResult r = computeTpi(stats(100, 0, 0, 10), p);
+    EXPECT_EQ(r.l2MissPenaltyCpu, 20u + 3 * 2 + 1);
+    EXPECT_DOUBLE_EQ(r.tpi, 2.5 + 10 * (50.0 + 15.0 + 2.5) / 100);
+}
+
+TEST(Tpi, DataRefsRideFreeOnInstructionTime)
+{
+    // §2.5: split L1 issues I and D in the same cycle, so data hits
+    // cost nothing beyond the instruction stream.
+    TpiParams p;
+    p.l1CycleNs = 2.0;
+    p.offchipNs = 50;
+    p.hasL2 = false;
+    TpiResult with_data = computeTpi(stats(100, 90, 0, 0), p);
+    TpiResult without = computeTpi(stats(100, 0, 0, 0), p);
+    EXPECT_DOUBLE_EQ(with_data.tpi, without.tpi);
+}
+
+TEST(Tpi, DualIssueHalvesBaseTime)
+{
+    TpiParams p;
+    p.l1CycleNs = 2.0;
+    p.offchipNs = 50;
+    p.hasL2 = false;
+    p.issuePerCycle = 2.0;
+    TpiResult r = computeTpi(stats(1000, 0, 0, 0), p);
+    EXPECT_DOUBLE_EQ(r.tpi, 1.0);
+}
+
+TEST(Tpi, DualIssueDoesNotScaleMissTime)
+{
+    TpiParams p;
+    p.l1CycleNs = 2.0;
+    p.offchipNs = 50;
+    p.hasL2 = false;
+    TpiParams p2 = p;
+    p2.issuePerCycle = 2.0;
+    HierarchyStats s = stats(100, 0, 0, 10);
+    double t1 = computeTpi(s, p).tpi;
+    double t2 = computeTpi(s, p2).tpi;
+    // Only the 2.0 ns/instr base halves; the 52 ns misses remain.
+    EXPECT_DOUBLE_EQ(t1 - t2, 1.0);
+}
+
+TEST(Tpi, TwoLevelBeatsSingleLevelWhenL2HitsDominate)
+{
+    TpiParams single;
+    single.l1CycleNs = 2.5;
+    single.offchipNs = 50;
+    single.hasL2 = false;
+
+    TpiParams two = single;
+    two.hasL2 = true;
+    two.l2CycleNsRaw = 4.0;
+
+    // Same L1 misses; in the two-level system 90% hit on-chip.
+    double t_single = computeTpi(stats(100, 0, 0, 20), single).tpi;
+    double t_two = computeTpi(stats(100, 0, 18, 2), two).tpi;
+    EXPECT_LT(t_two, t_single);
+}
+
+TEST(Tpi, GettingInTheWay)
+{
+    // §1: when nearly every L2 probe misses, the second level only
+    // adds latency (the paper's "get in the way" effect).
+    TpiParams single;
+    single.l1CycleNs = 2.5;
+    single.offchipNs = 50;
+    single.hasL2 = false;
+
+    TpiParams two = single;
+    two.hasL2 = true;
+    two.l2CycleNsRaw = 4.0;
+
+    double t_single = computeTpi(stats(100, 0, 0, 20), single).tpi;
+    double t_two = computeTpi(stats(100, 0, 1, 19), two).tpi;
+    EXPECT_GT(t_two, t_single);
+}
+
+TEST(Tpi, DecompositionSumsToTotal)
+{
+    TpiParams p;
+    p.l1CycleNs = 2.5;
+    p.l2CycleNsRaw = 4.2;
+    p.offchipNs = 50;
+    p.hasL2 = true;
+    HierarchyStats s = stats(1000, 400, 30, 7);
+    TpiResult r = computeTpi(s, p);
+    EXPECT_NEAR(r.tpi * 1000,
+                r.baseTimeNs + r.l2HitTimeNs + r.l2MissTimeNs, 1e-6);
+}

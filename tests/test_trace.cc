@@ -1,0 +1,181 @@
+/**
+ * @file
+ * Tests for trace records, buffers, and file I/O.
+ */
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "trace/buffer.hh"
+#include "trace/io.hh"
+#include "trace/record.hh"
+
+using namespace tlc;
+
+TEST(TraceRecord, TypeChars)
+{
+    EXPECT_EQ(refTypeChar(RefType::Instr), 'i');
+    EXPECT_EQ(refTypeChar(RefType::Load), 'l');
+    EXPECT_EQ(refTypeChar(RefType::Store), 's');
+    RefType t;
+    EXPECT_TRUE(refTypeFromChar('i', t));
+    EXPECT_EQ(t, RefType::Instr);
+    EXPECT_TRUE(refTypeFromChar('s', t));
+    EXPECT_EQ(t, RefType::Store);
+    EXPECT_FALSE(refTypeFromChar('x', t));
+}
+
+TEST(TraceRecord, IsData)
+{
+    EXPECT_FALSE(isData(RefType::Instr));
+    EXPECT_TRUE(isData(RefType::Load));
+    EXPECT_TRUE(isData(RefType::Store));
+}
+
+TEST(TraceBuffer, CountsByType)
+{
+    TraceBuffer b;
+    b.append(0x100, RefType::Instr);
+    b.append(0x200, RefType::Load);
+    b.append(0x300, RefType::Store);
+    b.append(0x400, RefType::Instr);
+    EXPECT_EQ(b.size(), 4u);
+    EXPECT_EQ(b.instrRefs(), 2u);
+    EXPECT_EQ(b.loadRefs(), 1u);
+    EXPECT_EQ(b.storeRefs(), 1u);
+    EXPECT_EQ(b.dataRefs(), 2u);
+    EXPECT_EQ(b.totalRefs(), 4u);
+}
+
+TEST(TraceBuffer, ClearResetsEverything)
+{
+    TraceBuffer b;
+    b.append(0x100, RefType::Load);
+    b.clear();
+    EXPECT_TRUE(b.empty());
+    EXPECT_EQ(b.instrRefs(), 0u);
+    EXPECT_EQ(b.dataRefs(), 0u);
+}
+
+TEST(TraceBuffer, IndexAndIteration)
+{
+    TraceBuffer b;
+    b.append(0x10, RefType::Instr);
+    b.append(0x20, RefType::Load);
+    EXPECT_EQ(b[0].addr, 0x10u);
+    EXPECT_EQ(b[1].type, RefType::Load);
+    int n = 0;
+    for (const auto &rec : b) {
+        (void)rec;
+        ++n;
+    }
+    EXPECT_EQ(n, 2);
+}
+
+namespace {
+
+TraceBuffer
+sampleTrace()
+{
+    TraceBuffer b;
+    b.append(0x00400000, RefType::Instr);
+    b.append(0x10000020, RefType::Load);
+    b.append(0x10000040, RefType::Store);
+    b.append(0xfffffff0, RefType::Instr);
+    return b;
+}
+
+} // namespace
+
+TEST(TraceIo, BinaryRoundTrip)
+{
+    TraceBuffer orig = sampleTrace();
+    std::stringstream ss;
+    writeBinaryTrace(ss, orig);
+    TraceBuffer copy;
+    ASSERT_TRUE(readBinaryTrace(ss, copy));
+    ASSERT_EQ(copy.size(), orig.size());
+    for (std::size_t i = 0; i < orig.size(); ++i)
+        EXPECT_EQ(copy[i], orig[i]);
+    EXPECT_EQ(copy.instrRefs(), orig.instrRefs());
+    EXPECT_EQ(copy.storeRefs(), orig.storeRefs());
+}
+
+TEST(TraceIo, TextRoundTrip)
+{
+    TraceBuffer orig = sampleTrace();
+    std::stringstream ss;
+    writeTextTrace(ss, orig);
+    TraceBuffer copy;
+    ASSERT_TRUE(readTextTrace(ss, copy));
+    ASSERT_EQ(copy.size(), orig.size());
+    for (std::size_t i = 0; i < orig.size(); ++i)
+        EXPECT_EQ(copy[i], orig[i]);
+}
+
+TEST(TraceIo, TextFormatIgnoresCommentsAndBlanks)
+{
+    std::stringstream ss("# header\n\ni 0x100\n# mid\nl 0x200\n");
+    TraceBuffer b;
+    ASSERT_TRUE(readTextTrace(ss, b));
+    ASSERT_EQ(b.size(), 2u);
+    EXPECT_EQ(b[0].addr, 0x100u);
+    EXPECT_EQ(b[1].type, RefType::Load);
+}
+
+TEST(TraceIo, TextRejectsMalformedLines)
+{
+    std::stringstream ss("i 0x100\nz 0x200\n");
+    TraceBuffer b;
+    EXPECT_FALSE(readTextTrace(ss, b));
+}
+
+TEST(TraceIo, BinaryRejectsBadMagic)
+{
+    std::stringstream ss("NOPE....");
+    TraceBuffer b;
+    EXPECT_FALSE(readBinaryTrace(ss, b));
+    EXPECT_TRUE(b.empty());
+}
+
+TEST(TraceIo, BinaryRejectsTruncation)
+{
+    TraceBuffer orig = sampleTrace();
+    std::stringstream ss;
+    writeBinaryTrace(ss, orig);
+    std::string bytes = ss.str();
+    bytes.resize(bytes.size() - 3); // cut mid-record
+    std::stringstream cut(bytes);
+    TraceBuffer b;
+    EXPECT_FALSE(readBinaryTrace(cut, b));
+}
+
+TEST(TraceIo, EmptyTraceRoundTrips)
+{
+    TraceBuffer empty;
+    std::stringstream ss;
+    writeBinaryTrace(ss, empty);
+    TraceBuffer copy;
+    ASSERT_TRUE(readBinaryTrace(ss, copy));
+    EXPECT_TRUE(copy.empty());
+}
+
+TEST(TraceIo, FileSaveLoad)
+{
+    TraceBuffer orig = sampleTrace();
+    std::string path = ::testing::TempDir() + "/tlc_trace_test.bin";
+    ASSERT_TRUE(saveTraceFile(path, orig));
+    TraceBuffer copy;
+    ASSERT_TRUE(loadTraceFile(path, copy));
+    ASSERT_EQ(copy.size(), orig.size());
+    for (std::size_t i = 0; i < orig.size(); ++i)
+        EXPECT_EQ(copy[i], orig[i]);
+    std::remove(path.c_str());
+}
+
+TEST(TraceIo, LoadMissingFileFails)
+{
+    TraceBuffer b;
+    EXPECT_FALSE(loadTraceFile("/nonexistent/path/trace.bin", b));
+}

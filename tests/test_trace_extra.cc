@@ -1,0 +1,173 @@
+/**
+ * @file
+ * Tests for the compressed trace format and trace interleaving.
+ */
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "cache/single_level.hh"
+#include "trace/interleave.hh"
+#include "trace/io.hh"
+#include "trace/workload.hh"
+
+using namespace tlc;
+
+namespace {
+
+TraceBuffer
+sampleTrace()
+{
+    TraceBuffer b;
+    b.append(0x00400000, RefType::Instr);
+    b.append(0x00400004, RefType::Instr);
+    b.append(0x10000020, RefType::Load);
+    b.append(0x10000028, RefType::Load);
+    b.append(0x0fffffff, RefType::Store);
+    b.append(0xffffffff, RefType::Store); // big positive delta
+    b.append(0x00000000, RefType::Store); // big negative delta
+    return b;
+}
+
+} // namespace
+
+TEST(CompressedTrace, RoundTrip)
+{
+    TraceBuffer orig = sampleTrace();
+    std::stringstream ss;
+    writeCompressedTrace(ss, orig);
+    TraceBuffer copy;
+    ASSERT_TRUE(readCompressedTrace(ss, copy));
+    ASSERT_EQ(copy.size(), orig.size());
+    for (std::size_t i = 0; i < orig.size(); ++i)
+        EXPECT_EQ(copy[i], orig[i]) << i;
+}
+
+TEST(CompressedTrace, RoundTripRealWorkload)
+{
+    TraceBuffer orig = Workloads::generate(Benchmark::Gcc1, 100000);
+    std::stringstream ss;
+    writeCompressedTrace(ss, orig);
+    TraceBuffer copy;
+    ASSERT_TRUE(readCompressedTrace(ss, copy));
+    ASSERT_EQ(copy.size(), orig.size());
+    for (std::size_t i = 0; i < orig.size(); ++i)
+        ASSERT_EQ(copy[i], orig[i]) << i;
+}
+
+TEST(CompressedTrace, CompressesRealTracesWell)
+{
+    TraceBuffer t = Workloads::generate(Benchmark::Espresso, 100000);
+    std::stringstream raw, compressed;
+    writeBinaryTrace(raw, t);
+    writeCompressedTrace(compressed, t);
+    double ratio = static_cast<double>(raw.str().size()) /
+                   static_cast<double>(compressed.str().size());
+    // Sequential ifetch dominates: expect at least 2.5x.
+    EXPECT_GT(ratio, 2.5);
+}
+
+TEST(CompressedTrace, RejectsTruncation)
+{
+    TraceBuffer t = sampleTrace();
+    std::stringstream ss;
+    writeCompressedTrace(ss, t);
+    std::string bytes = ss.str();
+    bytes.resize(bytes.size() - 1);
+    std::stringstream cut(bytes);
+    TraceBuffer b;
+    EXPECT_FALSE(readCompressedTrace(cut, b));
+}
+
+TEST(CompressedTrace, RawReaderRejectsCompressed)
+{
+    TraceBuffer t = sampleTrace();
+    std::stringstream ss;
+    writeCompressedTrace(ss, t);
+    TraceBuffer b;
+    EXPECT_FALSE(readBinaryTrace(ss, b));
+}
+
+TEST(CompressedTrace, LoadTraceFileSniffsVersion)
+{
+    TraceBuffer orig = sampleTrace();
+    std::string dir = ::testing::TempDir();
+    std::string p1 = dir + "/tlc_c.trc", p2 = dir + "/tlc_r.trc";
+    ASSERT_TRUE(saveTraceFile(p1, orig, /*compressed=*/true));
+    ASSERT_TRUE(saveTraceFile(p2, orig, /*compressed=*/false));
+    TraceBuffer a, b;
+    ASSERT_TRUE(loadTraceFile(p1, a));
+    ASSERT_TRUE(loadTraceFile(p2, b));
+    EXPECT_EQ(a.size(), orig.size());
+    EXPECT_EQ(b.size(), orig.size());
+    std::remove(p1.c_str());
+    std::remove(p2.c_str());
+}
+
+// --- interleaving ----------------------------------------------------
+
+TEST(Interleave, RoundRobinQuanta)
+{
+    TraceBuffer a, b;
+    for (int i = 0; i < 10; ++i)
+        a.append(0x100 + i, RefType::Instr);
+    for (int i = 0; i < 10; ++i)
+        b.append(0x200 + i, RefType::Load);
+    TraceBuffer out = interleaveTraces({&a, &b}, 3, 12);
+    ASSERT_EQ(out.size(), 12u);
+    // First quantum: process 0, instrs; second: process 1, loads.
+    EXPECT_EQ(out[0].type, RefType::Instr);
+    EXPECT_EQ(out[2].type, RefType::Instr);
+    EXPECT_EQ(out[3].type, RefType::Load);
+    EXPECT_EQ(out[5].type, RefType::Load);
+    EXPECT_EQ(out[6].type, RefType::Instr);
+}
+
+TEST(Interleave, AddressSpacesDisjoint)
+{
+    TraceBuffer a, b;
+    a.append(0x1234, RefType::Load);
+    b.append(0x1234, RefType::Load);
+    TraceBuffer out = interleaveTraces({&a, &b}, 1, 2);
+    EXPECT_EQ(out[0].addr, 0x1234u);
+    EXPECT_EQ(out[1].addr, 0x1234u | (1u << 30));
+}
+
+TEST(Interleave, WrapsShortTraces)
+{
+    TraceBuffer a;
+    a.append(0x10, RefType::Instr);
+    a.append(0x20, RefType::Instr);
+    TraceBuffer out = interleaveTraces({&a}, 5, 7);
+    ASSERT_EQ(out.size(), 7u);
+    EXPECT_EQ(out[0].addr, 0x10u);
+    EXPECT_EQ(out[2].addr, 0x10u);
+    EXPECT_EQ(out[6].addr, 0x10u);
+}
+
+TEST(Interleave, ContextSwitchesInflateMissRate)
+{
+    // The Mogul/Borg effect: frequent switches between two processes
+    // sharing a cache cost misses vs. running each alone.
+    TraceBuffer g = Workloads::generate(Benchmark::Gcc1, 100000);
+    TraceBuffer e = Workloads::generate(Benchmark::Espresso, 100000);
+
+    CacheParams l1;
+    l1.sizeBytes = 8 * 1024;
+    l1.lineBytes = 16;
+    l1.assoc = 1;
+
+    auto miss = [&](const TraceBuffer &t) {
+        SingleLevelHierarchy h(l1);
+        h.simulate(t, t.size() / 10);
+        return h.stats().l1MissRate();
+    };
+    double solo = (miss(g) + miss(e)) / 2.0;
+    double fast_switch =
+        miss(interleaveTraces({&g, &e}, 1000, 200000));
+    double slow_switch =
+        miss(interleaveTraces({&g, &e}, 50000, 200000));
+    EXPECT_GT(fast_switch, slow_switch);
+    EXPECT_GT(fast_switch, solo);
+}

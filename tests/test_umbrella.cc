@@ -1,0 +1,46 @@
+/**
+ * @file
+ * Compilation test for the umbrella header: it must pull in the
+ * whole public API, and the pieces must compose.
+ */
+
+#include <gtest/gtest.h>
+
+#include "tlc.hh"
+
+using namespace tlc;
+
+TEST(Umbrella, EndToEndThroughUmbrellaHeader)
+{
+    MissRateEvaluator ev(30000);
+    Explorer ex(ev);
+    SystemConfig c;
+    c.l1Bytes = 4_KiB;
+    c.l2Bytes = 32_KiB;
+    c.assume.policy = TwoLevelPolicy::Exclusive;
+    DesignPoint p = ex.evaluate(Benchmark::Espresso, c);
+    EXPECT_GT(p.tpi.tpi, 0.0);
+    EXPECT_GT(p.areaRbe, 0.0);
+}
+
+TEST(Umbrella, AllModuleTypesVisible)
+{
+    // One object per module proves the includes are complete.
+    Pcg32 rng(1);
+    TraceBuffer buf;
+    CacheParams cp;
+    cp.sizeBytes = 1_KiB;
+    Cache cache(cp);
+    AccessTimeModel timing;
+    AreaModel area;
+    EnergyModel energy;
+    TlbParams tlb_params;
+    Tlb tlb(tlb_params);
+    PipelineParams pp;
+    PipelineSimulator pipe(pp);
+    ScatterPlot plot;
+    Envelope env = Envelope::of({});
+    (void)rng;
+    (void)env;
+    SUCCEED();
+}

@@ -1,0 +1,55 @@
+/**
+ * @file
+ * Unit tests for unit helpers, especially the cycle rounding the
+ * paper applies to L2 and off-chip times.
+ */
+
+#include <gtest/gtest.h>
+
+#include "util/units.hh"
+
+using namespace tlc;
+
+TEST(Units, Literals)
+{
+    EXPECT_EQ(32_KiB, 32768u);
+    EXPECT_EQ(1_MiB, 1048576u);
+}
+
+TEST(RoundUpToMultiple, ExactMultipleUnchanged)
+{
+    EXPECT_DOUBLE_EQ(roundUpToMultiple(10.0, 2.5), 10.0);
+    EXPECT_DOUBLE_EQ(roundUpToMultiple(2.5, 2.5), 2.5);
+}
+
+TEST(RoundUpToMultiple, RoundsUp)
+{
+    EXPECT_DOUBLE_EQ(roundUpToMultiple(10.1, 2.5), 12.5);
+    EXPECT_DOUBLE_EQ(roundUpToMultiple(0.1, 2.5), 2.5);
+}
+
+TEST(RoundUpToMultiple, ZeroTimeBecomesOneQuantum)
+{
+    // The paper charges at least one cycle for anything nonzero.
+    EXPECT_DOUBLE_EQ(roundUpToMultiple(0.0, 2.5), 2.5);
+}
+
+TEST(RoundUpToMultiple, ToleratesFloatNoise)
+{
+    // 3 * 1.1 = 3.3000000000000003 in binary; must not round to 4.4.
+    EXPECT_DOUBLE_EQ(roundUpToMultiple(3 * 1.1, 1.1), 3 * 1.1);
+}
+
+TEST(CyclesCeil, PaperExample)
+{
+    // Fig. 2 example: L2 cycle rounds to 2 CPU cycles, so the L2-hit
+    // penalty is 2*2 + 1 = 5 cycles.
+    EXPECT_EQ(cyclesCeil(4.2, 2.5), 2u);
+    EXPECT_EQ(2 * cyclesCeil(4.2, 2.5) + 1, 5u);
+}
+
+TEST(CyclesCeil, FiftyNsAt2_5)
+{
+    EXPECT_EQ(cyclesCeil(50.0, 2.5), 20u);
+    EXPECT_EQ(cyclesCeil(50.1, 2.5), 21u);
+}

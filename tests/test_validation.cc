@@ -1,0 +1,134 @@
+/**
+ * @file
+ * Robustness tests: invalid configurations must fail loudly (the
+ * gem5 fatal/panic discipline), never silently compute nonsense.
+ */
+
+#include <gtest/gtest.h>
+
+#include "cache/cache.hh"
+#include "core/tpi.hh"
+#include "timing/access_time.hh"
+#include "util/args.hh"
+#include "util/table.hh"
+
+using namespace tlc;
+
+namespace {
+
+CacheParams
+params(std::uint64_t size, std::uint32_t line, std::uint32_t assoc)
+{
+    CacheParams p;
+    p.sizeBytes = size;
+    p.lineBytes = line;
+    p.assoc = assoc;
+    return p;
+}
+
+} // namespace
+
+TEST(Validation, NonPowerOfTwoCacheSizeIsFatal)
+{
+    EXPECT_EXIT(Cache(params(3000, 16, 1)),
+                ::testing::ExitedWithCode(1), "power of two");
+}
+
+TEST(Validation, NonPowerOfTwoLineSizeIsFatal)
+{
+    EXPECT_EXIT(Cache(params(1024, 24, 1)),
+                ::testing::ExitedWithCode(1), "power of two");
+}
+
+TEST(Validation, TinyLineSizeIsFatal)
+{
+    EXPECT_EXIT(Cache(params(1024, 2, 1)),
+                ::testing::ExitedWithCode(1), "line size");
+}
+
+TEST(Validation, AssocLargerThanCacheIsFatal)
+{
+    // 1024 B / 16 B = 64 lines; 128 ways cannot divide them.
+    EXPECT_EXIT(Cache(params(1024, 16, 128)),
+                ::testing::ExitedWithCode(1), "");
+}
+
+TEST(Validation, FillOfResidentLinePanics)
+{
+    Cache c(params(1024, 16, 1));
+    c.fill(0x100);
+    EXPECT_DEATH(c.fill(0x100), "already-resident");
+}
+
+TEST(Validation, SetDirtyOnAbsentLinePanics)
+{
+    Cache c(params(1024, 16, 1));
+    EXPECT_DEATH(c.setDirty(0x100), "non-resident");
+}
+
+TEST(Validation, TpiWithoutInstructionsPanics)
+{
+    HierarchyStats s;
+    s.dataRefs = 10;
+    TpiParams p;
+    EXPECT_DEATH(computeTpi(s, p), "undefined");
+}
+
+TEST(Validation, TpiTwoLevelWithoutL2CyclePanics)
+{
+    HierarchyStats s;
+    s.instrRefs = 10;
+    TpiParams p;
+    p.hasL2 = true;
+    p.l2CycleNsRaw = 0;
+    EXPECT_DEATH(computeTpi(s, p), "L2 cycle");
+}
+
+TEST(Validation, SingleLevelWithL2HitsPanics)
+{
+    HierarchyStats s;
+    s.instrRefs = 10;
+    s.l2Hits = 1;
+    TpiParams p;
+    p.hasL2 = false;
+    EXPECT_DEATH(computeTpi(s, p), "cannot have L2 hits");
+}
+
+TEST(Validation, ArgParserRejectsBadInteger)
+{
+    const char *argv[] = {"prog", "--refs=abc"};
+    ArgParser a(2, argv);
+    EXPECT_EXIT(a.getInt("refs"), ::testing::ExitedWithCode(1),
+                "expects an integer");
+}
+
+TEST(Validation, ArgParserRejectsBadBool)
+{
+    const char *argv[] = {"prog", "--flag=maybe"};
+    ArgParser a(2, argv);
+    EXPECT_EXIT(a.getBool("flag"), ::testing::ExitedWithCode(1),
+                "expects a boolean");
+}
+
+TEST(Validation, TableRejectsOverfullRow)
+{
+    Table t({"one"});
+    t.beginRow();
+    t.cell("a");
+    EXPECT_DEATH(t.cell("b"), "too many cells");
+}
+
+TEST(Validation, TableRejectsShortRowOnNextBegin)
+{
+    Table t({"a", "b"});
+    t.beginRow();
+    t.cell("only-one");
+    EXPECT_DEATH(t.beginRow(), "expected 2");
+}
+
+TEST(Validation, GeometryTooNarrowForAddressIsFatal)
+{
+    // 8-bit addresses cannot index a 1 KB cache with 16 B lines.
+    SramGeometry g{1024, 16, 1, 8, 64};
+    EXPECT_DEATH(g.tagBits(), "address too narrow");
+}

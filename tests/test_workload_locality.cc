@@ -1,0 +1,113 @@
+/**
+ * @file
+ * Locality-structure checks on the workload models: the properties
+ * that make synthetic traces behave like program traces (sequential
+ * fetch, spatial locality, bounded footprints) hold for every
+ * benchmark — not just the miss-rate anchors.
+ */
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+#include <vector>
+
+#include "trace/workload.hh"
+
+using namespace tlc;
+
+namespace {
+
+constexpr std::uint64_t kRefs = 120000;
+
+} // namespace
+
+class WorkloadLocality : public ::testing::TestWithParam<Benchmark>
+{
+  protected:
+    static const TraceBuffer &trace(Benchmark b)
+    {
+        static std::map<Benchmark, TraceBuffer> cache;
+        auto it = cache.find(b);
+        if (it == cache.end())
+            it = cache.emplace(b, Workloads::generate(b, kRefs)).first;
+        return it->second;
+    }
+};
+
+TEST_P(WorkloadLocality, InstructionFetchMostlySequential)
+{
+    const TraceBuffer &t = trace(GetParam());
+    std::uint32_t prev = 0;
+    bool have_prev = false;
+    std::uint64_t seq = 0, total = 0;
+    for (const auto &rec : t) {
+        if (rec.type != RefType::Instr)
+            continue;
+        if (have_prev) {
+            ++total;
+            seq += (rec.addr == prev + 4);
+        }
+        prev = rec.addr;
+        have_prev = true;
+    }
+    double frac = static_cast<double>(seq) / static_cast<double>(total);
+    // Real instruction streams are 60-90% sequential; fpppp's
+    // straight-line giant basic blocks push it above 99%.
+    EXPECT_GT(frac, 0.55) << Workloads::info(GetParam()).name;
+    EXPECT_LT(frac, 0.999) << Workloads::info(GetParam()).name;
+}
+
+TEST_P(WorkloadLocality, SpatialLocalityAtLineGranularity)
+{
+    // A meaningful share of references lands on a recently-touched
+    // 16-byte line (what makes line-based caching work at all).
+    const TraceBuffer &t = trace(GetParam());
+    std::set<std::uint32_t> recent;
+    std::vector<std::uint32_t> fifo;
+    std::uint64_t hits = 0;
+    for (const auto &rec : t) {
+        std::uint32_t line = rec.addr >> 4;
+        if (recent.count(line))
+            ++hits;
+        else {
+            fifo.push_back(line);
+            recent.insert(line);
+            if (fifo.size() > 256) {
+                recent.erase(fifo.front());
+                fifo.erase(fifo.begin());
+            }
+        }
+    }
+    double frac = static_cast<double>(hits) /
+                  static_cast<double>(t.size());
+    EXPECT_GT(frac, 0.5) << Workloads::info(GetParam()).name;
+}
+
+TEST_P(WorkloadLocality, FootprintWithinModeledRegions)
+{
+    // Touched lines must stay within a few MB (32-bit layout) and
+    // exceed the smallest caches (otherwise nothing would miss).
+    const TraceBuffer &t = trace(GetParam());
+    std::set<std::uint32_t> lines;
+    for (const auto &rec : t)
+        lines.insert(rec.addr >> 4);
+    double footprint_kb = lines.size() * 16.0 / 1024.0;
+    EXPECT_GT(footprint_kb, 16.0) << Workloads::info(GetParam()).name;
+    EXPECT_LT(footprint_kb, 4096.0) << Workloads::info(GetParam()).name;
+}
+
+TEST_P(WorkloadLocality, StoresAreMinorityOfDataRefs)
+{
+    const TraceBuffer &t = trace(GetParam());
+    EXPECT_LT(t.storeRefs(), t.loadRefs())
+        << Workloads::info(GetParam()).name;
+    EXPECT_GT(t.storeRefs(), 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllBenchmarks, WorkloadLocality,
+    ::testing::ValuesIn(Workloads::all()),
+    [](const ::testing::TestParamInfo<Benchmark> &info) {
+        return Workloads::info(info.param).name;
+    });

@@ -1,0 +1,79 @@
+/**
+ * @file
+ * Calibration aid (developer tool, not part of the benchmark set):
+ * prints the miss-rate-vs-size curve of every workload model, plus
+ * the timing and area anchors, so model constants can be tuned
+ * against the figures the paper quotes (see DESIGN.md §2).
+ */
+
+#include <cstdio>
+#include <iostream>
+
+#include "core/explorer.hh"
+#include "util/args.hh"
+#include "util/table.hh"
+#include "util/units.hh"
+
+using namespace tlc;
+
+int
+main(int argc, char **argv)
+{
+    ArgParser args(argc, argv);
+    std::uint64_t refs =
+        static_cast<std::uint64_t>(args.getInt("refs", 2000000));
+    MissRateEvaluator ev(refs);
+    Explorer ex(ev);
+
+    std::printf("== L1 miss rate (overall, split DM L1s) vs size ==\n");
+    Table t({"bench", "1K", "2K", "4K", "8K", "16K", "32K", "64K",
+             "128K", "256K"});
+    for (Benchmark b : Workloads::all()) {
+        t.beginRow();
+        t.cell(Workloads::info(b).name);
+        for (std::uint64_t s : DesignSpace::l1Sizes()) {
+            SystemConfig c;
+            c.l1Bytes = s;
+            c.l2Bytes = 0;
+            t.cell(ev.missStats(b, c).l1MissRate(), 4);
+        }
+    }
+    t.printAscii(std::cout);
+
+    std::printf("\n== L1 timing (DM, 16B lines) ==\n");
+    Table tt({"size", "access_ns", "cycle_ns", "area_rbe_one",
+              "area_rbe_pair"});
+    AreaModel am;
+    for (std::uint64_t s : DesignSpace::l1Sizes()) {
+        const TimingResult &tr = ex.timingOf(s, 1, 16);
+        SramGeometry g{s, 16, 1, 32, 64};
+        double a = am.area(g, tr.dataOrg, tr.tagOrg);
+        tt.beginRow();
+        tt.cell(formatSize(s));
+        tt.cell(tr.accessNs, 3);
+        tt.cell(tr.cycleNs, 3);
+        tt.cell(a, 0);
+        tt.cell(2 * a, 0);
+    }
+    tt.printAscii(std::cout);
+    const TimingResult &c1 = ex.timingOf(1_KiB, 1, 16);
+    const TimingResult &c256 = ex.timingOf(256_KiB, 1, 16);
+    std::printf("cycle spread 1K->256K: %.2fx (paper: ~1.8x)\n",
+                c256.cycleNs / c1.cycleNs);
+
+    std::printf("\n== L2 timing (4-way) in CPU cycles for 4K L1 ==\n");
+    double l1cyc = ex.timingOf(4_KiB, 1, 16).cycleNs;
+    Table t2({"l2_size", "access_ns", "cycle_ns", "cpu_cycles"});
+    for (std::uint64_t s = 8_KiB; s <= 256_KiB; s *= 2) {
+        const TimingResult &tr = ex.timingOf(s, 4, 16);
+        t2.beginRow();
+        t2.cell(formatSize(s));
+        t2.cell(tr.accessNs, 3);
+        t2.cell(tr.cycleNs, 3);
+        t2.cell(cyclesCeil(tr.cycleNs, l1cyc));
+    }
+    t2.printAscii(std::cout);
+    std::printf("(paper Fig.2: mostly 2 CPU cycles; 5-cycle L2-hit "
+                "penalty example)\n");
+    return 0;
+}

@@ -1,0 +1,18 @@
+#!/bin/sh
+# One-shot verification: configure, build, run the full test suite,
+# then smoke-run every bench driver and example at reduced trace
+# scale. This is the CI entry point.
+set -e
+cd "$(dirname "$0")/.."
+
+cmake -B build -G Ninja
+cmake --build build
+ctest --test-dir build --output-on-failure
+
+echo "== smoke-running bench drivers at TLC_TRACE_SCALE=0.05 =="
+for b in build/bench/*; do
+    echo "-- $(basename "$b")"
+    TLC_TRACE_SCALE=0.05 "$b" > /dev/null
+done
+
+echo "== all checks passed =="

@@ -1,0 +1,12 @@
+#!/bin/sh
+# Regenerate results/ from every benchmark driver. Run from the
+# repository root after building into ./build. EXPERIMENTS.md quotes
+# the numbers these runs produce.
+set -e
+mkdir -p results
+for b in build/bench/*; do
+    name=$(basename "$b")
+    echo "running $name ..."
+    "$b" > "results/$name.txt" 2>&1
+done
+echo "done; outputs in results/"
