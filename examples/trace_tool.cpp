@@ -57,8 +57,8 @@ cmdGenerate(const ArgParser &args)
     if (out.empty())
         fatal("generate requires --out=FILE");
     TraceBuffer buf = Workloads::generate(b, refs);
-    if (!saveTraceFile(out, buf))
-        fatal("could not write '%s'", out.c_str());
+    if (Status st = saveTraceFile(out, buf); !st)
+        fatal("%s", st.toString().c_str());
     std::printf("wrote %llu refs (%llu instr, %llu data) to %s\n",
                 static_cast<unsigned long long>(buf.totalRefs()),
                 static_cast<unsigned long long>(buf.instrRefs()),
@@ -71,8 +71,8 @@ int
 cmdInfo(const std::string &path)
 {
     TraceBuffer buf;
-    if (!loadTraceFile(path, buf))
-        fatal("could not read '%s'", path.c_str());
+    if (Status st = loadTraceFile(path, buf); !st)
+        fatal("%s", st.toString().c_str());
     std::printf("file          : %s\n", path.c_str());
     std::printf("total refs    : %llu\n",
                 static_cast<unsigned long long>(buf.totalRefs()));
@@ -102,15 +102,15 @@ cmdConvert(const ArgParser &args)
     const std::string &in = args.positional()[1];
     const std::string &out = args.positional()[2];
     TraceBuffer buf;
-    if (!loadTraceFile(in, buf))
-        fatal("could not read '%s'", in.c_str());
+    if (Status st = loadTraceFile(in, buf); !st)
+        fatal("%s", st.toString().c_str());
     if (args.getBool("text")) {
         std::ofstream os(out);
         if (!os)
             fatal("could not open '%s'", out.c_str());
         writeTextTrace(os, buf);
-    } else if (!saveTraceFile(out, buf)) {
-        fatal("could not write '%s'", out.c_str());
+    } else if (Status st = saveTraceFile(out, buf); !st) {
+        fatal("%s", st.toString().c_str());
     }
     std::printf("converted %llu refs: %s -> %s\n",
                 static_cast<unsigned long long>(buf.totalRefs()),
@@ -124,8 +124,8 @@ cmdSimulate(const ArgParser &args)
     if (args.positional().size() < 2)
         return usage();
     TraceBuffer buf;
-    if (!loadTraceFile(args.positional()[1], buf))
-        fatal("could not read '%s'", args.positional()[1].c_str());
+    if (Status st = loadTraceFile(args.positional()[1], buf); !st)
+        fatal("%s", st.toString().c_str());
 
     CacheParams l1;
     l1.sizeBytes = static_cast<std::uint64_t>(args.getInt("l1", 8192));

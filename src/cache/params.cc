@@ -27,21 +27,44 @@ replPolicyName(ReplPolicy p)
     return "?";
 }
 
+Status
+CacheParams::check() const
+{
+    if (lineBytes < 4 || !isPowerOfTwo(lineBytes)) {
+        return statusf(StatusCode::InvalidConfig,
+                       "line size %u must be a power of two >= 4",
+                       lineBytes);
+    }
+    if (sizeBytes < lineBytes || !isPowerOfTwo(sizeBytes)) {
+        return statusf(StatusCode::InvalidConfig,
+                       "cache size %llu must be a power of two >= line "
+                       "size %u",
+                       static_cast<unsigned long long>(sizeBytes),
+                       lineBytes);
+    }
+    std::uint64_t lines = numLines();
+    std::uint32_t w = ways();
+    if (w == 0 || lines % w != 0) {
+        return statusf(StatusCode::InvalidConfig,
+                       "associativity %u does not divide %llu lines",
+                       assoc, static_cast<unsigned long long>(lines));
+    }
+    if (!isPowerOfTwo(numSets())) {
+        return statusf(StatusCode::InvalidConfig,
+                       "number of sets must be a power of two (%s gives "
+                       "%llu sets)",
+                       toString().c_str(),
+                       static_cast<unsigned long long>(numSets()));
+    }
+    return Status();
+}
+
 void
 CacheParams::validate() const
 {
-    if (lineBytes < 4 || !isPowerOfTwo(lineBytes))
-        fatal("line size %u must be a power of two >= 4", lineBytes);
-    if (sizeBytes < lineBytes || !isPowerOfTwo(sizeBytes))
-        fatal("cache size %llu must be a power of two >= line size",
-              static_cast<unsigned long long>(sizeBytes));
-    std::uint64_t lines = numLines();
-    std::uint32_t w = ways();
-    if (w == 0 || lines % w != 0)
-        fatal("associativity %u does not divide %llu lines", assoc,
-              static_cast<unsigned long long>(lines));
-    if (!isPowerOfTwo(numSets()))
-        fatal("number of sets must be a power of two");
+    Status s = check();
+    if (!s.ok())
+        fatal("%s", s.message().c_str());
 }
 
 std::string

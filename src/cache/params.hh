@@ -9,6 +9,8 @@
 #include <cstdint>
 #include <string>
 
+#include "util/status.hh"
+
 namespace tlc {
 
 /** Replacement policy for set-associative caches. */
@@ -50,7 +52,16 @@ struct CacheParams
         return assoc == 0 ? static_cast<std::uint32_t>(numLines()) : assoc;
     }
 
-    /** Validate invariants; fatal() on violations. */
+    /**
+     * Check invariants and return a descriptive InvalidConfig Status
+     * on violations (non-power-of-two sizes, line larger than the
+     * cache, associativity that does not divide the lines, ...).
+     * This is the fail-soft entry point used by design-space sweeps
+     * to skip a bad point instead of aborting the run.
+     */
+    Status check() const;
+
+    /** Validate invariants; fatal() on violations (CLI-style). */
     void validate() const;
 
     std::string toString() const;

@@ -8,6 +8,7 @@
 #include <sstream>
 
 #include "cache/single_level.hh"
+#include "trace/io.hh"
 #include "util/logging.hh"
 
 namespace tlc {
@@ -28,14 +29,49 @@ MissRateEvaluator::warmupRefs() const
         warmupFraction_ * static_cast<double>(traceRefs_));
 }
 
+void
+MissRateEvaluator::setTraceFile(Benchmark b, std::string path)
+{
+    traceFiles_[b] = std::move(path);
+    traces_.erase(b);
+}
+
+Expected<const TraceBuffer *>
+MissRateEvaluator::tryTrace(Benchmark b)
+{
+    auto it = traces_.find(b);
+    if (it != traces_.end())
+        return static_cast<const TraceBuffer *>(&it->second);
+
+    auto fit = traceFiles_.find(b);
+    if (fit != traceFiles_.end()) {
+        TraceBuffer buf;
+        Status s = loadTraceFile(fit->second, buf);
+        if (!s.ok()) {
+            return s.withContext(std::string("benchmark '") +
+                                 Workloads::info(b).name + "'");
+        }
+        if (buf.empty()) {
+            return statusf(StatusCode::IoError,
+                           "benchmark '%s': trace file '%s' holds no "
+                           "records", Workloads::info(b).name,
+                           fit->second.c_str());
+        }
+        it = traces_.emplace(b, std::move(buf)).first;
+        return static_cast<const TraceBuffer *>(&it->second);
+    }
+
+    it = traces_.emplace(b, Workloads::generate(b, traceRefs_)).first;
+    return static_cast<const TraceBuffer *>(&it->second);
+}
+
 const TraceBuffer &
 MissRateEvaluator::trace(Benchmark b)
 {
-    auto it = traces_.find(b);
-    if (it == traces_.end()) {
-        it = traces_.emplace(b, Workloads::generate(b, traceRefs_)).first;
-    }
-    return it->second;
+    Expected<const TraceBuffer *> t = tryTrace(b);
+    tlc_assert(t.ok(), "trace unavailable: %s",
+               t.status().message().c_str());
+    return *t.value();
 }
 
 std::string
@@ -52,6 +88,37 @@ MissRateEvaluator::key(Benchmark b, const SystemConfig &c) const
     return os.str();
 }
 
+std::unique_ptr<Hierarchy>
+MissRateEvaluator::makeHierarchy(const SystemConfig &config)
+{
+    if (config.hasL2()) {
+        return std::make_unique<TwoLevelHierarchy>(
+            config.l1Params(), config.l2Params(), config.assume.policy);
+    }
+    return std::make_unique<SingleLevelHierarchy>(config.l1Params());
+}
+
+Expected<HierarchyStats>
+MissRateEvaluator::tryMissStats(Benchmark b, const SystemConfig &config)
+{
+    Status cs = config.check();
+    if (!cs.ok())
+        return cs;
+
+    std::string k = key(b, config);
+    auto it = results_.find(k);
+    if (it != results_.end())
+        return it->second;
+
+    Expected<const TraceBuffer *> t = tryTrace(b);
+    if (!t.ok())
+        return t.status();
+
+    std::unique_ptr<Hierarchy> h = makeHierarchy(config);
+    h->simulate(*t.value(), warmupRefs());
+    return results_.emplace(k, h->stats()).first->second;
+}
+
 const HierarchyStats &
 MissRateEvaluator::missStats(Benchmark b, const SystemConfig &config)
 {
@@ -60,24 +127,15 @@ MissRateEvaluator::missStats(Benchmark b, const SystemConfig &config)
     if (it != results_.end())
         return it->second;
 
-    std::unique_ptr<Hierarchy> h;
-    if (config.hasL2()) {
-        h = std::make_unique<TwoLevelHierarchy>(
-            config.l1Params(), config.l2Params(), config.assume.policy);
-    } else {
-        h = std::make_unique<SingleLevelHierarchy>(config.l1Params());
-    }
+    std::unique_ptr<Hierarchy> h = makeHierarchy(config);
     simulate(b, *h);
     return results_.emplace(k, h->stats()).first->second;
 }
 
 void
-MissRateEvaluator::simulate(Benchmark b, Hierarchy &h) const
+MissRateEvaluator::simulate(Benchmark b, Hierarchy &h)
 {
-    // trace() is non-const only for lazy generation.
-    const TraceBuffer &t =
-        const_cast<MissRateEvaluator *>(this)->trace(b);
-    h.simulate(t, warmupRefs());
+    h.simulate(trace(b), warmupRefs());
 }
 
 } // namespace tlc

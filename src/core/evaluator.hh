@@ -6,6 +6,14 @@
  * configuration) miss counts from several experiments; the evaluator
  * generates each benchmark trace once and memoizes simulation
  * results so figure drivers stay fast.
+ *
+ * Traces are synthetic by default (Workloads::generate); a benchmark
+ * can instead be routed to an on-disk trace with setTraceFile(), the
+ * path users with real captured traces take. Because on-disk data
+ * can be corrupt, the try* entry points report failures as Status
+ * values: a sweep that hits an unreadable trace or an invalid
+ * configuration records the failure and keeps going (see
+ * Explorer::evaluateAll) instead of exiting mid-run.
  */
 
 #ifndef TLC_CORE_EVALUATOR_HH
@@ -18,6 +26,7 @@
 #include "cache/hierarchy.hh"
 #include "core/system_config.hh"
 #include "trace/workload.hh"
+#include "util/status.hh"
 
 namespace tlc {
 
@@ -37,24 +46,54 @@ class MissRateEvaluator
     explicit MissRateEvaluator(std::uint64_t trace_refs = 0,
                                double warmup_fraction = 0.1);
 
-    /** The (lazily generated, cached) trace of a benchmark. */
+    /**
+     * Route @p b to an on-disk trace file (any format loadTraceFile
+     * understands) instead of the synthetic model. Load happens
+     * lazily at first use; a cached trace for @p b is dropped so the
+     * next access re-reads the file.
+     */
+    void setTraceFile(Benchmark b, std::string path);
+
+    /**
+     * The (lazily loaded/generated, cached) trace of @p b, or the
+     * Status explaining why its trace file could not be read. The
+     * pointer stays valid for the evaluator's lifetime.
+     */
+    Expected<const TraceBuffer *> tryTrace(Benchmark b);
+
+    /**
+     * The (lazily generated, cached) trace of a benchmark.
+     * Legacy convenience: panics when a routed trace file is
+     * unreadable; fail-soft callers use tryTrace().
+     */
     const TraceBuffer &trace(Benchmark b);
+
+    /**
+     * Miss statistics of @p config on @p b (memoized), with invalid
+     * configurations and unreadable traces reported as a Status
+     * instead of aborting.
+     */
+    Expected<HierarchyStats> tryMissStats(Benchmark b,
+                                          const SystemConfig &config);
 
     /** Miss statistics of @p config on @p b (memoized). */
     const HierarchyStats &missStats(Benchmark b, const SystemConfig &config);
 
     /** Run an arbitrary hierarchy against a benchmark's trace. */
-    void simulate(Benchmark b, Hierarchy &h) const;
+    void simulate(Benchmark b, Hierarchy &h);
 
     std::uint64_t traceRefs() const { return traceRefs_; }
     std::uint64_t warmupRefs() const;
 
   private:
     std::string key(Benchmark b, const SystemConfig &c) const;
+    static std::unique_ptr<Hierarchy> makeHierarchy(
+        const SystemConfig &config);
 
     std::uint64_t traceRefs_;
     double warmupFraction_;
     std::map<Benchmark, TraceBuffer> traces_;
+    std::map<Benchmark, std::string> traceFiles_;
     std::map<std::string, HierarchyStats> results_;
 };
 

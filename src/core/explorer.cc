@@ -5,9 +5,61 @@
 
 #include "explorer.hh"
 
+#include <sstream>
+
 #include "util/logging.hh"
+#include "util/table.hh"
 
 namespace tlc {
+
+// ---------------------------------------------------------------------
+// FailureReport
+// ---------------------------------------------------------------------
+
+void
+FailureReport::add(std::string subject, Status status)
+{
+    tlc_assert(!status.ok(), "recording an OK status for '%s'",
+               subject.c_str());
+    failures_.push_back({std::move(subject), std::move(status)});
+}
+
+bool
+FailureReport::mentions(const std::string &needle) const
+{
+    for (const auto &f : failures_) {
+        if (f.subject.find(needle) != std::string::npos ||
+            f.status.message().find(needle) != std::string::npos) {
+            return true;
+        }
+    }
+    return false;
+}
+
+std::string
+FailureReport::summary() const
+{
+    std::ostringstream os;
+    if (failures_.empty()) {
+        os << "sweep completed with no failures\n";
+        return os.str();
+    }
+    os << "sweep skipped " << failures_.size() << " point"
+       << (failures_.size() == 1 ? "" : "s") << ":\n";
+    Table t({"subject", "error", "detail"});
+    for (const auto &f : failures_) {
+        t.beginRow();
+        t.cell(f.subject);
+        t.cell(statusCodeName(f.status.code()));
+        t.cell(f.status.message());
+    }
+    t.printAscii(os);
+    return os.str();
+}
+
+// ---------------------------------------------------------------------
+// Explorer
+// ---------------------------------------------------------------------
 
 Explorer::Explorer(MissRateEvaluator &evaluator,
                    const AccessTimeModel &timing, const AreaModel &area)
@@ -83,17 +135,86 @@ Explorer::evaluate(Benchmark b, const SystemConfig &config)
     return p;
 }
 
+Expected<DesignPoint>
+Explorer::tryEvaluate(Benchmark b, const SystemConfig &config)
+{
+    // Validate the geometry before pricing: both the cache model
+    // and the timing model panic on degenerate shapes, and a sweep
+    // must survive those as skipped points.
+    Status cs = config.check();
+    if (!cs.ok())
+        return cs;
+
+    Expected<HierarchyStats> miss = evaluator_.tryMissStats(b, config);
+    if (!miss.ok())
+        return miss.status();
+
+    DesignPoint p;
+    p.config = config;
+    p.l1Timing = timingOf(config.l1Bytes, config.assume.l1Assoc,
+                          config.assume.lineBytes);
+    if (config.hasL2()) {
+        p.l2Timing = timingOf(config.l2Bytes, config.assume.l2Assoc,
+                              config.assume.lineBytes);
+    }
+    p.areaRbe = areaOf(config);
+    p.miss = miss.value();
+
+    TpiParams tp;
+    tp.l1CycleNs = p.l1Timing.cycleNs;
+    tp.l2CycleNsRaw = config.hasL2() ? p.l2Timing.cycleNs : 0.0;
+    tp.offchipNs = config.assume.offchipNs;
+    tp.issuePerCycle = config.assume.dualPortedL1 ? 2.0 : 1.0;
+    tp.hasL2 = config.hasL2();
+    p.tpi = computeTpi(p.miss, tp);
+    return p;
+}
+
 std::vector<DesignPoint>
-Explorer::sweep(Benchmark b, const SystemAssumptions &assume,
-                bool include_single_level, bool include_two_level)
+Explorer::evaluateAll(Benchmark b, const std::vector<SystemConfig> &configs,
+                      FailureReport *report)
 {
     std::vector<DesignPoint> out;
-    for (const SystemConfig &c :
-         DesignSpace::enumerate(assume, include_single_level,
-                                include_two_level)) {
-        out.push_back(evaluate(b, c));
+    if (configs.empty())
+        return out;
+
+    // An unloadable benchmark trace fails every point the same way;
+    // detect it once and report the benchmark, not every config.
+    Expected<const TraceBuffer *> t = evaluator_.tryTrace(b);
+    if (!t.ok()) {
+        if (!report) {
+            fatal("benchmark '%s': %s", Workloads::info(b).name,
+                  t.status().message().c_str());
+        }
+        report->add(std::string("benchmark ") + Workloads::info(b).name,
+                    t.status());
+        return out;
+    }
+
+    out.reserve(configs.size());
+    for (const SystemConfig &c : configs) {
+        Expected<DesignPoint> p = tryEvaluate(b, c);
+        if (p.ok()) {
+            out.push_back(std::move(p.value()));
+        } else if (report) {
+            report->add(c.label(), p.status());
+        } else {
+            fatal("design point %s: %s", c.label().c_str(),
+                  p.status().message().c_str());
+        }
     }
     return out;
+}
+
+std::vector<DesignPoint>
+Explorer::sweep(Benchmark b, const SystemAssumptions &assume,
+                bool include_single_level, bool include_two_level,
+                FailureReport *report)
+{
+    return evaluateAll(b,
+                       DesignSpace::enumerate(assume, include_single_level,
+                                              include_two_level),
+                       report);
 }
 
 Envelope

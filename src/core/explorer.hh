@@ -3,6 +3,12 @@
  * The design-space explorer: fuses miss rates, the timing model and
  * the area model into TPI-vs-area design points and best-performance
  * envelopes — the engine behind every figure in the paper.
+ *
+ * Sweeps are fail-soft: pass a FailureReport and a design point
+ * whose configuration is invalid, or whose benchmark trace cannot be
+ * loaded, is recorded and skipped while the remaining points
+ * complete — one corrupt trace byte must not abort a multi-hour
+ * multi-hundred-point run.
  */
 
 #ifndef TLC_CORE_EXPLORER_HH
@@ -17,6 +23,7 @@
 #include "core/tpi.hh"
 #include "timing/access_time.hh"
 #include "util/envelope.hh"
+#include "util/status.hh"
 
 namespace tlc {
 
@@ -35,6 +42,36 @@ struct DesignPoint
     {
         return EnvelopePoint{areaRbe, tpi.tpi, config.label()};
     }
+};
+
+/** One skipped design point or benchmark within a sweep. */
+struct SweepFailure
+{
+    std::string subject; ///< config label or benchmark name
+    Status status;       ///< why it was skipped
+};
+
+/**
+ * Accumulates the failures of one fail-soft sweep so they can be
+ * summarised at the end of the run instead of killing it.
+ */
+class FailureReport
+{
+  public:
+    void add(std::string subject, Status status);
+
+    bool empty() const { return failures_.empty(); }
+    std::size_t size() const { return failures_.size(); }
+    const std::vector<SweepFailure> &failures() const { return failures_; }
+
+    /** True when some failure's subject contains @p needle. */
+    bool mentions(const std::string &needle) const;
+
+    /** Aligned ASCII summary table (subject | error | detail). */
+    std::string summary() const;
+
+  private:
+    std::vector<SweepFailure> failures_;
 };
 
 /**
@@ -60,11 +97,31 @@ class Explorer
     /** Fully price one configuration on one benchmark. */
     DesignPoint evaluate(Benchmark b, const SystemConfig &config);
 
+    /**
+     * Fully price one configuration, reporting an invalid
+     * configuration or unloadable benchmark trace as a Status
+     * instead of aborting.
+     */
+    Expected<DesignPoint> tryEvaluate(Benchmark b,
+                                      const SystemConfig &config);
+
+    /**
+     * Price an explicit configuration list. With @p report, failed
+     * points are recorded there and skipped (fail-soft); without
+     * it, a failure is fatal as in the classic API. A benchmark
+     * whose trace cannot be loaded is reported once, not once per
+     * configuration.
+     */
+    std::vector<DesignPoint> evaluateAll(
+        Benchmark b, const std::vector<SystemConfig> &configs,
+        FailureReport *report = nullptr);
+
     /** Price every configuration of a design space. */
     std::vector<DesignPoint> sweep(Benchmark b,
                                    const SystemAssumptions &assume,
                                    bool include_single_level = true,
-                                   bool include_two_level = true);
+                                   bool include_two_level = true,
+                                   FailureReport *report = nullptr);
 
     /** Best-performance envelope of a priced sweep. */
     static Envelope envelopeOf(const std::vector<DesignPoint> &points);

@@ -37,6 +37,20 @@ SystemConfig::label() const
     return formatConfigLabel(l1Bytes, l2Bytes);
 }
 
+Status
+SystemConfig::check() const
+{
+    Status s = l1Params().check();
+    if (!s.ok())
+        return s.withContext("L1 of " + label());
+    if (hasL2()) {
+        s = l2Params().check();
+        if (!s.ok())
+            return s.withContext("L2 of " + label());
+    }
+    return Status();
+}
+
 CacheParams
 SystemConfig::l1Params() const
 {

@@ -48,6 +48,14 @@ struct SystemConfig
 
     bool hasL2() const { return l2Bytes != 0; }
 
+    /**
+     * Check that both cache levels have valid geometry, returning a
+     * descriptive InvalidConfig Status naming the offending level
+     * instead of aborting. Sweeps call this before pricing a point
+     * so one degenerate configuration cannot kill a run.
+     */
+    Status check() const;
+
     /** The paper's "L1:L2" label in KB, e.g. "32:256" or "8:0". */
     std::string label() const;
 

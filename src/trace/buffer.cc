@@ -5,6 +5,8 @@
 
 #include "buffer.hh"
 
+#include "util/logging.hh"
+
 namespace tlc {
 
 void
@@ -28,6 +30,27 @@ void
 TraceBuffer::append(std::uint32_t addr, RefType type)
 {
     append(TraceRecord{addr, type});
+}
+
+void
+TraceBuffer::truncate(std::size_t n)
+{
+    tlc_assert(n <= records_.size(), "truncate(%zu) beyond size %zu", n,
+               records_.size());
+    while (records_.size() > n) {
+        switch (records_.back().type) {
+          case RefType::Instr:
+            --instr_;
+            break;
+          case RefType::Load:
+            --loads_;
+            break;
+          case RefType::Store:
+            --stores_;
+            break;
+        }
+        records_.pop_back();
+    }
 }
 
 void

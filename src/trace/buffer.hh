@@ -28,6 +28,14 @@ class TraceBuffer
     void append(TraceRecord rec);
     void append(std::uint32_t addr, RefType type);
 
+    /**
+     * Drop records from the tail until only @p n remain, keeping the
+     * per-type counts consistent. Used by the trace readers to roll
+     * a partially-appended buffer back to its pre-call size when a
+     * read fails part-way through. Asserts when @p n exceeds size().
+     */
+    void truncate(std::size_t n);
+
     const std::vector<TraceRecord> &records() const { return records_; }
     std::size_t size() const { return records_.size(); }
     bool empty() const { return records_.empty(); }

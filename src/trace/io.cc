@@ -1,6 +1,10 @@
 /**
  * @file
  * Trace file I/O implementation.
+ *
+ * The readers follow three rules (see io.hh): validate everything,
+ * never trust a size field further than the bytes that remain, and
+ * roll the destination buffer back on any failure.
  */
 
 #include "io.hh"
@@ -10,8 +14,6 @@
 #include <istream>
 #include <ostream>
 #include <sstream>
-
-#include "util/logging.hh"
 
 namespace tlc {
 
@@ -60,6 +62,48 @@ getU64(std::istream &is, std::uint64_t &v)
     return true;
 }
 
+constexpr std::uint64_t kUnknownRemaining = ~std::uint64_t{0};
+
+/**
+ * Bytes left between the current position and the end of the
+ * stream, or kUnknownRemaining when the stream is not seekable
+ * (e.g. a pipe). Restores the read position and stream state.
+ */
+std::uint64_t
+remainingBytes(std::istream &is)
+{
+    std::istream::pos_type cur = is.tellg();
+    if (cur == std::istream::pos_type(-1)) {
+        is.clear();
+        return kUnknownRemaining;
+    }
+    is.seekg(0, std::ios::end);
+    std::istream::pos_type end = is.tellg();
+    is.clear();
+    is.seekg(cur);
+    if (end == std::istream::pos_type(-1) || end < cur)
+        return kUnknownRemaining;
+    return static_cast<std::uint64_t>(end - cur);
+}
+
+/**
+ * Safe reserve() hint for @p count records of at least
+ * @p min_record_bytes each: never larger than what the remaining
+ * stream bytes could actually hold, and bounded by a fixed cap when
+ * the stream size is unknowable (the vector still grows on demand
+ * past the hint; only the up-front allocation is limited).
+ */
+std::uint64_t
+clampedReserve(std::uint64_t count, std::uint64_t remaining,
+               std::uint64_t min_record_bytes)
+{
+    constexpr std::uint64_t kBlindCap = 1u << 20; // 1 M records
+    if (remaining == kUnknownRemaining)
+        return count < kBlindCap ? count : kBlindCap;
+    std::uint64_t fit = remaining / min_record_bytes;
+    return count < fit ? count : fit;
+}
+
 } // namespace
 
 void
@@ -75,31 +119,73 @@ writeBinaryTrace(std::ostream &os, const TraceBuffer &buf)
     }
 }
 
-bool
+Status
 readBinaryTrace(std::istream &is, TraceBuffer &buf)
 {
+    const std::size_t entry = buf.size();
+    auto fail = [&](Status s) {
+        buf.truncate(entry);
+        return s;
+    };
+
     char magic[4];
-    if (!is.read(magic, 4) || std::memcmp(magic, kTraceMagic, 4) != 0)
-        return false;
+    if (!is.read(magic, 4))
+        return Status(StatusCode::Truncated,
+                      "stream shorter than the 4-byte magic");
+    if (std::memcmp(magic, kTraceMagic, 4) != 0) {
+        return statusf(StatusCode::BadMagic,
+                       "magic bytes %02x%02x%02x%02x are not \"TLCT\"",
+                       static_cast<unsigned char>(magic[0]),
+                       static_cast<unsigned char>(magic[1]),
+                       static_cast<unsigned char>(magic[2]),
+                       static_cast<unsigned char>(magic[3]));
+    }
     std::uint32_t version;
-    if (!getU32(is, version) || version != kTraceVersion) {
-        warn("unsupported trace version");
-        return false;
+    if (!getU32(is, version))
+        return Status(StatusCode::Truncated,
+                      "stream ends inside the version field");
+    if (version != kTraceVersion) {
+        return statusf(StatusCode::VersionMismatch,
+                       "version %u where the raw binary reader expects %u",
+                       version, kTraceVersion);
     }
     std::uint64_t count;
     if (!getU64(is, count))
-        return false;
-    buf.reserve(buf.size() + count);
+        return Status(StatusCode::Truncated,
+                      "stream ends inside the record count");
+    // Reject only clearly-hostile counts here (more records than
+    // remaining BYTES): a file that merely lost its tail still
+    // enters the record loop and reports WHERE it was cut. Either
+    // way the reserve() below is clamped, so a lying header can
+    // never force a huge allocation.
+    const std::uint64_t remaining = remainingBytes(is);
+    if (remaining != kUnknownRemaining && count > remaining) {
+        return statusf(StatusCode::CountTooLarge,
+                       "record count %llu exceeds even one byte per "
+                       "record in the %llu bytes remaining",
+                       static_cast<unsigned long long>(count),
+                       static_cast<unsigned long long>(remaining));
+    }
+    buf.reserve(entry + clampedReserve(count, remaining, 5));
     for (std::uint64_t i = 0; i < count; ++i) {
         std::uint32_t addr;
         char t;
-        if (!getU32(is, addr) || !is.read(&t, 1))
-            return false;
-        if (t < 0 || t > 2)
-            return false;
+        if (!getU32(is, addr) || !is.read(&t, 1)) {
+            return fail(statusf(
+                StatusCode::Truncated,
+                "stream ends inside record %llu of %llu",
+                static_cast<unsigned long long>(i),
+                static_cast<unsigned long long>(count)));
+        }
+        if (t < 0 || t > 2) {
+            return fail(statusf(
+                StatusCode::TypeOutOfRange,
+                "record %llu has reference type %d (expected 0..2)",
+                static_cast<unsigned long long>(i), static_cast<int>(t)));
+        }
         buf.append(addr, static_cast<RefType>(t));
     }
-    return true;
+    return Status();
 }
 
 namespace {
@@ -116,19 +202,31 @@ putVarint(std::ostream &os, std::uint64_t v)
     os.write(&b, 1);
 }
 
-bool
+Status
 getVarint(std::istream &is, std::uint64_t &v)
 {
     v = 0;
     unsigned shift = 0;
-    for (;;) {
+    for (int nbytes = 1;; ++nbytes) {
         char c;
-        if (!is.read(&c, 1) || shift > 63)
-            return false;
+        if (!is.read(&c, 1)) {
+            return Status(StatusCode::Truncated,
+                          "stream ends inside a varint");
+        }
         unsigned char b = static_cast<unsigned char>(c);
+        // A u64 takes at most 10 varint bytes, and the 10th carries
+        // only the top bit (shift 63).
+        if (nbytes > 10 || (shift == 63 && (b & 0x7e))) {
+            return statusf(StatusCode::OverlongVarint,
+                           "varint overflows 64 bits at byte %d", nbytes);
+        }
         v |= static_cast<std::uint64_t>(b & 0x7f) << shift;
         if (!(b & 0x80))
-            return true;
+            return Status();
+        if (nbytes == 10) {
+            return Status(StatusCode::OverlongVarint,
+                          "varint continues past 10 bytes");
+        }
         shift += 7;
     }
 }
@@ -165,34 +263,73 @@ writeCompressedTrace(std::ostream &os, const TraceBuffer &buf)
     }
 }
 
-bool
+Status
 readCompressedTrace(std::istream &is, TraceBuffer &buf)
 {
+    const std::size_t entry = buf.size();
+    auto fail = [&](Status s) {
+        buf.truncate(entry);
+        return s;
+    };
+
     char magic[4];
-    if (!is.read(magic, 4) || std::memcmp(magic, kTraceMagic, 4) != 0)
-        return false;
+    if (!is.read(magic, 4))
+        return Status(StatusCode::Truncated,
+                      "stream shorter than the 4-byte magic");
+    if (std::memcmp(magic, kTraceMagic, 4) != 0) {
+        return statusf(StatusCode::BadMagic,
+                       "magic bytes %02x%02x%02x%02x are not \"TLCT\"",
+                       static_cast<unsigned char>(magic[0]),
+                       static_cast<unsigned char>(magic[1]),
+                       static_cast<unsigned char>(magic[2]),
+                       static_cast<unsigned char>(magic[3]));
+    }
     std::uint32_t version;
-    if (!getU32(is, version) || version != kTraceVersionCompressed)
-        return false;
+    if (!getU32(is, version))
+        return Status(StatusCode::Truncated,
+                      "stream ends inside the version field");
+    if (version != kTraceVersionCompressed) {
+        return statusf(StatusCode::VersionMismatch,
+                       "version %u where the compressed reader expects %u",
+                       version, kTraceVersionCompressed);
+    }
     std::uint64_t count;
     if (!getU64(is, count))
-        return false;
-    buf.reserve(buf.size() + count);
+        return Status(StatusCode::Truncated,
+                      "stream ends inside the record count");
+    const std::uint64_t remaining = remainingBytes(is);
+    // Compressed records are at least one byte each.
+    if (remaining != kUnknownRemaining && count > remaining) {
+        return statusf(StatusCode::CountTooLarge,
+                       "record count %llu exceeds the %llu bytes that "
+                       "remain (compressed records are >= 1 byte)",
+                       static_cast<unsigned long long>(count),
+                       static_cast<unsigned long long>(remaining));
+    }
+    buf.reserve(entry + clampedReserve(count, remaining, 1));
     std::uint32_t last[3] = {0, 0, 0};
     for (std::uint64_t i = 0; i < count; ++i) {
         std::uint64_t word;
-        if (!getVarint(is, word))
-            return false;
+        Status s = getVarint(is, word);
+        if (!s.ok()) {
+            return fail(s.withContext(
+                "record " + std::to_string(i) + " of " +
+                std::to_string(count)));
+        }
         unsigned ty = static_cast<unsigned>(word & 3);
-        if (ty > 2)
-            return false;
+        if (ty > 2) {
+            return fail(statusf(
+                StatusCode::TypeOutOfRange,
+                "record %llu has reference type %u (expected 0..2)",
+                static_cast<unsigned long long>(i), ty));
+        }
         std::int64_t delta = unzigzag(word >> 2);
         std::uint32_t addr = static_cast<std::uint32_t>(
             static_cast<std::int64_t>(last[ty]) + delta);
         last[ty] = addr;
         buf.append(addr, static_cast<RefType>(ty));
     }
-    return true;
+    return Status();
 }
 
 void
@@ -204,66 +341,101 @@ writeTextTrace(std::ostream &os, const TraceBuffer &buf)
     }
 }
 
-bool
+Status
 readTextTrace(std::istream &is, TraceBuffer &buf)
 {
+    const std::size_t entry = buf.size();
+    auto fail = [&](Status s) {
+        buf.truncate(entry);
+        return s;
+    };
+
     std::string line;
+    std::size_t lineno = 0;
     while (std::getline(is, line)) {
+        ++lineno;
         if (line.empty() || line[0] == '#')
             continue;
         std::istringstream ls(line);
         char tc;
         std::string addr_str;
-        if (!(ls >> tc >> addr_str))
-            return false;
+        if (!(ls >> tc >> addr_str)) {
+            return fail(statusf(StatusCode::ParseError,
+                                "line %zu: expected \"<type> <address>\"",
+                                lineno));
+        }
         RefType type;
-        if (!refTypeFromChar(tc, type))
-            return false;
+        if (!refTypeFromChar(tc, type)) {
+            return fail(statusf(
+                StatusCode::ParseError,
+                "line %zu: unknown reference type '%c' (expected i/l/s)",
+                lineno, tc));
+        }
         char *end = nullptr;
         unsigned long addr = std::strtoul(addr_str.c_str(), &end, 0);
-        if (end == addr_str.c_str() || *end != '\0')
-            return false;
+        if (end == addr_str.c_str() || *end != '\0') {
+            return fail(statusf(StatusCode::ParseError,
+                                "line %zu: bad address '%s'", lineno,
+                                addr_str.c_str()));
+        }
         buf.append(static_cast<std::uint32_t>(addr), type);
     }
-    return true;
+    return Status();
 }
 
-bool
+Status
 loadTraceFile(const std::string &path, TraceBuffer &buf)
 {
     std::ifstream is(path, std::ios::binary);
     if (!is) {
-        warn("cannot open trace file '%s'", path.c_str());
-        return false;
+        return statusf(StatusCode::IoError,
+                       "cannot open trace file '%s'", path.c_str());
     }
     char magic[4];
     if (is.read(magic, 4) && std::memcmp(magic, kTraceMagic, 4) == 0) {
         std::uint32_t version = 0;
-        getU32(is, version);
+        if (!getU32(is, version)) {
+            return statusf(StatusCode::Truncated,
+                           "'%s': file ends inside the binary trace "
+                           "header", path.c_str());
+        }
         is.seekg(0);
+        Status s;
         if (version == kTraceVersionCompressed)
-            return readCompressedTrace(is, buf);
-        return readBinaryTrace(is, buf);
+            s = readCompressedTrace(is, buf);
+        else if (version == kTraceVersion)
+            s = readBinaryTrace(is, buf);
+        else
+            return statusf(StatusCode::VersionMismatch,
+                           "'%s': unsupported trace version %u "
+                           "(expected %u or %u)", path.c_str(), version,
+                           kTraceVersion, kTraceVersionCompressed);
+        return s.withContext("'" + path + "'");
     }
     is.clear();
     is.seekg(0);
-    return readTextTrace(is, buf);
+    return readTextTrace(is, buf).withContext("'" + path + "' (text)");
 }
 
-bool
+Status
 saveTraceFile(const std::string &path, const TraceBuffer &buf,
               bool compressed)
 {
     std::ofstream os(path, std::ios::binary);
     if (!os) {
-        warn("cannot open trace file '%s' for writing", path.c_str());
-        return false;
+        return statusf(StatusCode::IoError,
+                       "cannot open trace file '%s' for writing",
+                       path.c_str());
     }
     if (compressed)
         writeCompressedTrace(os, buf);
     else
         writeBinaryTrace(os, buf);
-    return os.good();
+    if (!os.good()) {
+        return statusf(StatusCode::IoError,
+                       "write to trace file '%s' failed", path.c_str());
+    }
+    return Status();
 }
 
 } // namespace tlc

@@ -11,6 +11,19 @@
  * The binary format lets users capture traces once (e.g. with a
  * Pin/Valgrind tool writing this layout) and replay them through the
  * simulator instead of using the built-in synthetic workloads.
+ *
+ * Error handling: on-disk data is untrusted. Every reader validates
+ * at the boundary and returns a tlc::Status with a typed code (bad
+ * magic, version mismatch, truncation, overlong varint, reference
+ * type out of range, record count larger than the remaining file)
+ * instead of trusting the stream or exiting. Reads are
+ * transactional with respect to the destination buffer: on ANY
+ * failure the TraceBuffer is rolled back to the size it had on
+ * entry, so a failed load leaves no partial records behind. Record
+ * counts from the header are additionally clamped against the bytes
+ * actually remaining in the stream before any memory is reserved,
+ * so a corrupt or truncated header cannot trigger a multi-gigabyte
+ * allocation.
  */
 
 #ifndef TLC_TRACE_IO_HH
@@ -20,6 +33,7 @@
 #include <string>
 
 #include "trace/buffer.hh"
+#include "util/status.hh"
 
 namespace tlc {
 
@@ -35,10 +49,10 @@ void writeBinaryTrace(std::ostream &os, const TraceBuffer &buf);
 
 /**
  * Read a binary trace from @p is into @p buf (appending).
- * Returns false (with buf untouched on header errors) when the
- * stream is not a valid trace.
+ * On failure returns a descriptive Status and rolls @p buf back to
+ * its entry size (no partial append).
  */
-bool readBinaryTrace(std::istream &is, TraceBuffer &buf);
+Status readBinaryTrace(std::istream &is, TraceBuffer &buf);
 
 /**
  * Write @p buf in the compressed binary format: each record stores
@@ -51,27 +65,36 @@ bool readBinaryTrace(std::istream &is, TraceBuffer &buf);
  */
 void writeCompressedTrace(std::ostream &os, const TraceBuffer &buf);
 
-/** Read a compressed trace (header included). False on errors. */
-bool readCompressedTrace(std::istream &is, TraceBuffer &buf);
+/**
+ * Read a compressed trace (header included). On failure returns a
+ * descriptive Status and rolls @p buf back to its entry size.
+ */
+Status readCompressedTrace(std::istream &is, TraceBuffer &buf);
 
 /** Write @p buf to @p os in the text format. */
 void writeTextTrace(std::ostream &os, const TraceBuffer &buf);
 
 /**
  * Read a text trace. Blank lines and lines starting with '#' are
- * ignored. Returns false on the first malformed line.
+ * ignored. On the first malformed line, returns a ParseError
+ * Status naming the line number and rolls @p buf back to its entry
+ * size.
  */
-bool readTextTrace(std::istream &is, TraceBuffer &buf);
+Status readTextTrace(std::istream &is, TraceBuffer &buf);
 
-/** Convenience: load a trace file (binary or text, sniffed). */
-bool loadTraceFile(const std::string &path, TraceBuffer &buf);
+/**
+ * Convenience: load a trace file (binary or text, sniffed). The
+ * returned Status carries the file path and which format/stage
+ * failed; @p buf is left at its entry size on failure.
+ */
+Status loadTraceFile(const std::string &path, TraceBuffer &buf);
 
 /**
  * Convenience: save a binary trace file (compressed by default;
  * pass compressed=false for the raw fixed-record layout).
  */
-bool saveTraceFile(const std::string &path, const TraceBuffer &buf,
-                   bool compressed = true);
+Status saveTraceFile(const std::string &path, const TraceBuffer &buf,
+                     bool compressed = true);
 
 } // namespace tlc
 

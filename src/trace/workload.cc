@@ -132,12 +132,22 @@ Workloads::info(Benchmark b)
 Benchmark
 Workloads::byName(const std::string &name)
 {
+    Expected<Benchmark> b = tryByName(name);
+    if (!b.ok())
+        fatal("%s", b.status().message().c_str());
+    return b.value();
+}
+
+Expected<Benchmark>
+Workloads::tryByName(const std::string &name)
+{
     for (const auto &i : kInfos) {
         if (name == i.name)
             return i.bench;
     }
-    fatal("unknown benchmark '%s' (expected gcc1, espresso, fpppp, "
-          "doduc, li, eqntott, or tomcatv)", name.c_str());
+    return statusf(StatusCode::UnknownName,
+                   "unknown benchmark '%s' (expected gcc1, espresso, "
+                   "fpppp, doduc, li, eqntott, or tomcatv)", name.c_str());
 }
 
 std::unique_ptr<WorkloadMixer>

@@ -25,6 +25,7 @@
 #include "trace/buffer.hh"
 #include "trace/stream.hh"
 #include "util/random.hh"
+#include "util/status.hh"
 
 namespace tlc {
 
@@ -95,6 +96,12 @@ class Workloads
 
     /** Benchmark by name ("gcc1", ...); fatal on unknown names. */
     static Benchmark byName(const std::string &name);
+
+    /**
+     * Benchmark by name, reporting unknown names as an UnknownName
+     * Status instead of exiting (for fail-soft pipelines).
+     */
+    static Expected<Benchmark> tryByName(const std::string &name);
 
     /**
      * Build the calibrated mixer for @p b. Exposed so tests can

@@ -1,0 +1,87 @@
+/**
+ * @file
+ * Fault-injecting streambuf implementation.
+ */
+
+#include "faultio.hh"
+
+#include <sstream>
+
+namespace tlc {
+
+CorruptingStreamBuf::CorruptingStreamBuf(std::streambuf &src,
+                                         const FaultSpec &spec)
+    : src_(&src), spec_(spec), rng_(spec.seed, 0xFA17)
+{
+    // Empty get area: first read goes through underflow().
+    setg(&cur_, &cur_ + 1, &cur_ + 1);
+}
+
+bool
+CorruptingStreamBuf::nextByte(char &out)
+{
+    if (havePending_) {
+        havePending_ = false;
+        out = pending_;
+        return true;
+    }
+    for (;;) {
+        if (srcPos_ >= spec_.truncateAfter) {
+            if (!cutCounted_) {
+                cutCounted_ = true;
+                ++faults_;
+            }
+            return false;
+        }
+        int_type v = src_->sbumpc();
+        if (traits_type::eq_int_type(v, traits_type::eof()))
+            return false;
+        ++srcPos_;
+        unsigned char b =
+            static_cast<unsigned char>(traits_type::to_char_type(v));
+        if (spec_.dropRate > 0.0 && rng_.nextDouble() < spec_.dropRate) {
+            ++faults_;
+            continue;
+        }
+        if (spec_.bitFlipRate > 0.0 &&
+            rng_.nextDouble() < spec_.bitFlipRate) {
+            b = static_cast<unsigned char>(b ^ (1u << rng_.nextBounded(8)));
+            ++faults_;
+        }
+        if (spec_.dupRate > 0.0 && rng_.nextDouble() < spec_.dupRate) {
+            pending_ = static_cast<char>(b);
+            havePending_ = true;
+            ++faults_;
+        }
+        out = static_cast<char>(b);
+        return true;
+    }
+}
+
+CorruptingStreamBuf::int_type
+CorruptingStreamBuf::underflow()
+{
+    if (gptr() < egptr())
+        return traits_type::to_int_type(*gptr());
+    if (!nextByte(cur_))
+        return traits_type::eof();
+    setg(&cur_, &cur_, &cur_ + 1);
+    return traits_type::to_int_type(cur_);
+}
+
+std::string
+corruptCopy(const std::string &bytes, const FaultSpec &spec)
+{
+    std::istringstream src(bytes);
+    CorruptingStreamBuf cb(*src.rdbuf(), spec);
+    std::string out;
+    out.reserve(bytes.size() + bytes.size() / 8 + 16);
+    using traits = std::streambuf::traits_type;
+    for (std::streambuf::int_type c;
+         !traits::eq_int_type(c = cb.sbumpc(), traits::eof());) {
+        out.push_back(static_cast<char>(c));
+    }
+    return out;
+}
+
+} // namespace tlc

@@ -1,0 +1,84 @@
+/**
+ * @file
+ * Deterministic fault injection for byte streams.
+ *
+ * The robustness claim of the trace layer — any corrupt input is
+ * rejected with a descriptive Status, without crashing, hanging, or
+ * over-allocating — is only testable with corrupt inputs. This
+ * wrapper manufactures them reproducibly: a std::streambuf that
+ * forwards another streambuf's bytes while injecting bit flips,
+ * byte drops and byte duplications at configurable per-byte rates,
+ * plus an optional hard truncation, all driven by a seeded Pcg32 so
+ * every failure a fuzz run finds can be replayed from its seed.
+ *
+ * Used by tests/test_fault_injection.cc and tools/trace_fuzz.cc.
+ */
+
+#ifndef TLC_UTIL_FAULTIO_HH
+#define TLC_UTIL_FAULTIO_HH
+
+#include <cstddef>
+#include <cstdint>
+#include <streambuf>
+#include <string>
+
+#include "util/random.hh"
+
+namespace tlc {
+
+/** What to inject, how often, and with which random stream. */
+struct FaultSpec
+{
+    static constexpr std::size_t kNoTruncate =
+        static_cast<std::size_t>(-1);
+
+    double bitFlipRate = 0.0; ///< P(flip one random bit) per byte
+    double dropRate = 0.0;    ///< P(delete the byte) per byte
+    double dupRate = 0.0;     ///< P(emit the byte twice) per byte
+    /** Hard cut: stop after this many SOURCE bytes (EOF beyond). */
+    std::size_t truncateAfter = kNoTruncate;
+    std::uint64_t seed = 1;   ///< Pcg32 seed; same seed => same faults
+};
+
+/**
+ * Read-side corrupting wrapper around another streambuf. Wrap a
+ * file/string buffer, hand the wrapper to an std::istream, and the
+ * reader under test sees the faulted byte stream.
+ */
+class CorruptingStreamBuf : public std::streambuf
+{
+  public:
+    CorruptingStreamBuf(std::streambuf &src, const FaultSpec &spec);
+
+    /** Source bytes consumed so far. */
+    std::size_t bytesRead() const { return srcPos_; }
+    /** Faults injected so far (flips + drops + dups + the cut). */
+    std::size_t faultsInjected() const { return faults_; }
+
+  protected:
+    int_type underflow() override;
+
+  private:
+    bool nextByte(char &out);
+
+    std::streambuf *src_;
+    FaultSpec spec_;
+    Pcg32 rng_;
+    std::size_t srcPos_ = 0;
+    std::size_t faults_ = 0;
+    bool havePending_ = false;
+    bool cutCounted_ = false;
+    char pending_ = 0; ///< second copy of a duplicated byte
+    char cur_ = 0;     ///< one-byte get area
+};
+
+/**
+ * Convenience: the corrupted image of @p bytes under @p spec,
+ * produced through a CorruptingStreamBuf (so tests and tools
+ * exercise the same code path).
+ */
+std::string corruptCopy(const std::string &bytes, const FaultSpec &spec);
+
+} // namespace tlc
+
+#endif // TLC_UTIL_FAULTIO_HH

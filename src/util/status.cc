@@ -1,0 +1,87 @@
+/**
+ * @file
+ * Status implementation.
+ */
+
+#include "status.hh"
+
+#include <cstdarg>
+#include <cstdio>
+
+namespace tlc {
+
+const char *
+statusCodeName(StatusCode code)
+{
+    switch (code) {
+      case StatusCode::Ok:
+        return "ok";
+      case StatusCode::IoError:
+        return "io-error";
+      case StatusCode::BadMagic:
+        return "bad-magic";
+      case StatusCode::VersionMismatch:
+        return "version-mismatch";
+      case StatusCode::Truncated:
+        return "truncated";
+      case StatusCode::OverlongVarint:
+        return "overlong-varint";
+      case StatusCode::TypeOutOfRange:
+        return "type-out-of-range";
+      case StatusCode::CountTooLarge:
+        return "count-too-large";
+      case StatusCode::ParseError:
+        return "parse-error";
+      case StatusCode::InvalidConfig:
+        return "invalid-config";
+      case StatusCode::UnknownName:
+        return "unknown-name";
+      case StatusCode::InternalError:
+        return "internal-error";
+    }
+    return "?";
+}
+
+std::string
+Status::toString() const
+{
+    if (ok())
+        return "ok";
+    std::string s = statusCodeName(code_);
+    if (!message_.empty()) {
+        s += ": ";
+        s += message_;
+    }
+    return s;
+}
+
+Status
+Status::withContext(const std::string &context) const
+{
+    if (ok())
+        return *this;
+    return Status(code_, context + ": " + message_);
+}
+
+Status
+statusf(StatusCode code, const char *fmt, ...)
+{
+    tlc_assert(code != StatusCode::Ok, "statusf() needs a failure code");
+    va_list args;
+    va_start(args, fmt);
+    va_list copy;
+    va_copy(copy, args);
+    int n = std::vsnprintf(nullptr, 0, fmt, copy);
+    va_end(copy);
+    std::string msg;
+    if (n > 0) {
+        // One extra slot for the terminator vsnprintf writes.
+        msg.resize(static_cast<std::size_t>(n) + 1);
+        std::vsnprintf(msg.data(), msg.size(), fmt, args);
+        msg.resize(static_cast<std::size_t>(n));
+    }
+    va_end(args);
+    return Status(code, std::move(msg));
+}
+
+} // namespace tlc

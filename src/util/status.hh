@@ -1,0 +1,143 @@
+/**
+ * @file
+ * Structured, recoverable error reporting.
+ *
+ * The logging layer (logging.hh) handles the unrecoverable end of
+ * the spectrum: panic() for internal invariant violations, fatal()
+ * for user errors in CLI mains. Everything in between — a corrupt
+ * trace byte, a degenerate cache geometry, an unreadable benchmark
+ * file — must NOT abort a multi-hour design-space sweep. Library
+ * code reports such failures as a tlc::Status (or tlc::Expected<T>
+ * when a value is produced on success) and lets the caller decide
+ * whether to skip the design point, retry, or exit.
+ *
+ * Conventions:
+ *  - a default-constructed Status is success;
+ *  - Status converts (explicitly) to bool as "is ok", so
+ *    `if (!loadTraceFile(...))` keeps working at legacy call sites;
+ *  - Status is [[nodiscard]]: dropping an error is a compile warning;
+ *  - messages are complete sentences with the offending values
+ *    embedded (built with statusf()), suitable for a FailureReport.
+ */
+
+#ifndef TLC_UTIL_STATUS_HH
+#define TLC_UTIL_STATUS_HH
+
+#include <optional>
+#include <string>
+#include <utility>
+
+#include "util/logging.hh"
+
+namespace tlc {
+
+/** Machine-inspectable failure categories. */
+enum class StatusCode {
+    Ok = 0,
+    IoError,         ///< cannot open/read/write a file
+    BadMagic,        ///< trace header magic bytes wrong
+    VersionMismatch, ///< trace format version not understood
+    Truncated,       ///< stream ended inside a header or record
+    OverlongVarint,  ///< varint longer than 10 bytes / overflows u64
+    TypeOutOfRange,  ///< reference type byte not instr/load/store
+    CountTooLarge,   ///< record count exceeds the bytes that remain
+    ParseError,      ///< malformed text-format line
+    InvalidConfig,   ///< cache/system parameters violate invariants
+    UnknownName,     ///< lookup by name failed
+    InternalError    ///< none of the above (should be rare)
+};
+
+/** Short stable name of a code ("truncated", "bad-magic", ...). */
+const char *statusCodeName(StatusCode code);
+
+/**
+ * The result of an operation that can fail recoverably: a code plus
+ * a human-readable message. Cheap to move, comparable to ok().
+ */
+class [[nodiscard]] Status
+{
+  public:
+    /** Success. */
+    Status() = default;
+
+    /** Failure with an explicit code and message. */
+    Status(StatusCode code, std::string message)
+        : code_(code), message_(std::move(message))
+    {
+    }
+
+    bool ok() const { return code_ == StatusCode::Ok; }
+    explicit operator bool() const { return ok(); }
+
+    StatusCode code() const { return code_; }
+    const std::string &message() const { return message_; }
+
+    /** "code-name: message", or "ok". */
+    std::string toString() const;
+
+    /**
+     * A copy with @p context prepended to the message
+     * ("gcc1.trc: <message>"); no-op on success.
+     */
+    Status withContext(const std::string &context) const;
+
+  private:
+    StatusCode code_ = StatusCode::Ok;
+    std::string message_;
+};
+
+/** Build a failure Status with a printf-formatted message. */
+Status statusf(StatusCode code, const char *fmt, ...)
+    __attribute__((format(printf, 2, 3)));
+
+/**
+ * Either a value or the Status explaining why there is none.
+ * Converts implicitly from both so `return statusf(...)` and
+ * `return value` read naturally in a function returning Expected<T>.
+ */
+template <typename T>
+class [[nodiscard]] Expected
+{
+  public:
+    Expected(T value) : value_(std::move(value)) {}
+
+    Expected(Status status) : status_(std::move(status))
+    {
+        tlc_assert(!status_.ok(),
+                   "Expected<T> constructed from an OK status");
+    }
+
+    bool ok() const { return value_.has_value(); }
+    explicit operator bool() const { return ok(); }
+
+    /** The error; an OK status when a value is present. */
+    const Status &status() const { return status_; }
+
+    /** The value; asserts when the operation failed. */
+    const T &value() const
+    {
+        tlc_assert(ok(), "value() on failed Expected: %s",
+                   status_.message().c_str());
+        return *value_;
+    }
+    T &value()
+    {
+        tlc_assert(ok(), "value() on failed Expected: %s",
+                   status_.message().c_str());
+        return *value_;
+    }
+
+    /** The value, or @p fallback when the operation failed. */
+    T valueOr(T fallback) const
+    {
+        return ok() ? *value_ : std::move(fallback);
+    }
+
+  private:
+    Status status_;
+    std::optional<T> value_;
+};
+
+} // namespace tlc
+
+#endif // TLC_UTIL_STATUS_HH

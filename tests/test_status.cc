@@ -1,0 +1,107 @@
+/**
+ * @file
+ * Tests for the structured error layer (tlc::Status, tlc::Expected).
+ */
+
+#include <gtest/gtest.h>
+
+#include "util/status.hh"
+
+using namespace tlc;
+
+TEST(Status, DefaultIsOk)
+{
+    Status s;
+    EXPECT_TRUE(s.ok());
+    EXPECT_TRUE(static_cast<bool>(s));
+    EXPECT_EQ(s.code(), StatusCode::Ok);
+    EXPECT_EQ(s.toString(), "ok");
+}
+
+TEST(Status, FailureCarriesCodeAndMessage)
+{
+    Status s(StatusCode::Truncated, "stream ends inside record 3");
+    EXPECT_FALSE(s.ok());
+    EXPECT_FALSE(static_cast<bool>(s));
+    EXPECT_EQ(s.code(), StatusCode::Truncated);
+    EXPECT_EQ(s.message(), "stream ends inside record 3");
+    EXPECT_EQ(s.toString(), "truncated: stream ends inside record 3");
+}
+
+TEST(Status, StatusfFormats)
+{
+    Status s = statusf(StatusCode::CountTooLarge,
+                       "count %llu exceeds %llu bytes",
+                       123456789ULL, 42ULL);
+    EXPECT_EQ(s.code(), StatusCode::CountTooLarge);
+    EXPECT_EQ(s.message(), "count 123456789 exceeds 42 bytes");
+}
+
+TEST(Status, StatusfLongMessageIsNotTruncated)
+{
+    std::string big(500, 'x');
+    Status s = statusf(StatusCode::ParseError, "<%s>", big.c_str());
+    EXPECT_EQ(s.message().size(), big.size() + 2);
+}
+
+TEST(Status, WithContextPrefixes)
+{
+    Status s(StatusCode::BadMagic, "magic bytes wrong");
+    Status c = s.withContext("'gcc1.trc'");
+    EXPECT_EQ(c.code(), StatusCode::BadMagic);
+    EXPECT_EQ(c.message(), "'gcc1.trc': magic bytes wrong");
+    // withContext on success is a no-op.
+    EXPECT_TRUE(Status().withContext("x").ok());
+}
+
+TEST(Status, CodeNamesAreStable)
+{
+    EXPECT_STREQ(statusCodeName(StatusCode::Ok), "ok");
+    EXPECT_STREQ(statusCodeName(StatusCode::BadMagic), "bad-magic");
+    EXPECT_STREQ(statusCodeName(StatusCode::VersionMismatch),
+                 "version-mismatch");
+    EXPECT_STREQ(statusCodeName(StatusCode::Truncated), "truncated");
+    EXPECT_STREQ(statusCodeName(StatusCode::OverlongVarint),
+                 "overlong-varint");
+    EXPECT_STREQ(statusCodeName(StatusCode::TypeOutOfRange),
+                 "type-out-of-range");
+    EXPECT_STREQ(statusCodeName(StatusCode::CountTooLarge),
+                 "count-too-large");
+    EXPECT_STREQ(statusCodeName(StatusCode::InvalidConfig),
+                 "invalid-config");
+}
+
+TEST(Expected, HoldsValue)
+{
+    Expected<int> e(42);
+    ASSERT_TRUE(e.ok());
+    EXPECT_EQ(e.value(), 42);
+    EXPECT_EQ(e.valueOr(7), 42);
+    EXPECT_TRUE(e.status().ok());
+}
+
+TEST(Expected, HoldsStatus)
+{
+    Expected<int> e(statusf(StatusCode::UnknownName, "no such thing"));
+    EXPECT_FALSE(e.ok());
+    EXPECT_EQ(e.status().code(), StatusCode::UnknownName);
+    EXPECT_EQ(e.valueOr(7), 7);
+}
+
+TEST(Expected, ImplicitConversionFromValueAndStatus)
+{
+    auto f = [](bool fail) -> Expected<std::string> {
+        if (fail)
+            return statusf(StatusCode::IoError, "boom");
+        return std::string("hello");
+    };
+    EXPECT_TRUE(f(false).ok());
+    EXPECT_EQ(f(false).value(), "hello");
+    EXPECT_FALSE(f(true).ok());
+}
+
+TEST(Expected, ValueOnErrorDies)
+{
+    Expected<int> e(statusf(StatusCode::IoError, "boom"));
+    EXPECT_DEATH((void)e.value(), "boom");
+}

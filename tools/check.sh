@@ -1,7 +1,8 @@
 #!/bin/sh
 # One-shot verification: configure, build, run the full test suite,
 # then smoke-run every bench driver and example at reduced trace
-# scale. This is the CI entry point.
+# scale, then re-run the robustness suite and a longer fuzz pass
+# under ASan+UBSan. This is the CI entry point.
 set -e
 cd "$(dirname "$0")/.."
 
@@ -14,5 +15,16 @@ for b in build/bench/*; do
     echo "-- $(basename "$b")"
     TLC_TRACE_SCALE=0.05 "$b" > /dev/null
 done
+
+# The fault-injection tests only prove "no memory error on corrupt
+# input" when the memory errors would actually be reported, so build
+# them again with the sanitizers on and run a longer fuzz pass.
+echo "== rebuilding fault-injection suite with ASan+UBSan =="
+cmake -B build-asan -G Ninja -DTLC_SANITIZE=ON
+cmake --build build-asan --target test_robustness trace_fuzz
+
+echo "== running sanitized robustness tests =="
+build-asan/tests/test_robustness
+build-asan/tools/trace_fuzz --rounds=100 --refs=2000
 
 echo "== all checks passed =="

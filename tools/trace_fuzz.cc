@@ -1,0 +1,223 @@
+/**
+ * @file
+ * Trace-format fuzz / round-trip checker.
+ *
+ * Serializes synthetic benchmark traces in all three formats, feeds
+ * them through the seeded fault injector (bit flips, drops, dups,
+ * hard truncation), and checks the readers' robustness contract on
+ * every sample:
+ *
+ *   1. no crash, hang, or sanitizer report (run under
+ *      -DTLC_SANITIZE=ON in CI);
+ *   2. a failed read leaves the destination buffer exactly as it
+ *      was on entry (transactional reads);
+ *   3. a clean (uncorrupted) round trip reproduces the original
+ *      records bit-for-bit.
+ *
+ * Exit status 0 means every invariant held; any violation prints
+ * the offending (format, seed) pair so it can be replayed.
+ *
+ * Usage:
+ *   trace_fuzz [--rounds=200] [--refs=2000] [--rate=0.001] [--seed=1]
+ */
+
+#include <algorithm>
+#include <cstdio>
+#include <sstream>
+#include <string>
+
+#include "trace/io.hh"
+#include "trace/workload.hh"
+#include "util/args.hh"
+#include "util/faultio.hh"
+
+using namespace tlc;
+
+namespace {
+
+enum class Format { Compressed, RawBinary, Text };
+
+const char *
+formatName(Format f)
+{
+    switch (f) {
+      case Format::Compressed:
+        return "compressed";
+      case Format::RawBinary:
+        return "raw-binary";
+      case Format::Text:
+        return "text";
+    }
+    return "?";
+}
+
+std::string
+serialize(const TraceBuffer &buf, Format f)
+{
+    std::ostringstream os;
+    switch (f) {
+      case Format::Compressed:
+        writeCompressedTrace(os, buf);
+        break;
+      case Format::RawBinary:
+        writeBinaryTrace(os, buf);
+        break;
+      case Format::Text:
+        writeTextTrace(os, buf);
+        break;
+    }
+    return os.str();
+}
+
+Status
+deserialize(const std::string &bytes, Format f, TraceBuffer &buf)
+{
+    std::istringstream is(bytes);
+    switch (f) {
+      case Format::Compressed:
+        return readCompressedTrace(is, buf);
+      case Format::RawBinary:
+        return readBinaryTrace(is, buf);
+      case Format::Text:
+        return readTextTrace(is, buf);
+    }
+    return statusf(StatusCode::InternalError, "unknown format");
+}
+
+struct Tally
+{
+    std::uint64_t samples = 0;
+    std::uint64_t accepted = 0;
+    std::uint64_t rejected = 0;
+    std::uint64_t faults = 0;
+    std::uint64_t violations = 0;
+};
+
+/**
+ * Feed one corrupted image to the matching reader and check the
+ * transactional-read contract. The buffer is pre-seeded so a sloppy
+ * rollback (truncate-to-zero) would also be caught.
+ */
+void
+checkSample(const std::string &image, Format f, std::uint64_t seed,
+            Tally &tally)
+{
+    ++tally.samples;
+    TraceBuffer buf;
+    buf.append(0xdead0000u, RefType::Instr);
+    buf.append(0xdead0010u, RefType::Load);
+    const std::size_t entry = buf.size();
+    const std::uint64_t entry_instr = buf.instrRefs();
+    const std::uint64_t entry_loads = buf.loadRefs();
+
+    Status s = deserialize(image, f, buf);
+    if (s.ok()) {
+        ++tally.accepted;
+        return;
+    }
+    ++tally.rejected;
+    if (buf.size() != entry || buf.instrRefs() != entry_instr ||
+        buf.loadRefs() != entry_loads) {
+        ++tally.violations;
+        std::fprintf(stderr,
+                     "VIOLATION [%s seed=%llu]: failed read left %zu "
+                     "records (entry %zu); status was: %s\n",
+                     formatName(f),
+                     static_cast<unsigned long long>(seed), buf.size(),
+                     entry, s.toString().c_str());
+    }
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    ArgParser args(argc, argv);
+    const std::uint64_t rounds =
+        static_cast<std::uint64_t>(args.getInt("rounds", 200));
+    const std::uint64_t refs =
+        static_cast<std::uint64_t>(args.getInt("refs", 2000));
+    const double rate = args.getDouble("rate", 0.001);
+    const std::uint64_t seed0 =
+        static_cast<std::uint64_t>(args.getInt("seed", 1));
+
+    const Format formats[] = {Format::Compressed, Format::RawBinary,
+                              Format::Text};
+    Tally tally;
+    std::uint64_t clean_failures = 0;
+
+    for (std::uint64_t r = 0; r < rounds; ++r) {
+        const auto &benches = Workloads::all();
+        Benchmark b = benches[r % benches.size()];
+        TraceBuffer orig =
+            Workloads::generate(b, refs, static_cast<unsigned>(r % 5));
+
+        for (Format f : formats) {
+            const std::string bytes = serialize(orig, f);
+            const std::uint64_t seed = seed0 + r * 1000;
+
+            // Clean round trip must reproduce the records exactly.
+            TraceBuffer copy;
+            Status s = deserialize(bytes, f, copy);
+            if (!s.ok() || copy.size() != orig.size() ||
+                !std::equal(orig.begin(), orig.end(), copy.begin())) {
+                ++clean_failures;
+                std::fprintf(stderr,
+                             "VIOLATION [%s round=%llu]: clean round "
+                             "trip failed: %s\n", formatName(f),
+                             static_cast<unsigned long long>(r),
+                             s.toString().c_str());
+            }
+
+            // Random byte-level faults at the requested rate.
+            FaultSpec spec;
+            spec.bitFlipRate = rate;
+            spec.dropRate = rate / 4;
+            spec.dupRate = rate / 4;
+            spec.seed = seed;
+            {
+                std::istringstream src(bytes);
+                CorruptingStreamBuf cb(*src.rdbuf(), spec);
+                std::string corrupted;
+                std::streambuf::int_type c;
+                while (!std::streambuf::traits_type::eq_int_type(
+                           c = cb.sbumpc(),
+                           std::streambuf::traits_type::eof())) {
+                    corrupted.push_back(static_cast<char>(c));
+                }
+                tally.faults += cb.faultsInjected();
+                checkSample(corrupted, f, seed, tally);
+            }
+
+            // Hard truncation at a seed-derived offset.
+            FaultSpec cut;
+            cut.seed = seed + 7;
+            Pcg32 where(seed + 7, 0xC07);
+            cut.truncateAfter = where.nextBounded(
+                static_cast<std::uint32_t>(bytes.size()) + 1);
+            checkSample(corruptCopy(bytes, cut), f, cut.seed, tally);
+        }
+    }
+
+    std::printf("trace_fuzz: %llu samples (3 formats x %llu rounds "
+                "x 2 fault modes), %llu faults injected\n",
+                static_cast<unsigned long long>(tally.samples),
+                static_cast<unsigned long long>(rounds),
+                static_cast<unsigned long long>(tally.faults));
+    std::printf("  accepted (benign corruption): %llu\n",
+                static_cast<unsigned long long>(tally.accepted));
+    std::printf("  rejected with Status        : %llu\n",
+                static_cast<unsigned long long>(tally.rejected));
+    std::printf("  rollback violations         : %llu\n",
+                static_cast<unsigned long long>(tally.violations));
+    std::printf("  clean round-trip failures   : %llu\n",
+                static_cast<unsigned long long>(clean_failures));
+
+    if (tally.violations || clean_failures) {
+        std::fprintf(stderr, "trace_fuzz: FAILED\n");
+        return 1;
+    }
+    std::printf("trace_fuzz: all invariants held\n");
+    return 0;
+}
