@@ -17,7 +17,9 @@
 
 #include "core/explorer.hh"
 #include "trace/workload.hh"
+#include "util/args.hh"
 #include "util/logging.hh"
+#include "util/parallel.hh"
 #include "util/plot.hh"
 #include "util/table.hh"
 
@@ -28,6 +30,26 @@ inline void
 banner(const std::string &title)
 {
     std::printf("\n==== %s ====\n", title.c_str());
+}
+
+/**
+ * Parse the flags every sweep driver shares and apply them:
+ * --threads=N sets the parallelFor worker count (0 = back to
+ * TLC_THREADS / hardware default). Returns the parser so drivers
+ * can read their own options from the same command line.
+ */
+inline ArgParser
+parseDriverArgs(int argc, const char *const *argv)
+{
+    ArgParser args(argc, argv);
+    if (args.has("threads")) {
+        std::int64_t n = args.getInt("threads", 0);
+        if (n < 0 || n > 4096)
+            tlc::fatal("--threads=%lld out of range [0, 4096]",
+                       static_cast<long long>(n));
+        setParallelWorkerCount(static_cast<unsigned>(n));
+    }
+    return args;
 }
 
 /**

@@ -14,8 +14,9 @@
 using namespace tlc;
 
 int
-main()
+main(int argc, char **argv)
 {
+    bench::parseDriverArgs(argc, argv); // --threads=N
     MissRateEvaluator ev;
     Explorer ex(ev);
     SystemAssumptions a; // 50 ns, single level only below

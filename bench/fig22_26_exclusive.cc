@@ -32,8 +32,9 @@ assume(std::uint32_t assoc, TwoLevelPolicy policy)
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
+    bench::parseDriverArgs(argc, argv); // --threads=N
     MissRateEvaluator ev;
     Explorer ex(ev);
 

@@ -21,8 +21,9 @@
 using namespace tlc;
 
 int
-main()
+main(int argc, char **argv)
 {
+    bench::parseDriverArgs(argc, argv); // --threads=N
     MissRateEvaluator ev;
     Explorer ex(ev);
     std::uint64_t refs = Workloads::defaultTraceLength() / 2;

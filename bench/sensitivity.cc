@@ -36,8 +36,9 @@ dm(std::uint64_t size)
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
+    bench::parseDriverArgs(argc, argv); // --threads=N
     std::uint64_t refs = Workloads::defaultTraceLength() / 4;
 
     bench::banner("Seed sensitivity across trace variants "

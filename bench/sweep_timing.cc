@@ -1,0 +1,87 @@
+/**
+ * @file
+ * Before/after timing of the parallel sweep engine: prices the full
+ * design space (all workloads, single- and two-level) once serially
+ * and once with the parallel worker team, and emits JSON — the
+ * source of the checked-in BENCH_sweep.json. Traces are generated
+ * outside the timed region and each mode uses a fresh evaluator, so
+ * the comparison isolates design-point pricing from trace I/O and
+ * memoization crosstalk.
+ *
+ * Usage: bench_sweep_timing [--threads=4] [--refs=N]
+ */
+
+#include <chrono>
+#include <thread>
+
+#include "bench_common.hh"
+
+using namespace tlc;
+
+namespace {
+
+/** Wall-clock seconds of one full sweep with @p workers threads. */
+double
+timedSweep(unsigned workers, std::uint64_t refs, std::size_t *points)
+{
+    MissRateEvaluator ev(refs);
+    Explorer ex(ev);
+    SystemAssumptions a;
+    for (Benchmark b : Workloads::all())
+        ev.trace(b); // pre-generate outside the timed region
+
+    setParallelWorkerCount(workers);
+    auto t0 = std::chrono::steady_clock::now();
+    std::size_t n = 0;
+    for (Benchmark b : Workloads::all())
+        n += ex.sweep(b, a).size();
+    auto t1 = std::chrono::steady_clock::now();
+    setParallelWorkerCount(0);
+
+    *points = n;
+    return std::chrono::duration<double>(t1 - t0).count();
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    ArgParser args(argc, argv);
+    unsigned threads =
+        static_cast<unsigned>(args.getInt("threads", 4));
+    std::uint64_t refs = static_cast<std::uint64_t>(
+        args.getInt("refs",
+                    static_cast<std::int64_t>(
+                        Workloads::defaultTraceLength() / 4)));
+
+    std::size_t serial_points = 0, parallel_points = 0;
+    double serial_s = timedSweep(1, refs, &serial_points);
+    double parallel_s = timedSweep(threads, refs, &parallel_points);
+
+    unsigned hw = std::thread::hardware_concurrency();
+    std::printf("{\n"
+                "  \"benchmark\": \"full design-space sweep\",\n"
+                "  \"workloads\": %zu,\n"
+                "  \"design_points\": %zu,\n"
+                "  \"trace_refs\": %llu,\n"
+                "  \"hardware_concurrency\": %u,\n"
+                "  \"serial_seconds\": %.3f,\n"
+                "  \"parallel_threads\": %u,\n"
+                "  \"parallel_seconds\": %.3f,\n"
+                "  \"speedup\": %.2f%s\n"
+                "}\n",
+                Workloads::all().size(), serial_points,
+                static_cast<unsigned long long>(refs), hw, serial_s,
+                threads, parallel_s, serial_s / parallel_s,
+                hw < threads
+                    ? ",\n  \"note\": \"speedup is bounded by "
+                      "hardware_concurrency; rerun on a host with >= "
+                      "parallel_threads cores for the scaling figure\""
+                    : "");
+
+    if (serial_points != parallel_points)
+        fatal("point counts diverged: serial %zu vs parallel %zu",
+              serial_points, parallel_points);
+    return 0;
+}

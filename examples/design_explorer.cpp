@@ -7,7 +7,7 @@
  *
  * Usage:
  *   design_explorer [--budget=1000000] [--bench=gcc1]
- *                   [--offchip=50] [--refs=2000000]
+ *                   [--offchip=50] [--refs=2000000] [--threads=N]
  */
 
 #include <cstdio>
@@ -15,6 +15,7 @@
 
 #include "core/explorer.hh"
 #include "util/args.hh"
+#include "util/parallel.hh"
 #include "util/table.hh"
 
 using namespace tlc;
@@ -23,6 +24,9 @@ int
 main(int argc, char **argv)
 {
     ArgParser args(argc, argv);
+    if (args.has("threads"))
+        setParallelWorkerCount(
+            static_cast<unsigned>(args.getInt("threads", 0)));
     double budget = args.getDouble("budget", 1000000.0);
     Benchmark bench = Workloads::byName(args.getString("bench", "gcc1"));
     double offchip = args.getDouble("offchip", 50.0);

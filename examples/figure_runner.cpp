@@ -7,6 +7,7 @@
  * Usage:
  *   figure_runner --list
  *   figure_runner --figure=fig05 [--refs=2000000] [--csv]
+ *                 [--threads=N]
  */
 
 #include <cstdio>
@@ -15,6 +16,7 @@
 #include "core/explorer.hh"
 #include "core/figures.hh"
 #include "util/args.hh"
+#include "util/parallel.hh"
 #include "util/plot.hh"
 #include "util/table.hh"
 
@@ -104,6 +106,9 @@ int
 main(int argc, char **argv)
 {
     ArgParser args(argc, argv);
+    if (args.has("threads"))
+        setParallelWorkerCount(
+            static_cast<unsigned>(args.getInt("threads", 0)));
     if (args.has("list") || !args.has("figure")) {
         listCatalog();
         return args.has("list") ? 0 : 2;

@@ -32,6 +32,7 @@ MissRateEvaluator::warmupRefs() const
 void
 MissRateEvaluator::setTraceFile(Benchmark b, std::string path)
 {
+    std::lock_guard<std::mutex> lock(mu_);
     traceFiles_[b] = std::move(path);
     traces_.erase(b);
 }
@@ -39,6 +40,10 @@ MissRateEvaluator::setTraceFile(Benchmark b, std::string path)
 Expected<const TraceBuffer *>
 MissRateEvaluator::tryTrace(Benchmark b)
 {
+    // The whole load runs under the lock: it happens once per
+    // benchmark (evaluateAll preloads before fanning out), and a
+    // half-inserted TraceBuffer must never be visible to a worker.
+    std::lock_guard<std::mutex> lock(mu_);
     auto it = traces_.find(b);
     if (it != traces_.end())
         return static_cast<const TraceBuffer *>(&it->second);
@@ -106,16 +111,24 @@ MissRateEvaluator::tryMissStats(Benchmark b, const SystemConfig &config)
         return cs;
 
     std::string k = key(b, config);
-    auto it = results_.find(k);
-    if (it != results_.end())
-        return it->second;
+    {
+        std::lock_guard<std::mutex> lock(mu_);
+        auto it = results_.find(k);
+        if (it != results_.end())
+            return it->second;
+    }
 
     Expected<const TraceBuffer *> t = tryTrace(b);
     if (!t.ok())
         return t.status();
 
+    // Simulate outside the lock on a per-call hierarchy; the trace
+    // buffer is read-only and its map node is never erased, so the
+    // pointer stays valid while workers share it.
     std::unique_ptr<Hierarchy> h = makeHierarchy(config);
     h->simulate(*t.value(), warmupRefs());
+
+    std::lock_guard<std::mutex> lock(mu_);
     return results_.emplace(k, h->stats()).first->second;
 }
 
@@ -123,12 +136,19 @@ const HierarchyStats &
 MissRateEvaluator::missStats(Benchmark b, const SystemConfig &config)
 {
     std::string k = key(b, config);
-    auto it = results_.find(k);
-    if (it != results_.end())
-        return it->second;
+    {
+        std::lock_guard<std::mutex> lock(mu_);
+        auto it = results_.find(k);
+        if (it != results_.end())
+            return it->second;
+    }
 
     std::unique_ptr<Hierarchy> h = makeHierarchy(config);
     simulate(b, *h);
+
+    // std::map node addresses are stable, so the returned reference
+    // survives later insertions by other workers.
+    std::lock_guard<std::mutex> lock(mu_);
     return results_.emplace(k, h->stats()).first->second;
 }
 

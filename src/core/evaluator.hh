@@ -14,6 +14,15 @@
  * values: a sweep that hits an unreadable trace or an invalid
  * configuration records the failure and keeps going (see
  * Explorer::evaluateAll) instead of exiting mid-run.
+ *
+ * Thread safety: the trace and result caches are guarded by an
+ * internal mutex, and each evaluation simulates on its own
+ * Hierarchy instance over the shared read-only trace, so the try
+ * entry points, missStats and trace may be called from several
+ * sweep workers concurrently. Simulation runs outside the lock; two workers
+ * racing on the same key compute identical (deterministic) stats
+ * and the first insert wins. setTraceFile() is setup-time only —
+ * do not call it while a sweep is in flight.
  */
 
 #ifndef TLC_CORE_EVALUATOR_HH
@@ -21,6 +30,7 @@
 
 #include <map>
 #include <memory>
+#include <mutex>
 #include <string>
 
 #include "cache/hierarchy.hh"
@@ -92,6 +102,7 @@ class MissRateEvaluator
 
     std::uint64_t traceRefs_;
     double warmupFraction_;
+    mutable std::mutex mu_; ///< guards the three caches below
     std::map<Benchmark, TraceBuffer> traces_;
     std::map<Benchmark, std::string> traceFiles_;
     std::map<std::string, HierarchyStats> results_;

@@ -5,9 +5,11 @@
 
 #include "explorer.hh"
 
+#include <optional>
 #include <sstream>
 
 #include "util/logging.hh"
+#include "util/parallel.hh"
 #include "util/table.hh"
 
 namespace tlc {
@@ -21,12 +23,35 @@ FailureReport::add(std::string subject, Status status)
 {
     tlc_assert(!status.ok(), "recording an OK status for '%s'",
                subject.c_str());
+    std::lock_guard<std::mutex> lock(mu_);
     failures_.push_back({std::move(subject), std::move(status)});
+}
+
+bool
+FailureReport::empty() const
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    return failures_.empty();
+}
+
+std::size_t
+FailureReport::size() const
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    return failures_.size();
+}
+
+const std::vector<SweepFailure> &
+FailureReport::failures() const
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    return failures_;
 }
 
 bool
 FailureReport::mentions(const std::string &needle) const
 {
+    std::lock_guard<std::mutex> lock(mu_);
     for (const auto &f : failures_) {
         if (f.subject.find(needle) != std::string::npos ||
             f.status.message().find(needle) != std::string::npos) {
@@ -39,6 +64,7 @@ FailureReport::mentions(const std::string &needle) const
 std::string
 FailureReport::summary() const
 {
+    std::lock_guard<std::mutex> lock(mu_);
     std::ostringstream os;
     if (failures_.empty()) {
         os << "sweep completed with no failures\n";
@@ -71,16 +97,34 @@ const TimingResult &
 Explorer::timingOf(std::uint64_t size_bytes, std::uint32_t assoc,
                    std::uint32_t line_bytes)
 {
-    std::uint64_t key = size_bytes * 1024 + assoc * 256 + line_bytes;
-    auto it = timingCache_.find(key);
-    if (it == timingCache_.end()) {
-        SramGeometry g;
-        g.sizeBytes = size_bytes;
-        g.blockBytes = line_bytes;
-        g.assoc = assoc;
-        it = timingCache_.emplace(key, timing_.optimize(g)).first;
+    TimingKey key = timingKey(size_bytes, assoc, line_bytes);
+    {
+        std::lock_guard<std::mutex> lock(timingMu_);
+        auto it = timingCache_.find(key);
+        if (it != timingCache_.end())
+            return it->second;
     }
-    return it->second;
+
+    // Run the organization search outside the lock — it is the
+    // expensive part, and two workers racing to price the same
+    // geometry compute identical results (emplace keeps the first).
+    SramGeometry g;
+    g.sizeBytes = size_bytes;
+    g.blockBytes = line_bytes;
+    g.assoc = assoc;
+    TimingResult r = timing_.optimize(g);
+
+    std::lock_guard<std::mutex> lock(timingMu_);
+    // std::map node addresses are stable, so the reference survives
+    // later insertions by other workers.
+    return timingCache_.emplace(key, std::move(r)).first->second;
+}
+
+std::size_t
+Explorer::timingCacheSize() const
+{
+    std::lock_guard<std::mutex> lock(timingMu_);
+    return timingCache_.size();
 }
 
 double
@@ -191,15 +235,26 @@ Explorer::evaluateAll(Benchmark b, const std::vector<SystemConfig> &configs,
         return out;
     }
 
+    // Price the points across the worker team. Each index writes
+    // only its own slot; the trace is shared read-only, simulation
+    // state lives inside tryEvaluate's per-call hierarchy, and the
+    // memo caches are internally locked. Collecting results and
+    // failures after the join, in input-index order, makes a
+    // parallel sweep byte-identical to a serial one.
+    std::vector<std::optional<Expected<DesignPoint>>> slots(configs.size());
+    parallelFor(configs.size(), [&](std::size_t i) {
+        slots[i].emplace(tryEvaluate(b, configs[i]));
+    });
+
     out.reserve(configs.size());
-    for (const SystemConfig &c : configs) {
-        Expected<DesignPoint> p = tryEvaluate(b, c);
+    for (std::size_t i = 0; i < configs.size(); ++i) {
+        Expected<DesignPoint> &p = *slots[i];
         if (p.ok()) {
             out.push_back(std::move(p.value()));
         } else if (report) {
-            report->add(c.label(), p.status());
+            report->add(configs[i].label(), p.status());
         } else {
-            fatal("design point %s: %s", c.label().c_str(),
+            fatal("design point %s: %s", configs[i].label().c_str(),
                   p.status().message().c_str());
         }
     }

@@ -9,12 +9,22 @@
  * loaded, is recorded and skipped while the remaining points
  * complete — one corrupt trace byte must not abort a multi-hour
  * multi-hundred-point run.
+ *
+ * Sweeps are parallel: evaluateAll() prices design points across the
+ * parallelFor worker team (util/parallel.hh; TLC_THREADS or
+ * --threads control the width). Results are deterministic — the
+ * output vector, the envelope, and the FailureReport are ordered by
+ * input index regardless of worker completion order, so a parallel
+ * sweep produces byte-identical figure data to a serial one
+ * (enforced by tests/test_parallel_differential.cc).
  */
 
 #ifndef TLC_CORE_EXPLORER_HH
 #define TLC_CORE_EXPLORER_HH
 
 #include <map>
+#include <mutex>
+#include <tuple>
 #include <vector>
 
 #include "area/area_model.hh"
@@ -54,15 +64,22 @@ struct SweepFailure
 /**
  * Accumulates the failures of one fail-soft sweep so they can be
  * summarised at the end of the run instead of killing it.
+ *
+ * add() may be called from several threads concurrently (an
+ * application sweeping benchmarks in parallel can share one report).
+ * Explorer itself never does: it records failures after the worker
+ * team joins, in input-index order, so the report contents are
+ * deterministic. The accessors take the same lock as add(), but the
+ * references they return are only stable once no writer is active.
  */
 class FailureReport
 {
   public:
     void add(std::string subject, Status status);
 
-    bool empty() const { return failures_.empty(); }
-    std::size_t size() const { return failures_.size(); }
-    const std::vector<SweepFailure> &failures() const { return failures_; }
+    bool empty() const;
+    std::size_t size() const;
+    const std::vector<SweepFailure> &failures() const;
 
     /** True when some failure's subject contains @p needle. */
     bool mentions(const std::string &needle) const;
@@ -71,25 +88,48 @@ class FailureReport
     std::string summary() const;
 
   private:
+    mutable std::mutex mu_;
     std::vector<SweepFailure> failures_;
 };
 
 /**
  * Prices configurations and sweeps design spaces. Timing and area
  * are memoized per geometry; miss rates come from the shared
- * MissRateEvaluator (so several explorers can share one).
+ * MissRateEvaluator (so several explorers can share one). The memo
+ * cache is guarded by a mutex, so one Explorer can price many
+ * design points concurrently (evaluateAll does exactly that).
  */
 class Explorer
 {
   public:
+    /** Exact memo key of one cache array geometry. */
+    using TimingKey =
+        std::tuple<std::uint64_t, std::uint32_t, std::uint32_t>;
+
     explicit Explorer(MissRateEvaluator &evaluator,
                       const AccessTimeModel &timing = AccessTimeModel{},
                       const AreaModel &area = AreaModel{});
 
-    /** Cached timing of one cache array geometry. */
+    /**
+     * The memo key of (size, assoc, line). The full triple is the
+     * key — an earlier packing into a single uint64_t could alias
+     * distinct geometries (size*1024 + assoc*256 + line overflows
+     * the 10 bits reserved below the size for assoc >= 4).
+     */
+    static TimingKey timingKey(std::uint64_t size_bytes,
+                               std::uint32_t assoc,
+                               std::uint32_t line_bytes)
+    {
+        return {size_bytes, assoc, line_bytes};
+    }
+
+    /** Cached timing of one cache array geometry (thread-safe). */
     const TimingResult &timingOf(std::uint64_t size_bytes,
                                  std::uint32_t assoc,
                                  std::uint32_t line_bytes);
+
+    /** Number of distinct geometries memoized so far. */
+    std::size_t timingCacheSize() const;
 
     /** Total chip area of a configuration (both L1s + L2), rbe. */
     double areaOf(const SystemConfig &config);
@@ -106,11 +146,14 @@ class Explorer
                                       const SystemConfig &config);
 
     /**
-     * Price an explicit configuration list. With @p report, failed
-     * points are recorded there and skipped (fail-soft); without
-     * it, a failure is fatal as in the classic API. A benchmark
-     * whose trace cannot be loaded is reported once, not once per
-     * configuration.
+     * Price an explicit configuration list, distributing the points
+     * across the parallelFor worker team. The output vector is
+     * ordered by input index whatever the completion order, and
+     * with @p report, failed points are recorded there in input
+     * order and skipped (fail-soft); without it, a failure is fatal
+     * as in the classic API (the lowest-index failure is the one
+     * reported). A benchmark whose trace cannot be loaded is
+     * reported once, not once per configuration.
      */
     std::vector<DesignPoint> evaluateAll(
         Benchmark b, const std::vector<SystemConfig> &configs,
@@ -134,7 +177,8 @@ class Explorer
     MissRateEvaluator &evaluator_;
     AccessTimeModel timing_;
     AreaModel area_;
-    std::map<std::uint64_t, TimingResult> timingCache_;
+    mutable std::mutex timingMu_;
+    std::map<TimingKey, TimingResult> timingCache_;
 };
 
 } // namespace tlc

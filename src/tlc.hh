@@ -55,6 +55,7 @@
 #include "util/args.hh"
 #include "util/envelope.hh"
 #include "util/logging.hh"
+#include "util/parallel.hh"
 #include "util/plot.hh"
 #include "util/random.hh"
 #include "util/stats.hh"

@@ -1,0 +1,61 @@
+/**
+ * @file
+ * Minimal deterministic-friendly parallelism: a parallelFor over an
+ * index range backed by a per-call worker team.
+ *
+ * Design points:
+ *  - Worker count comes from setParallelWorkerCount() (a --threads
+ *    flag), else the TLC_THREADS environment variable, else
+ *    std::thread::hardware_concurrency(). TLC_THREADS=1 forces
+ *    serial execution on the calling thread.
+ *  - Callers own determinism: the body receives its index and must
+ *    write only to per-index state, so results are ordered by input
+ *    index regardless of which worker finishes first. The sweep
+ *    engine relies on this to make parallel figure data
+ *    byte-identical to serial figure data.
+ *  - Exception-safe: the first exception thrown by any body stops
+ *    further indices from being issued, the team is joined, and the
+ *    exception is rethrown on the calling thread.
+ *  - Nested calls are safe: a parallelFor issued from inside a
+ *    worker runs serially on that worker instead of spawning a
+ *    second team underneath the first.
+ */
+
+#ifndef TLC_UTIL_PARALLEL_HH
+#define TLC_UTIL_PARALLEL_HH
+
+#include <cstddef>
+#include <functional>
+
+namespace tlc {
+
+/**
+ * The number of workers parallelFor would use right now:
+ * the programmatic override if set, else TLC_THREADS (when it parses
+ * to a positive integer), else hardware_concurrency(), never 0.
+ */
+unsigned parallelWorkerCount();
+
+/**
+ * Override the worker count programmatically (the --threads flag of
+ * the bench drivers). @p n = 0 clears the override, returning
+ * control to TLC_THREADS / the hardware default.
+ */
+void setParallelWorkerCount(unsigned n);
+
+/** True while the calling thread is executing a parallelFor body. */
+bool inParallelWorker();
+
+/**
+ * Run @p body(i) for every i in [0, n), distributing indices across
+ * the worker team and blocking until all complete (or until a body
+ * throws, in which case the remaining un-issued indices are skipped
+ * and the first exception is rethrown here). Runs serially on the
+ * calling thread when n <= 1, when only one worker is configured,
+ * or when called from inside another parallelFor.
+ */
+void parallelFor(std::size_t n, const std::function<void(std::size_t)> &body);
+
+} // namespace tlc
+
+#endif // TLC_UTIL_PARALLEL_HH

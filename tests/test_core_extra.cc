@@ -81,6 +81,41 @@ TEST(ExplorerExtra, TimingCacheReturnsSameObject)
     EXPECT_NE(&a, &c);
 }
 
+TEST(ExplorerExtra, TimingKeyCannotAliasDistinctGeometries)
+{
+    // Regression for the old packed key (size*1024 + assoc*256 +
+    // line): assoc*256 + line overflows the 10 bits below the size
+    // for assoc >= 4, so e.g. (2048, 8, 16) and (2050, 0, 16) both
+    // packed to 2099216. The full-tuple key keeps every distinct
+    // triple distinct.
+    EXPECT_EQ(2048ull * 1024 + 8 * 256 + 16,
+              2050ull * 1024 + 0 * 256 + 16);
+    EXPECT_NE(Explorer::timingKey(2048, 8, 16),
+              Explorer::timingKey(2050, 0, 16));
+
+    // Each coordinate participates in the key on its own.
+    EXPECT_NE(Explorer::timingKey(8_KiB, 1, 16),
+              Explorer::timingKey(16_KiB, 1, 16));
+    EXPECT_NE(Explorer::timingKey(8_KiB, 1, 16),
+              Explorer::timingKey(8_KiB, 2, 16));
+    EXPECT_NE(Explorer::timingKey(8_KiB, 1, 16),
+              Explorer::timingKey(8_KiB, 1, 32));
+}
+
+TEST(ExplorerExtra, TimingCacheMemoizesPerDistinctGeometry)
+{
+    MissRateEvaluator ev(50000);
+    Explorer ex(ev);
+    EXPECT_EQ(ex.timingCacheSize(), 0u);
+    ex.timingOf(8_KiB, 1, 16);
+    ex.timingOf(8_KiB, 1, 16); // memoized, not re-priced
+    EXPECT_EQ(ex.timingCacheSize(), 1u);
+    ex.timingOf(8_KiB, 2, 16);
+    ex.timingOf(8_KiB, 1, 32);
+    ex.timingOf(16_KiB, 1, 16);
+    EXPECT_EQ(ex.timingCacheSize(), 4u);
+}
+
 TEST(ExplorerExtra, TwoHundredNsRaisesTpiOnly)
 {
     MissRateEvaluator ev(100000);

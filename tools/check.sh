@@ -27,4 +27,15 @@ echo "== running sanitized robustness tests =="
 build-asan/tests/test_robustness
 build-asan/tools/trace_fuzz --rounds=100 --refs=2000
 
+# The parallel differential only proves "parallel == serial" when
+# data races would actually be reported, so build the parallel suite
+# (thread pool, differential, golden figures) again under
+# ThreadSanitizer and run it with a multi-thread worker team.
+echo "== rebuilding parallel suite with ThreadSanitizer =="
+cmake -B build-tsan -G Ninja -DTLC_TSAN=ON
+cmake --build build-tsan --target test_parallel
+
+echo "== running parallel + differential tests under TSan =="
+TLC_THREADS=4 build-tsan/tests/test_parallel
+
 echo "== all checks passed =="
