@@ -21,6 +21,7 @@
 #include "util/logging.hh"
 #include "util/parallel.hh"
 #include "util/plot.hh"
+#include "util/profiler.hh"
 #include "util/table.hh"
 
 namespace tlc::bench {
@@ -35,20 +36,17 @@ banner(const std::string &title)
 /**
  * Parse the flags every sweep driver shares and apply them:
  * --threads=N sets the parallelFor worker count (0 = back to
- * TLC_THREADS / hardware default). Returns the parser so drivers
- * can read their own options from the same command line.
+ * TLC_THREADS / hardware default), --quiet/--verbose set the log
+ * level, and --profile enables the per-phase profiler (dumped to
+ * stderr at exit by applyStandardFlags's atexit hook). Returns the
+ * parser so drivers can read their own options from the same
+ * command line.
  */
 inline ArgParser
 parseDriverArgs(int argc, const char *const *argv)
 {
     ArgParser args(argc, argv);
-    if (args.has("threads")) {
-        std::int64_t n = args.getInt("threads", 0);
-        if (n < 0 || n > 4096)
-            tlc::fatal("--threads=%lld out of range [0, 4096]",
-                       static_cast<long long>(n));
-        setParallelWorkerCount(static_cast<unsigned>(n));
-    }
+    applyStandardFlags(args);
     return args;
 }
 

@@ -1,0 +1,86 @@
+/**
+ * @file
+ * Observability snapshot: runs the reference sweep (every workload,
+ * full design space) with the profiler on and emits one JSON
+ * document — the sweep shape, the memo-cache hit rates, the full
+ * metrics dump, and the per-phase wall-clock — the source of the
+ * checked-in BENCH_observability.json. Where BENCH_sweep.json
+ * records how fast the sweep is, this records what the sweep *did*,
+ * so instrumentation regressions (a counter that stops ticking, a
+ * phase that disappears) show up as a diff.
+ *
+ * Usage: bench_observability_snapshot [--refs=N] [--threads=N]
+ */
+
+#include "bench_common.hh"
+#include "util/json.hh"
+#include "util/metrics.hh"
+#include "util/profiler.hh"
+
+using namespace tlc;
+
+int
+main(int argc, char **argv)
+{
+    ArgParser args = bench::parseDriverArgs(argc, argv);
+    std::uint64_t refs = static_cast<std::uint64_t>(
+        args.getInt("refs",
+                    static_cast<std::int64_t>(
+                        Workloads::defaultTraceLength() / 4)));
+
+    MetricsRegistry::global().resetAll();
+    Profiler::global().reset();
+    Profiler::global().setEnabled(true);
+
+    MissRateEvaluator ev(refs);
+    Explorer ex(ev);
+    SystemAssumptions a;
+    std::size_t points = 0;
+    FailureReport report;
+    for (Benchmark b : Workloads::all())
+        points += ex.sweep(b, a, true, true, &report).size();
+
+    MetricsRegistry &m = MetricsRegistry::global();
+    auto rate = [&](const char *hits, const char *misses) {
+        double h = static_cast<double>(m.counter(hits).value());
+        double n = h + static_cast<double>(m.counter(misses).value());
+        return n ? h / n : 0.0;
+    };
+
+    // The reindent trick run_manifest.cc uses: nested dumps sit at
+    // depth one inside this document.
+    auto reindent = [](const std::string &block) {
+        std::string out;
+        for (char c : block) {
+            out += c;
+            if (c == '\n')
+                out += "  ";
+        }
+        return out;
+    };
+
+    std::printf(
+        "{\n"
+        "  \"benchmark\": \"observability snapshot of the reference "
+        "sweep\",\n"
+        "  \"workloads\": %zu,\n"
+        "  \"design_points\": %zu,\n"
+        "  \"failures\": %zu,\n"
+        "  \"trace_refs\": %llu,\n"
+        "  \"timing_cache_hit_rate\": %s,\n"
+        "  \"missrate_cache_hit_rate\": %s,\n"
+        "  \"metrics\": %s,\n"
+        "  \"phases\": %s\n"
+        "}\n",
+        Workloads::all().size(), points, report.size(),
+        static_cast<unsigned long long>(refs),
+        jsonNumber(rate("explore.timing_cache.hits",
+                        "explore.timing_cache.misses"))
+            .c_str(),
+        jsonNumber(rate("explore.missrate_cache.hits",
+                        "explore.missrate_cache.misses"))
+            .c_str(),
+        reindent(m.toJson()).c_str(),
+        reindent(Profiler::global().toJson()).c_str());
+    return 0;
+}

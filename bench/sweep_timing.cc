@@ -48,6 +48,7 @@ int
 main(int argc, char **argv)
 {
     ArgParser args(argc, argv);
+    applyStandardFlags(args);
     unsigned threads =
         static_cast<unsigned>(args.getInt("threads", 4));
     std::uint64_t refs = static_cast<std::uint64_t>(

@@ -8,15 +8,30 @@
  * Usage:
  *   design_explorer [--budget=1000000] [--bench=gcc1]
  *                   [--offchip=50] [--refs=2000000] [--threads=N]
+ *                   [--quiet|--verbose] [--profile] [--progress]
+ *                   [--trace-out=FILE] [--manifest=FILE]
+ *
+ * Observability (docs/observability.md):
+ *   --progress        live per-sweep progress lines on stderr
+ *   --trace-out=FILE  chrome://tracing / Perfetto timeline of the
+ *                     worker team (one track per worker)
+ *   --manifest=FILE   JSON run manifest: command, thread count,
+ *                     metrics dump, per-phase wall-clock
+ *   --profile         per-phase wall-clock table on stderr at exit
  */
 
+#include <chrono>
 #include <cstdio>
 #include <iostream>
 
 #include "core/explorer.hh"
 #include "util/args.hh"
+#include "util/logging.hh"
 #include "util/parallel.hh"
+#include "util/profiler.hh"
+#include "util/run_manifest.hh"
 #include "util/table.hh"
+#include "util/trace_event.hh"
 
 using namespace tlc;
 
@@ -24,17 +39,29 @@ int
 main(int argc, char **argv)
 {
     ArgParser args(argc, argv);
-    if (args.has("threads"))
-        setParallelWorkerCount(
-            static_cast<unsigned>(args.getInt("threads", 0)));
+    applyStandardFlags(args);
     double budget = args.getDouble("budget", 1000000.0);
     Benchmark bench = Workloads::byName(args.getString("bench", "gcc1"));
     double offchip = args.getDouble("offchip", 50.0);
     std::uint64_t refs =
         static_cast<std::uint64_t>(args.getInt("refs", 2000000));
 
+    bool progress = args.getBool("progress", false);
+    std::string traceOut = args.getString("trace-out");
+    std::string manifestPath = args.getString("manifest");
+    // Phase times belong in the manifest, so a manifest request
+    // implies profiling.
+    if (!manifestPath.empty())
+        Profiler::global().setEnabled(true);
+    TraceEventRecorder recorder;
+    if (!traceOut.empty())
+        TraceEventRecorder::setActive(&recorder);
+
     MissRateEvaluator ev(refs);
     Explorer ex(ev);
+    if (progress)
+        ex.setProgressCallback(stderrProgressPrinter(
+            Workloads::info(bench).name));
 
     std::printf("workload: %s    area budget: %.0f rbe    off-chip: "
                 "%.0f ns\n\n",
@@ -57,6 +84,9 @@ main(int argc, char **argv)
          TwoLevelPolicy::Exclusive},
     };
 
+    auto runStart = std::chrono::steady_clock::now();
+    std::size_t pointsPriced = 0;
+    FailureReport report;
     Table t({"scenario", "best_config", "area_rbe", "l1_cycle_ns",
              "tpi_ns"});
     double best_tpi = 0;
@@ -66,7 +96,8 @@ main(int argc, char **argv)
         a.offchipNs = offchip;
         a.l2Assoc = sc.assoc;
         a.policy = sc.policy;
-        auto points = ex.sweep(bench, a, true, sc.two_level);
+        auto points = ex.sweep(bench, a, true, sc.two_level, &report);
+        pointsPriced += points.size();
         Envelope env = Explorer::envelopeOf(points);
         const EnvelopePoint *p = env.bestPointWithin(budget);
         t.beginRow();
@@ -97,5 +128,35 @@ main(int argc, char **argv)
     t.printAscii(std::cout);
     std::printf("\nrecommendation: %s as '%s' (%.3f ns/instruction)\n",
                 best_label.c_str(), best_scenario.c_str(), best_tpi);
-    return 0;
+    if (!report.empty())
+        std::fputs(report.summary().c_str(), stderr);
+
+    double wall = std::chrono::duration<double>(
+                      std::chrono::steady_clock::now() - runStart)
+                      .count();
+
+    if (!traceOut.empty()) {
+        TraceEventRecorder::setActive(nullptr);
+        Status s = recorder.writeFile(traceOut);
+        if (!s.ok())
+            warn("%s", s.message().c_str());
+        else
+            inform("wrote worker timeline to '%s' (open in "
+                   "chrome://tracing or ui.perfetto.dev)",
+                   traceOut.c_str());
+    }
+    if (!manifestPath.empty()) {
+        RunManifest m = RunManifest::fromCommandLine(argc, argv);
+        m.workload = Workloads::info(bench).name;
+        m.traceRefs = refs;
+        m.pointsPriced = pointsPriced;
+        m.failures = report.size();
+        m.wallSeconds = wall;
+        Status s = m.writeFile(manifestPath);
+        if (!s.ok())
+            warn("%s", s.message().c_str());
+        else
+            inform("wrote run manifest to '%s'", manifestPath.c_str());
+    }
+    return 0; // --profile dumps via applyStandardFlags's exit hook
 }

@@ -7,18 +7,30 @@
  * Usage:
  *   figure_runner --list
  *   figure_runner --figure=fig05 [--refs=2000000] [--csv]
- *                 [--threads=N]
+ *                 [--threads=N] [--quiet|--verbose] [--profile]
+ *                 [--progress] [--trace-out=FILE] [--manifest=FILE]
+ *
+ * Observability (docs/observability.md): --progress prints live
+ * sweep progress to stderr, --trace-out writes a chrome://tracing
+ * timeline of the worker team, --manifest writes a JSON run manifest
+ * (metrics dump + per-phase times), --profile prints the phase table
+ * at exit.
  */
 
+#include <chrono>
 #include <cstdio>
 #include <iostream>
 
 #include "core/explorer.hh"
 #include "core/figures.hh"
 #include "util/args.hh"
+#include "util/logging.hh"
 #include "util/parallel.hh"
 #include "util/plot.hh"
+#include "util/profiler.hh"
+#include "util/run_manifest.hh"
 #include "util/table.hh"
+#include "util/trace_event.hh"
 
 using namespace tlc;
 
@@ -54,7 +66,8 @@ listCatalog()
 }
 
 int
-runScatter(const FigureSpec &f, std::uint64_t refs, bool csv)
+runScatter(const FigureSpec &f, std::uint64_t refs, bool csv,
+           bool progress, std::size_t *points_priced)
 {
     MissRateEvaluator ev(refs);
     Explorer ex(ev);
@@ -63,10 +76,14 @@ runScatter(const FigureSpec &f, std::uint64_t refs, bool csv)
 
     for (Benchmark b : f.workloads) {
         const char *name = Workloads::info(b).name;
+        if (progress)
+            ex.setProgressCallback(
+                stderrProgressPrinter(f.id + " " + name));
         // Figures 3-4 are single-level only; everything else sweeps
         // the full space.
         bool single_only = f.benchTarget == "bench_fig03_04_single_level";
         auto points = ex.sweep(b, f.assume, true, !single_only);
+        *points_priced += points.size();
         Table t({"workload", "config", "area_rbe", "tpi_ns"});
         for (const auto &p : points) {
             t.beginRow();
@@ -106,9 +123,7 @@ int
 main(int argc, char **argv)
 {
     ArgParser args(argc, argv);
-    if (args.has("threads"))
-        setParallelWorkerCount(
-            static_cast<unsigned>(args.getInt("threads", 0)));
+    applyStandardFlags(args);
     if (args.has("list") || !args.has("figure")) {
         listCatalog();
         return args.has("list") ? 0 : 2;
@@ -117,17 +132,55 @@ main(int argc, char **argv)
     std::uint64_t refs =
         static_cast<std::uint64_t>(args.getInt("refs", 1000000));
     bool csv = args.getBool("csv", false);
+    bool progress = args.getBool("progress", false);
+    std::string traceOut = args.getString("trace-out");
+    std::string manifestPath = args.getString("manifest");
+    if (!manifestPath.empty())
+        Profiler::global().setEnabled(true);
+    TraceEventRecorder recorder;
+    if (!traceOut.empty())
+        TraceEventRecorder::setActive(&recorder);
 
+    auto runStart = std::chrono::steady_clock::now();
+    std::size_t pointsPriced = 0;
+    int rc = 0;
     switch (f.kind) {
       case ExhibitKind::TpiScatter:
-        return runScatter(f, refs, csv);
+        rc = runScatter(f, refs, csv, progress, &pointsPriced);
+        break;
       case ExhibitKind::Table:
       case ExhibitKind::TimingCurve:
       case ExhibitKind::Mechanism:
         std::printf("%s (%s) has a dedicated driver: run %s\n",
                     f.id.c_str(), f.title.c_str(),
                     f.benchTarget.c_str());
-        return 0;
+        break;
     }
-    return 0;
+
+    double wall = std::chrono::duration<double>(
+                      std::chrono::steady_clock::now() - runStart)
+                      .count();
+    if (!traceOut.empty()) {
+        TraceEventRecorder::setActive(nullptr);
+        Status s = recorder.writeFile(traceOut);
+        if (!s.ok())
+            warn("%s", s.message().c_str());
+        else
+            inform("wrote worker timeline to '%s' (open in "
+                   "chrome://tracing or ui.perfetto.dev)",
+                   traceOut.c_str());
+    }
+    if (!manifestPath.empty()) {
+        RunManifest m = RunManifest::fromCommandLine(argc, argv);
+        m.workload = f.id;
+        m.traceRefs = refs;
+        m.pointsPriced = pointsPriced;
+        m.wallSeconds = wall;
+        Status s = m.writeFile(manifestPath);
+        if (!s.ok())
+            warn("%s", s.message().c_str());
+        else
+            inform("wrote run manifest to '%s'", manifestPath.c_str());
+    }
+    return rc; // --profile dumps via applyStandardFlags's exit hook
 }

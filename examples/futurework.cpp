@@ -5,7 +5,7 @@
  * latency, showing how the two conjectures interact.
  *
  * Usage: futurework [--bench=tomcatv] [--refs=1000000]
- *                   [--loaduse=0.4]
+ *                   [--loaduse=0.4] [--quiet|--verbose]
  */
 
 #include <cstdio>
@@ -39,6 +39,7 @@ int
 main(int argc, char **argv)
 {
     ArgParser args(argc, argv);
+    applyStandardFlags(args);
     Benchmark bench = Workloads::byName(args.getString("bench",
                                                        "tomcatv"));
     std::uint64_t refs =

@@ -5,6 +5,7 @@
  * TPI / area / timing models.
  *
  * Usage: quickstart [--bench=gcc1] [--refs=1000000]
+ *        [--quiet|--verbose]
  */
 
 #include <cstdio>
@@ -19,6 +20,7 @@ int
 main(int argc, char **argv)
 {
     ArgParser args(argc, argv);
+    applyStandardFlags(args);
     Benchmark bench = Workloads::byName(args.getString("bench", "gcc1"));
     std::uint64_t refs =
         static_cast<std::uint64_t>(args.getInt("refs", 1000000));

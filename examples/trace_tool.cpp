@@ -181,6 +181,7 @@ int
 main(int argc, char **argv)
 {
     ArgParser args(argc, argv);
+    applyStandardFlags(args);
     if (args.positional().empty())
         return usage();
     const std::string &cmd = args.positional()[0];

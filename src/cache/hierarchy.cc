@@ -5,7 +5,51 @@
 
 #include "hierarchy.hh"
 
+#include "util/metrics.hh"
+
 namespace tlc {
+
+void
+recordHierarchyMetrics(const HierarchyStats &s)
+{
+    // Registered once, then a handful of relaxed adds per finished
+    // simulation (millions of simulated references each) — free.
+    struct CacheMetrics
+    {
+        MetricCounter &simulations;
+        MetricCounter &instrRefs;
+        MetricCounter &dataRefs;
+        MetricCounter &l1Hits;
+        MetricCounter &l1iMisses;
+        MetricCounter &l1dMisses;
+        MetricCounter &l2Hits;
+        MetricCounter &l2Misses;
+        MetricCounter &swaps;
+        MetricCounter &writebacks;
+    };
+    static CacheMetrics m{
+        MetricsRegistry::global().counter("cache.simulations"),
+        MetricsRegistry::global().counter("cache.refs.instr"),
+        MetricsRegistry::global().counter("cache.refs.data"),
+        MetricsRegistry::global().counter("cache.l1.hits"),
+        MetricsRegistry::global().counter("cache.l1i.misses"),
+        MetricsRegistry::global().counter("cache.l1d.misses"),
+        MetricsRegistry::global().counter("cache.l2.hits"),
+        MetricsRegistry::global().counter("cache.l2.misses"),
+        MetricsRegistry::global().counter("cache.l2.exclusive_swaps"),
+        MetricsRegistry::global().counter("cache.offchip.writebacks"),
+    };
+    m.simulations.inc();
+    m.instrRefs.inc(s.instrRefs);
+    m.dataRefs.inc(s.dataRefs);
+    m.l1Hits.inc(s.totalRefs() - s.l1Misses());
+    m.l1iMisses.inc(s.l1iMisses);
+    m.l1dMisses.inc(s.l1dMisses);
+    m.l2Hits.inc(s.l2Hits);
+    m.l2Misses.inc(s.l2Misses);
+    m.swaps.inc(s.swaps);
+    m.writebacks.inc(s.offchipWritebacks);
+}
 
 HierarchyStats &
 HierarchyStats::operator+=(const HierarchyStats &o)

@@ -60,6 +60,16 @@ struct HierarchyStats
     HierarchyStats &operator+=(const HierarchyStats &o);
 };
 
+/**
+ * Fold one finished simulation's counts into the global metrics
+ * registry (cache.l1i.misses, cache.l2.hits, ...), so a run can be
+ * audited post-hoc: how many references were actually simulated and
+ * what the hierarchy did with them. Called once per simulation by
+ * the evaluator — never from the per-reference hot loop, keeping
+ * instrumentation out of simulate() entirely.
+ */
+void recordHierarchyMetrics(const HierarchyStats &s);
+
 /** Where a reference was satisfied (for timing-aware clients). */
 enum class AccessOutcome {
     L1Hit,   ///< satisfied by the first level

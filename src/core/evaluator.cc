@@ -10,8 +10,38 @@
 #include "cache/single_level.hh"
 #include "trace/io.hh"
 #include "util/logging.hh"
+#include "util/metrics.hh"
+#include "util/profiler.hh"
 
 namespace tlc {
+
+namespace {
+
+/** Evaluator metrics, registered once and shared by all sites. */
+struct EvalMetrics
+{
+    MetricCounter &memoHits;
+    MetricCounter &memoMisses;
+    MetricCounter &tracesGenerated;
+    MetricCounter &syntheticRecords;
+
+    static EvalMetrics &get()
+    {
+        static EvalMetrics m{
+            MetricsRegistry::global().counter(
+                "explore.missrate_cache.hits"),
+            MetricsRegistry::global().counter(
+                "explore.missrate_cache.misses"),
+            MetricsRegistry::global().counter(
+                "trace.synthetic.generated"),
+            MetricsRegistry::global().counter(
+                "trace.synthetic.records"),
+        };
+        return m;
+    }
+};
+
+} // namespace
 
 MissRateEvaluator::MissRateEvaluator(std::uint64_t trace_refs,
                                      double warmup_fraction)
@@ -48,6 +78,7 @@ MissRateEvaluator::tryTrace(Benchmark b)
     if (it != traces_.end())
         return static_cast<const TraceBuffer *>(&it->second);
 
+    ScopedTimer timer(phase::kTraceLoad);
     auto fit = traceFiles_.find(b);
     if (fit != traceFiles_.end()) {
         TraceBuffer buf;
@@ -67,6 +98,8 @@ MissRateEvaluator::tryTrace(Benchmark b)
     }
 
     it = traces_.emplace(b, Workloads::generate(b, traceRefs_)).first;
+    EvalMetrics::get().tracesGenerated.inc();
+    EvalMetrics::get().syntheticRecords.inc(it->second.size());
     return static_cast<const TraceBuffer *>(&it->second);
 }
 
@@ -114,9 +147,12 @@ MissRateEvaluator::tryMissStats(Benchmark b, const SystemConfig &config)
     {
         std::lock_guard<std::mutex> lock(mu_);
         auto it = results_.find(k);
-        if (it != results_.end())
+        if (it != results_.end()) {
+            EvalMetrics::get().memoHits.inc();
             return it->second;
+        }
     }
+    EvalMetrics::get().memoMisses.inc();
 
     Expected<const TraceBuffer *> t = tryTrace(b);
     if (!t.ok())
@@ -126,7 +162,12 @@ MissRateEvaluator::tryMissStats(Benchmark b, const SystemConfig &config)
     // buffer is read-only and its map node is never erased, so the
     // pointer stays valid while workers share it.
     std::unique_ptr<Hierarchy> h = makeHierarchy(config);
-    h->simulate(*t.value(), warmupRefs());
+    {
+        ScopedTimer timer(config.hasL2() ? phase::kSimL2
+                                         : phase::kSimL1);
+        h->simulate(*t.value(), warmupRefs());
+    }
+    recordHierarchyMetrics(h->stats());
 
     std::lock_guard<std::mutex> lock(mu_);
     return results_.emplace(k, h->stats()).first->second;
@@ -139,12 +180,20 @@ MissRateEvaluator::missStats(Benchmark b, const SystemConfig &config)
     {
         std::lock_guard<std::mutex> lock(mu_);
         auto it = results_.find(k);
-        if (it != results_.end())
+        if (it != results_.end()) {
+            EvalMetrics::get().memoHits.inc();
             return it->second;
+        }
     }
+    EvalMetrics::get().memoMisses.inc();
 
     std::unique_ptr<Hierarchy> h = makeHierarchy(config);
-    simulate(b, *h);
+    {
+        ScopedTimer timer(config.hasL2() ? phase::kSimL2
+                                         : phase::kSimL1);
+        simulate(b, *h);
+    }
+    recordHierarchyMetrics(h->stats());
 
     // std::map node addresses are stable, so the returned reference
     // survives later insertions by other workers.

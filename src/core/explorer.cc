@@ -5,14 +5,72 @@
 
 #include "explorer.hh"
 
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cstdio>
 #include <optional>
 #include <sstream>
 
 #include "util/logging.hh"
+#include "util/metrics.hh"
 #include "util/parallel.hh"
+#include "util/profiler.hh"
 #include "util/table.hh"
+#include "util/trace_event.hh"
 
 namespace tlc {
+
+namespace {
+
+/** Sweep-engine metrics, registered once and shared by all sites. */
+struct ExploreMetrics
+{
+    MetricCounter &priced;
+    MetricCounter &failed;
+    MetricCounter &timingHits;
+    MetricCounter &timingMisses;
+    MetricCounter &sweeps;
+
+    static ExploreMetrics &get()
+    {
+        static ExploreMetrics m{
+            MetricsRegistry::global().counter("explore.points.priced"),
+            MetricsRegistry::global().counter("explore.points.failed"),
+            MetricsRegistry::global().counter(
+                "explore.timing_cache.hits"),
+            MetricsRegistry::global().counter(
+                "explore.timing_cache.misses"),
+            MetricsRegistry::global().counter("explore.sweeps"),
+        };
+        return m;
+    }
+};
+
+} // namespace
+
+std::function<void(const SweepProgress &)>
+stderrProgressPrinter(std::string label)
+{
+    return [label = std::move(label)](const SweepProgress &p) {
+        char line[256];
+        int n = std::snprintf(
+            line, sizeof(line),
+            "progress: %s %zu/%zu (%.1f%%) %zu failed, %.1fs elapsed, "
+            "eta %.1fs\n",
+            label.c_str(), p.done, p.total,
+            p.total ? 100.0 * static_cast<double>(p.done) /
+                          static_cast<double>(p.total)
+                    : 100.0,
+            p.failed, p.elapsedSeconds, p.etaSeconds);
+        if (n > 0) {
+            std::fwrite(line, 1,
+                        std::min(static_cast<std::size_t>(n),
+                                 sizeof(line) - 1),
+                        stderr);
+        }
+    };
+}
 
 // ---------------------------------------------------------------------
 // FailureReport
@@ -23,6 +81,7 @@ FailureReport::add(std::string subject, Status status)
 {
     tlc_assert(!status.ok(), "recording an OK status for '%s'",
                subject.c_str());
+    MetricsRegistry::global().counter("explore.failures.recorded").inc();
     std::lock_guard<std::mutex> lock(mu_);
     failures_.push_back({std::move(subject), std::move(status)});
 }
@@ -101,9 +160,12 @@ Explorer::timingOf(std::uint64_t size_bytes, std::uint32_t assoc,
     {
         std::lock_guard<std::mutex> lock(timingMu_);
         auto it = timingCache_.find(key);
-        if (it != timingCache_.end())
+        if (it != timingCache_.end()) {
+            ExploreMetrics::get().timingHits.inc();
             return it->second;
+        }
     }
+    ExploreMetrics::get().timingMisses.inc();
 
     // Run the organization search outside the lock — it is the
     // expensive part, and two workers racing to price the same
@@ -112,7 +174,10 @@ Explorer::timingOf(std::uint64_t size_bytes, std::uint32_t assoc,
     g.sizeBytes = size_bytes;
     g.blockBytes = line_bytes;
     g.assoc = assoc;
-    TimingResult r = timing_.optimize(g);
+    TimingResult r = [&] {
+        ScopedTimer t(phase::kModelTiming);
+        return timing_.optimize(g);
+    }();
 
     std::lock_guard<std::mutex> lock(timingMu_);
     // std::map node addresses are stable, so the reference survives
@@ -130,10 +195,18 @@ Explorer::timingCacheSize() const
 double
 Explorer::areaOf(const SystemConfig &config)
 {
+    // Resolve the timing memo first so the area phase timer below
+    // measures the area model alone, not a first-touch organization
+    // search charged to the wrong phase.
     const std::uint32_t line = config.assume.lineBytes;
     const TimingResult &l1t =
         timingOf(config.l1Bytes, config.assume.l1Assoc, line);
+    const TimingResult *l2t =
+        config.hasL2()
+            ? &timingOf(config.l2Bytes, config.assume.l2Assoc, line)
+            : nullptr;
 
+    ScopedTimer timer(phase::kModelArea);
     SramGeometry l1g;
     l1g.sizeBytes = config.l1Bytes;
     l1g.blockBytes = line;
@@ -142,14 +215,12 @@ Explorer::areaOf(const SystemConfig &config)
                                                  : CellType::SinglePorted6T;
     double total = 2.0 * area_.area(l1g, l1t.dataOrg, l1t.tagOrg, l1cell);
 
-    if (config.hasL2()) {
-        const TimingResult &l2t =
-            timingOf(config.l2Bytes, config.assume.l2Assoc, line);
+    if (l2t) {
         SramGeometry l2g;
         l2g.sizeBytes = config.l2Bytes;
         l2g.blockBytes = line;
         l2g.assoc = config.assume.l2Assoc;
-        total += area_.area(l2g, l2t.dataOrg, l2t.tagOrg,
+        total += area_.area(l2g, l2t->dataOrg, l2t->tagOrg,
                             CellType::SinglePorted6T);
     }
     return total;
@@ -175,7 +246,11 @@ Explorer::evaluate(Benchmark b, const SystemConfig &config)
     tp.offchipNs = config.assume.offchipNs;
     tp.issuePerCycle = config.assume.dualPortedL1 ? 2.0 : 1.0;
     tp.hasL2 = config.hasL2();
-    p.tpi = computeTpi(p.miss, tp);
+    {
+        ScopedTimer t(phase::kModelTpi);
+        p.tpi = computeTpi(p.miss, tp);
+    }
+    ExploreMetrics::get().priced.inc();
     return p;
 }
 
@@ -210,8 +285,21 @@ Explorer::tryEvaluate(Benchmark b, const SystemConfig &config)
     tp.offchipNs = config.assume.offchipNs;
     tp.issuePerCycle = config.assume.dualPortedL1 ? 2.0 : 1.0;
     tp.hasL2 = config.hasL2();
-    p.tpi = computeTpi(p.miss, tp);
+    {
+        ScopedTimer t(phase::kModelTpi);
+        p.tpi = computeTpi(p.miss, tp);
+    }
+    ExploreMetrics::get().priced.inc();
     return p;
+}
+
+void
+Explorer::setProgressCallback(ProgressCallback cb,
+                              double min_interval_seconds)
+{
+    progress_ = std::move(cb);
+    progressIntervalSeconds_ =
+        min_interval_seconds < 0.0 ? 0.0 : min_interval_seconds;
 }
 
 std::vector<DesignPoint>
@@ -235,6 +323,56 @@ Explorer::evaluateAll(Benchmark b, const std::vector<SystemConfig> &configs,
         return out;
     }
 
+    ExploreMetrics::get().sweeps.inc();
+
+    // Observability plumbing, all inert unless switched on: the
+    // trace-event recorder adds one slice per design point on the
+    // pricing worker's track, and the progress callback fires on a
+    // throttle as points complete. Neither affects results — the
+    // output/report ordering below stays byte-identical to serial.
+    TraceEventRecorder *recorder = TraceEventRecorder::active();
+    const char *benchName = Workloads::info(b).name;
+    using ProgressClock = std::chrono::steady_clock;
+    ProgressClock::time_point sweepStart = ProgressClock::now();
+    std::atomic<std::size_t> done{0};
+    std::atomic<std::size_t> failedSoFar{0};
+    std::atomic<std::int64_t> lastFireUs{-1};
+    const std::int64_t intervalUs = static_cast<std::int64_t>(
+        progressIntervalSeconds_ * 1e6);
+
+    auto fireProgress = [&](std::size_t done_now, bool final) {
+        if (!progress_)
+            return;
+        std::int64_t nowUs =
+            std::chrono::duration_cast<std::chrono::microseconds>(
+                ProgressClock::now() - sweepStart)
+                .count();
+        if (!final) {
+            // One worker wins the CAS per throttle window; the rest
+            // skip. The final update never skips, so a consumer
+            // always sees done == total.
+            std::int64_t last =
+                lastFireUs.load(std::memory_order_relaxed);
+            if (last >= 0 && nowUs - last < intervalUs)
+                return;
+            if (!lastFireUs.compare_exchange_strong(
+                    last, nowUs, std::memory_order_relaxed)) {
+                return;
+            }
+        }
+        SweepProgress sp;
+        sp.done = done_now;
+        sp.total = configs.size();
+        sp.failed = failedSoFar.load(std::memory_order_relaxed);
+        sp.elapsedSeconds = static_cast<double>(nowUs) * 1e-6;
+        sp.etaSeconds =
+            done_now ? sp.elapsedSeconds *
+                           static_cast<double>(sp.total - done_now) /
+                           static_cast<double>(done_now)
+                     : 0.0;
+        progress_(sp);
+    };
+
     // Price the points across the worker team. Each index writes
     // only its own slot; the trace is shared read-only, simulation
     // state lives inside tryEvaluate's per-call hierarchy, and the
@@ -243,8 +381,22 @@ Explorer::evaluateAll(Benchmark b, const std::vector<SystemConfig> &configs,
     // parallel sweep byte-identical to a serial one.
     std::vector<std::optional<Expected<DesignPoint>>> slots(configs.size());
     parallelFor(configs.size(), [&](std::size_t i) {
+        auto begin = recorder ? TraceEventRecorder::Clock::now()
+                              : TraceEventRecorder::Clock::time_point{};
         slots[i].emplace(tryEvaluate(b, configs[i]));
+        if (recorder) {
+            recorder->complete(
+                configs[i].label(), "design-point", begin,
+                TraceEventRecorder::Clock::now(), parallelWorkerId(),
+                std::string("{\"benchmark\": \"") + benchName +
+                    "\", \"index\": " + std::to_string(i) + "}");
+        }
+        if (!slots[i]->ok())
+            failedSoFar.fetch_add(1, std::memory_order_relaxed);
+        std::size_t d = done.fetch_add(1, std::memory_order_relaxed) + 1;
+        fireProgress(d, /*final=*/false);
     });
+    fireProgress(configs.size(), /*final=*/true);
 
     out.reserve(configs.size());
     for (std::size_t i = 0; i < configs.size(); ++i) {
@@ -252,6 +404,7 @@ Explorer::evaluateAll(Benchmark b, const std::vector<SystemConfig> &configs,
         if (p.ok()) {
             out.push_back(std::move(p.value()));
         } else if (report) {
+            ExploreMetrics::get().failed.inc();
             report->add(configs[i].label(), p.status());
         } else {
             fatal("design point %s: %s", configs[i].label().c_str(),

@@ -22,6 +22,7 @@
 #ifndef TLC_CORE_EXPLORER_HH
 #define TLC_CORE_EXPLORER_HH
 
+#include <functional>
 #include <map>
 #include <mutex>
 #include <tuple>
@@ -91,6 +92,29 @@ class FailureReport
     mutable std::mutex mu_;
     std::vector<SweepFailure> failures_;
 };
+
+/**
+ * Live progress of one evaluateAll() call: how far along the sweep
+ * is, how it is going, and when it should finish.
+ */
+struct SweepProgress
+{
+    std::size_t done = 0;     ///< points finished (ok or failed)
+    std::size_t total = 0;    ///< points in this sweep
+    std::size_t failed = 0;   ///< fail-soft skips so far
+    double elapsedSeconds = 0.0;
+    /** Estimated seconds remaining (elapsed-scaled; 0 when done). */
+    double etaSeconds = 0.0;
+};
+
+/**
+ * A throttled stderr progress printer: one complete line per update
+ * (single fwrite, so concurrent workers can't interleave it), of the
+ * form "progress: <label> 12/340 (3.5%) 1 failed ...". Suitable for
+ * Explorer::setProgressCallback.
+ */
+std::function<void(const SweepProgress &)>
+stderrProgressPrinter(std::string label);
 
 /**
  * Prices configurations and sweeps design spaces. Timing and area
@@ -169,6 +193,20 @@ class Explorer
     /** Best-performance envelope of a priced sweep. */
     static Envelope envelopeOf(const std::vector<DesignPoint> &points);
 
+    using ProgressCallback = std::function<void(const SweepProgress &)>;
+
+    /**
+     * Install a progress callback for subsequent evaluateAll/sweep
+     * calls (empty callback uninstalls). Invocations are throttled
+     * to at most one per @p min_interval_seconds, except that the
+     * final update (done == total) always fires. The callback may
+     * run on any worker thread — keep it cheap and thread-safe
+     * (stderrProgressPrinter qualifies). Setup-time API: do not call
+     * while a sweep is in flight.
+     */
+    void setProgressCallback(ProgressCallback cb,
+                             double min_interval_seconds = 0.25);
+
     MissRateEvaluator &evaluator() { return evaluator_; }
     const AccessTimeModel &timingModel() const { return timing_; }
     const AreaModel &areaModel() const { return area_; }
@@ -179,6 +217,8 @@ class Explorer
     AreaModel area_;
     mutable std::mutex timingMu_;
     std::map<TimingKey, TimingResult> timingCache_;
+    ProgressCallback progress_;
+    double progressIntervalSeconds_ = 0.25;
 };
 
 } // namespace tlc

@@ -15,6 +15,8 @@
 #include <ostream>
 #include <sstream>
 
+#include "util/metrics.hh"
+
 namespace tlc {
 
 const char kTraceMagic[4] = {'T', 'L', 'C', 'T'};
@@ -383,18 +385,63 @@ readTextTrace(std::istream &is, TraceBuffer &buf)
     return Status();
 }
 
+namespace {
+
+/** Trace-reader metrics, registered once and shared by all sites. */
+struct TraceIoMetrics
+{
+    MetricCounter &files;
+    MetricCounter &records;
+    MetricCounter &bytes;
+    MetricCounter &errors;
+
+    static TraceIoMetrics &get()
+    {
+        static TraceIoMetrics m{
+            MetricsRegistry::global().counter("trace.load.files"),
+            MetricsRegistry::global().counter("trace.load.records"),
+            MetricsRegistry::global().counter("trace.load.bytes"),
+            MetricsRegistry::global().counter("trace.load.errors"),
+        };
+        return m;
+    }
+};
+
+/** Tick the load counters for one loadTraceFile outcome. */
+void
+recordLoad(const Status &s, std::size_t records_added,
+           std::uintmax_t bytes)
+{
+    TraceIoMetrics &m = TraceIoMetrics::get();
+    if (!s.ok()) {
+        m.errors.inc();
+        return;
+    }
+    m.files.inc();
+    m.records.inc(records_added);
+    m.bytes.inc(bytes);
+}
+
+} // namespace
+
 Status
 loadTraceFile(const std::string &path, TraceBuffer &buf)
 {
+    const std::size_t entry_records = buf.size();
     std::ifstream is(path, std::ios::binary);
     if (!is) {
+        TraceIoMetrics::get().errors.inc();
         return statusf(StatusCode::IoError,
                        "cannot open trace file '%s'", path.c_str());
     }
+    is.seekg(0, std::ios::end);
+    std::streamoff file_bytes = is.tellg();
+    is.seekg(0);
     char magic[4];
     if (is.read(magic, 4) && std::memcmp(magic, kTraceMagic, 4) == 0) {
         std::uint32_t version = 0;
         if (!getU32(is, version)) {
+            TraceIoMetrics::get().errors.inc();
             return statusf(StatusCode::Truncated,
                            "'%s': file ends inside the binary trace "
                            "header", path.c_str());
@@ -405,16 +452,26 @@ loadTraceFile(const std::string &path, TraceBuffer &buf)
             s = readCompressedTrace(is, buf);
         else if (version == kTraceVersion)
             s = readBinaryTrace(is, buf);
-        else
+        else {
+            TraceIoMetrics::get().errors.inc();
             return statusf(StatusCode::VersionMismatch,
                            "'%s': unsupported trace version %u "
                            "(expected %u or %u)", path.c_str(), version,
                            kTraceVersion, kTraceVersionCompressed);
+        }
+        recordLoad(s, buf.size() - entry_records,
+                   file_bytes > 0
+                       ? static_cast<std::uintmax_t>(file_bytes)
+                       : 0);
         return s.withContext("'" + path + "'");
     }
     is.clear();
     is.seekg(0);
-    return readTextTrace(is, buf).withContext("'" + path + "' (text)");
+    Status s = readTextTrace(is, buf);
+    recordLoad(s, buf.size() - entry_records,
+               file_bytes > 0 ? static_cast<std::uintmax_t>(file_bytes)
+                              : 0);
+    return s.withContext("'" + path + "' (text)");
 }
 
 Status

@@ -5,9 +5,12 @@
 
 #include "args.hh"
 
+#include <cstdio>
 #include <cstdlib>
 
 #include "logging.hh"
+#include "parallel.hh"
+#include "profiler.hh"
 
 namespace tlc {
 
@@ -87,6 +90,38 @@ ArgParser::getBool(const std::string &key, bool def) const
         return false;
     fatal("option --%s expects a boolean, got '%s'",
           key.c_str(), v.c_str());
+}
+
+void
+applyStandardFlags(const ArgParser &args)
+{
+    bool quiet = args.getBool("quiet", false);
+    bool verbose = args.getBool("verbose", false);
+    if (quiet && verbose)
+        fatal("--quiet and --verbose are mutually exclusive");
+    if (quiet)
+        setLogLevel(LogLevel::Quiet);
+    else if (verbose)
+        setLogLevel(LogLevel::Verbose);
+
+    if (args.has("threads")) {
+        std::int64_t n = args.getInt("threads", 0);
+        if (n < 0 || n > 4096)
+            fatal("--threads=%lld out of range [0, 4096]",
+                  static_cast<long long>(n));
+        setParallelWorkerCount(static_cast<unsigned>(n));
+    }
+
+    if (args.getBool("profile", false)) {
+        Profiler::global().setEnabled(true);
+        // Every driver gets the dump without wiring its own exit
+        // path; drivers that also write a manifest embed the same
+        // aggregates there.
+        std::atexit([] {
+            std::string text = Profiler::global().toText();
+            std::fwrite(text.data(), 1, text.size(), stderr);
+        });
+    }
 }
 
 std::vector<std::string>

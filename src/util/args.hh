@@ -43,6 +43,18 @@ class ArgParser
     std::vector<std::string> positional_;
 };
 
+/**
+ * Apply the flags every driver shares:
+ *   --quiet / --verbose   set the log level (mutually exclusive)
+ *   --threads=N           set the parallelFor worker count
+ *                         (0 = TLC_THREADS / hardware default)
+ *   --profile             enable the per-phase profiler; drivers
+ *                         print Profiler::global().toText() at exit
+ * Call once at the top of main(); examples and bench drivers all go
+ * through here so the observability surface stays uniform.
+ */
+void applyStandardFlags(const ArgParser &args);
+
 } // namespace tlc
 
 #endif // TLC_UTIL_ARGS_HH

@@ -7,6 +7,8 @@
 
 #include <sstream>
 
+#include "util/metrics.hh"
+
 namespace tlc {
 
 CorruptingStreamBuf::CorruptingStreamBuf(std::streambuf &src,
@@ -15,6 +17,15 @@ CorruptingStreamBuf::CorruptingStreamBuf(std::streambuf &src,
 {
     // Empty get area: first read goes through underflow().
     setg(&cur_, &cur_ + 1, &cur_ + 1);
+}
+
+CorruptingStreamBuf::~CorruptingStreamBuf()
+{
+    // One flush per stream keeps the per-byte path metric-free.
+    MetricsRegistry &reg = MetricsRegistry::global();
+    reg.counter("trace.faultio.streams").inc();
+    reg.counter("trace.faultio.bytes").inc(srcPos_);
+    reg.counter("trace.faultio.faults").inc(faults_);
 }
 
 bool

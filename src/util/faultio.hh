@@ -50,6 +50,13 @@ class CorruptingStreamBuf : public std::streambuf
   public:
     CorruptingStreamBuf(std::streambuf &src, const FaultSpec &spec);
 
+    /**
+     * Folds this stream's totals into the global metrics registry
+     * (trace.faultio.{streams,bytes,faults}) so a fuzz run's
+     * manifest records how much corruption was actually exercised.
+     */
+    ~CorruptingStreamBuf() override;
+
     /** Source bytes consumed so far. */
     std::size_t bytesRead() const { return srcPos_; }
     /** Faults injected so far (flips + drops + dups + the cut). */

@@ -1,0 +1,280 @@
+/**
+ * @file
+ * JSON helper implementation: escaping, number formatting, and a
+ * recursive-descent syntax checker.
+ */
+
+#include "json.hh"
+
+#include <cctype>
+#include <cmath>
+#include <cstdio>
+
+namespace tlc {
+
+std::string
+jsonEscape(const std::string &s)
+{
+    std::string out;
+    out.reserve(s.size());
+    for (unsigned char c : s) {
+        switch (c) {
+          case '"':
+            out += "\\\"";
+            break;
+          case '\\':
+            out += "\\\\";
+            break;
+          case '\b':
+            out += "\\b";
+            break;
+          case '\f':
+            out += "\\f";
+            break;
+          case '\n':
+            out += "\\n";
+            break;
+          case '\r':
+            out += "\\r";
+            break;
+          case '\t':
+            out += "\\t";
+            break;
+          default:
+            if (c < 0x20) {
+                char buf[8];
+                std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+                out += buf;
+            } else {
+                out += static_cast<char>(c);
+            }
+        }
+    }
+    return out;
+}
+
+std::string
+jsonQuote(const std::string &s)
+{
+    return "\"" + jsonEscape(s) + "\"";
+}
+
+std::string
+jsonNumber(double v)
+{
+    if (!std::isfinite(v))
+        return "0";
+    char buf[40];
+    // %.17g round-trips any double but prints 0.1 as
+    // 0.10000000000000001; try increasing precision until the value
+    // survives a parse round trip.
+    for (int prec = 6; prec <= 17; ++prec) {
+        std::snprintf(buf, sizeof(buf), "%.*g", prec, v);
+        double back = 0.0;
+        if (std::sscanf(buf, "%lf", &back) == 1 && back == v)
+            break;
+    }
+    std::string out = buf;
+    // "1e+06" is valid JSON, but "inf"/"nan" never reach here.
+    return out;
+}
+
+// ---------------------------------------------------------------------
+// Syntax checker
+// ---------------------------------------------------------------------
+
+namespace {
+
+/** Cursor over the document; all check* functions advance it. */
+struct Cursor
+{
+    const char *p;
+    const char *end;
+
+    bool eof() const { return p >= end; }
+    char peek() const { return *p; }
+
+    void skipWs()
+    {
+        while (p < end &&
+               (*p == ' ' || *p == '\t' || *p == '\n' || *p == '\r')) {
+            ++p;
+        }
+    }
+
+    bool consume(char c)
+    {
+        if (p < end && *p == c) {
+            ++p;
+            return true;
+        }
+        return false;
+    }
+
+    bool literal(const char *lit)
+    {
+        const char *q = p;
+        while (*lit) {
+            if (q >= end || *q != *lit)
+                return false;
+            ++q;
+            ++lit;
+        }
+        p = q;
+        return true;
+    }
+};
+
+bool checkValue(Cursor &c);
+
+bool
+checkString(Cursor &c)
+{
+    if (!c.consume('"'))
+        return false;
+    while (!c.eof()) {
+        unsigned char ch = static_cast<unsigned char>(*c.p++);
+        if (ch == '"')
+            return true;
+        if (ch < 0x20)
+            return false; // raw control character
+        if (ch == '\\') {
+            if (c.eof())
+                return false;
+            char esc = *c.p++;
+            switch (esc) {
+              case '"':
+              case '\\':
+              case '/':
+              case 'b':
+              case 'f':
+              case 'n':
+              case 'r':
+              case 't':
+                break;
+              case 'u':
+                for (int i = 0; i < 4; ++i) {
+                    if (c.eof() ||
+                        !std::isxdigit(static_cast<unsigned char>(*c.p))) {
+                        return false;
+                    }
+                    ++c.p;
+                }
+                break;
+              default:
+                return false;
+            }
+        }
+    }
+    return false; // unterminated
+}
+
+bool
+checkNumber(Cursor &c)
+{
+    c.consume('-');
+    if (c.eof() || !std::isdigit(static_cast<unsigned char>(c.peek())))
+        return false;
+    if (!c.consume('0')) {
+        while (!c.eof() && std::isdigit(static_cast<unsigned char>(c.peek())))
+            ++c.p;
+    }
+    if (c.consume('.')) {
+        if (c.eof() || !std::isdigit(static_cast<unsigned char>(c.peek())))
+            return false;
+        while (!c.eof() && std::isdigit(static_cast<unsigned char>(c.peek())))
+            ++c.p;
+    }
+    if (!c.eof() && (c.peek() == 'e' || c.peek() == 'E')) {
+        ++c.p;
+        if (!c.eof() && (c.peek() == '+' || c.peek() == '-'))
+            ++c.p;
+        if (c.eof() || !std::isdigit(static_cast<unsigned char>(c.peek())))
+            return false;
+        while (!c.eof() && std::isdigit(static_cast<unsigned char>(c.peek())))
+            ++c.p;
+    }
+    return true;
+}
+
+bool
+checkObject(Cursor &c)
+{
+    if (!c.consume('{'))
+        return false;
+    c.skipWs();
+    if (c.consume('}'))
+        return true;
+    for (;;) {
+        c.skipWs();
+        if (!checkString(c))
+            return false;
+        c.skipWs();
+        if (!c.consume(':'))
+            return false;
+        if (!checkValue(c))
+            return false;
+        c.skipWs();
+        if (c.consume('}'))
+            return true;
+        if (!c.consume(','))
+            return false;
+    }
+}
+
+bool
+checkArray(Cursor &c)
+{
+    if (!c.consume('['))
+        return false;
+    c.skipWs();
+    if (c.consume(']'))
+        return true;
+    for (;;) {
+        if (!checkValue(c))
+            return false;
+        c.skipWs();
+        if (c.consume(']'))
+            return true;
+        if (!c.consume(','))
+            return false;
+    }
+}
+
+bool
+checkValue(Cursor &c)
+{
+    c.skipWs();
+    if (c.eof())
+        return false;
+    switch (c.peek()) {
+      case '{':
+        return checkObject(c);
+      case '[':
+        return checkArray(c);
+      case '"':
+        return checkString(c);
+      case 't':
+        return c.literal("true");
+      case 'f':
+        return c.literal("false");
+      case 'n':
+        return c.literal("null");
+      default:
+        return checkNumber(c);
+    }
+}
+
+} // namespace
+
+bool
+jsonSyntaxOk(const std::string &text)
+{
+    Cursor c{text.data(), text.data() + text.size()};
+    if (!checkValue(c))
+        return false;
+    c.skipWs();
+    return c.eof();
+}
+
+} // namespace tlc

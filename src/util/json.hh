@@ -1,0 +1,45 @@
+/**
+ * @file
+ * Tiny JSON helpers for the observability layer.
+ *
+ * The metrics registry, profiler, trace-event exporter and run
+ * manifest all emit JSON by hand (this repository deliberately has
+ * no third-party dependencies). This header centralises the two
+ * things hand-written JSON gets wrong: string escaping and numeric
+ * formatting. It also provides a strict syntax checker so tests and
+ * tools can assert "this blob parses as JSON" without a parser
+ * library.
+ */
+
+#ifndef TLC_UTIL_JSON_HH
+#define TLC_UTIL_JSON_HH
+
+#include <cstdint>
+#include <string>
+
+namespace tlc {
+
+/** @p s with JSON string escaping applied (no surrounding quotes). */
+std::string jsonEscape(const std::string &s);
+
+/** @p s escaped and double-quoted, ready to splice into JSON. */
+std::string jsonQuote(const std::string &s);
+
+/**
+ * A double rendered as a valid JSON number: finite values use
+ * shortest round-trip formatting; NaN and infinities (which JSON
+ * cannot represent) become 0 with no complaint, matching how the
+ * rest of the codebase treats undefined ratios.
+ */
+std::string jsonNumber(double v);
+
+/**
+ * Strict syntax check of one complete JSON document (RFC 8259:
+ * any value at the top level, no trailing garbage). Validates
+ * structure only — no limits on depth or duplicate keys.
+ */
+bool jsonSyntaxOk(const std::string &text);
+
+} // namespace tlc
+
+#endif // TLC_UTIL_JSON_HH

@@ -7,6 +7,7 @@
 
 #include <cstdio>
 #include <cstdlib>
+#include <vector>
 
 namespace tlc {
 
@@ -14,12 +15,34 @@ namespace {
 
 LogLevel gLevel = LogLevel::Normal;
 
+/**
+ * Format the whole line first, then hand it to stderr in ONE stdio
+ * call. fwrite locks the FILE internally, so concurrent sweep
+ * workers can't interleave fragments of each other's messages —
+ * the old tag/body/newline triple of calls could.
+ */
 void
 emit(const char *tag, const char *fmt, va_list args)
 {
-    std::fprintf(stderr, "%s: ", tag);
-    std::vfprintf(stderr, fmt, args);
-    std::fputc('\n', stderr);
+    char stack[512];
+    va_list probe;
+    va_copy(probe, args);
+    int body = std::vsnprintf(stack, sizeof(stack), fmt, probe);
+    va_end(probe);
+    if (body < 0)
+        body = 0;
+
+    std::string line(tag);
+    line += ": ";
+    if (static_cast<std::size_t>(body) < sizeof(stack)) {
+        line.append(stack, static_cast<std::size_t>(body));
+    } else {
+        std::vector<char> heap(static_cast<std::size_t>(body) + 1);
+        std::vsnprintf(heap.data(), heap.size(), fmt, args);
+        line.append(heap.data(), static_cast<std::size_t>(body));
+    }
+    line += '\n';
+    std::fwrite(line.data(), 1, line.size(), stderr);
 }
 
 } // namespace

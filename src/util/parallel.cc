@@ -20,6 +20,7 @@ namespace {
 
 std::atomic<unsigned> g_worker_override{0};
 thread_local bool t_in_worker = false;
+thread_local unsigned t_worker_id = 0;
 
 unsigned
 hardwareWorkers()
@@ -59,6 +60,12 @@ inParallelWorker()
     return t_in_worker;
 }
 
+unsigned
+parallelWorkerId()
+{
+    return t_worker_id;
+}
+
 void
 parallelFor(std::size_t n, const std::function<void(std::size_t)> &body)
 {
@@ -83,8 +90,9 @@ parallelFor(std::size_t n, const std::function<void(std::size_t)> &body)
     std::exception_ptr first_error;
     std::mutex error_mu;
 
-    auto work = [&]() {
+    auto work = [&](unsigned id) {
         t_in_worker = true;
+        t_worker_id = id;
         for (;;) {
             if (stop.load(std::memory_order_relaxed))
                 break;
@@ -101,19 +109,20 @@ parallelFor(std::size_t n, const std::function<void(std::size_t)> &body)
             }
         }
         t_in_worker = false;
+        t_worker_id = 0;
     };
 
     std::vector<std::thread> team;
     team.reserve(workers - 1);
     try {
         for (std::size_t w = 1; w < workers; ++w)
-            team.emplace_back(work);
+            team.emplace_back(work, static_cast<unsigned>(w));
     } catch (const std::system_error &) {
         // Thread creation failed (resource exhaustion): fail soft —
         // whatever part of the team started, plus the calling
         // thread, still completes the whole range below.
     }
-    work(); // the calling thread is part of the team
+    work(0); // the calling thread is part of the team
     for (std::thread &t : team)
         t.join();
 

@@ -47,6 +47,15 @@ void setParallelWorkerCount(unsigned n);
 bool inParallelWorker();
 
 /**
+ * Stable worker index of the calling thread within the current
+ * parallelFor: the calling thread is worker 0, spawned team members
+ * are 1..workers-1. Outside a parallelFor (and on the serial fast
+ * path) this is 0. The trace-event exporter uses it to give each
+ * worker its own timeline track.
+ */
+unsigned parallelWorkerId();
+
+/**
  * Run @p body(i) for every i in [0, n), distributing indices across
  * the worker team and blocking until all complete (or until a body
  * throws, in which case the remaining un-issued indices are skipped

@@ -1,0 +1,111 @@
+/**
+ * @file
+ * Profiler implementation.
+ */
+
+#include "profiler.hh"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+#include "util/json.hh"
+
+namespace tlc {
+
+namespace {
+
+/** Fixed 3-decimal JSON number with trailing zeros trimmed. */
+std::string
+fixed3(double v)
+{
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.3f", v);
+    std::string s(buf);
+    while (!s.empty() && s.back() == '0')
+        s.pop_back();
+    if (!s.empty() && s.back() == '.')
+        s.pop_back();
+    return s;
+}
+
+} // namespace
+
+Profiler &
+Profiler::global()
+{
+    static Profiler g;
+    return g;
+}
+
+void
+Profiler::record(const char *phase, std::uint64_t ns)
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    PhaseStats &s = phases_[phase];
+    ++s.calls;
+    s.totalNs += ns;
+    s.maxNs = std::max(s.maxNs, ns);
+}
+
+std::map<std::string, PhaseStats>
+Profiler::snapshot() const
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    return phases_;
+}
+
+std::string
+Profiler::toText() const
+{
+    std::map<std::string, PhaseStats> snap = snapshot();
+    std::size_t width = 5; // "phase"
+    for (const auto &[name, s] : snap)
+        width = std::max(width, name.size());
+
+    std::ostringstream os;
+    char line[160];
+    std::snprintf(line, sizeof(line), "%-*s %10s %12s %12s %12s\n",
+                  static_cast<int>(width), "phase", "calls", "total_ms",
+                  "mean_us", "max_us");
+    os << line;
+    for (const auto &[name, s] : snap) {
+        std::snprintf(line, sizeof(line),
+                      "%-*s %10llu %12.3f %12.3f %12.3f\n",
+                      static_cast<int>(width), name.c_str(),
+                      static_cast<unsigned long long>(s.calls),
+                      s.totalNs * 1e-6, s.meanNs() * 1e-3,
+                      s.maxNs * 1e-3);
+        os << line;
+    }
+    return os.str();
+}
+
+std::string
+Profiler::toJson(int indent) const
+{
+    std::map<std::string, PhaseStats> snap = snapshot();
+    const std::string pad(indent, ' ');
+    std::ostringstream os;
+    os << "{";
+    bool first = true;
+    for (const auto &[name, s] : snap) {
+        os << (first ? "\n" : ",\n") << pad << jsonQuote(name)
+           << ": {\"calls\": " << s.calls
+           << ", \"total_ms\": " << fixed3(s.totalNs * 1e-6)
+           << ", \"mean_us\": " << fixed3(s.meanNs() * 1e-3)
+           << ", \"max_us\": " << fixed3(s.maxNs * 1e-3) << "}";
+        first = false;
+    }
+    os << (first ? "}" : "\n}");
+    return os.str();
+}
+
+void
+Profiler::reset()
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    phases_.clear();
+}
+
+} // namespace tlc

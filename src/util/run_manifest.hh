@@ -1,0 +1,56 @@
+/**
+ * @file
+ * Run manifest: one JSON document written next to sweep results that
+ * records what a run actually was — tool, command line, workload,
+ * thread count — and what it actually did — points priced, failures,
+ * wall-clock, the full metrics dump, and the per-phase profile.
+ *
+ * A figure regenerated months later is only trustworthy if the run
+ * that produced it can be audited; the manifest is that audit
+ * record. tools/validate_trace.py checks the schema in CI.
+ */
+
+#ifndef TLC_UTIL_RUN_MANIFEST_HH
+#define TLC_UTIL_RUN_MANIFEST_HH
+
+#include <cstdint>
+#include <string>
+
+#include "util/status.hh"
+
+namespace tlc {
+
+/** Everything a finished run wants remembered. */
+struct RunManifest
+{
+    std::string tool;        ///< program name (argv[0] basename)
+    std::string commandLine; ///< argv joined with spaces
+    std::string workload;    ///< benchmark name(s) swept
+    std::uint64_t traceRefs = 0;
+    std::uint64_t seed = 0;       ///< workload-generator seed, if any
+    unsigned threads = 0;         ///< worker team width used
+    unsigned hardwareConcurrency = 0;
+    std::uint64_t pointsPriced = 0;
+    std::uint64_t failures = 0;   ///< fail-soft skips
+    double wallSeconds = 0.0;
+
+    /**
+     * Fill tool/commandLine from argv and threads /
+     * hardwareConcurrency from the parallel runtime.
+     */
+    static RunManifest fromCommandLine(int argc, const char *const *argv);
+
+    /**
+     * The manifest as a JSON object, embedding the global metrics
+     * registry dump under "metrics" and the global profiler dump
+     * under "phases".
+     */
+    std::string toJson() const;
+
+    /** toJson() to @p path; IoError Status on failure. */
+    Status writeFile(const std::string &path) const;
+};
+
+} // namespace tlc
+
+#endif // TLC_UTIL_RUN_MANIFEST_HH

@@ -1,0 +1,132 @@
+/**
+ * @file
+ * Trace-event recorder implementation.
+ */
+
+#include "trace_event.hh"
+
+#include <algorithm>
+#include <fstream>
+#include <ostream>
+#include <set>
+
+#include "util/json.hh"
+
+namespace tlc {
+
+namespace {
+
+std::atomic<TraceEventRecorder *> gActive{nullptr};
+
+} // namespace
+
+TraceEventRecorder::TraceEventRecorder() : t0_(Clock::now())
+{
+}
+
+TraceEventRecorder *
+TraceEventRecorder::active()
+{
+    return gActive.load(std::memory_order_acquire);
+}
+
+void
+TraceEventRecorder::setActive(TraceEventRecorder *r)
+{
+    gActive.store(r, std::memory_order_release);
+}
+
+void
+TraceEventRecorder::complete(std::string name, std::string category,
+                             Clock::time_point begin,
+                             Clock::time_point end, std::uint32_t tid,
+                             std::string args_json)
+{
+    auto us = [this](Clock::time_point t) {
+        auto d = std::chrono::duration_cast<std::chrono::microseconds>(
+            t - t0_);
+        return d.count() < 0 ? std::uint64_t{0}
+                             : static_cast<std::uint64_t>(d.count());
+    };
+    Event e;
+    e.name = std::move(name);
+    e.category = std::move(category);
+    e.argsJson = std::move(args_json);
+    e.tsUs = us(begin);
+    std::uint64_t endUs = us(end);
+    e.durUs = endUs > e.tsUs ? endUs - e.tsUs : 0;
+    e.tid = tid;
+
+    std::lock_guard<std::mutex> lock(mu_);
+    events_.push_back(std::move(e));
+}
+
+std::size_t
+TraceEventRecorder::size() const
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    return events_.size();
+}
+
+void
+TraceEventRecorder::write(std::ostream &os) const
+{
+    std::vector<Event> events;
+    {
+        std::lock_guard<std::mutex> lock(mu_);
+        events = events_;
+    }
+    // Stable output: viewers don't care about event order, but a
+    // deterministic file is diffable and testable.
+    std::stable_sort(events.begin(), events.end(),
+                     [](const Event &a, const Event &b) {
+                         return a.tid != b.tid ? a.tid < b.tid
+                                               : a.tsUs < b.tsUs;
+                     });
+
+    std::set<std::uint32_t> tids;
+    for (const Event &e : events)
+        tids.insert(e.tid);
+
+    os << "{\n  \"displayTimeUnit\": \"ms\",\n  \"traceEvents\": [";
+    bool first = true;
+    for (std::uint32_t tid : tids) {
+        os << (first ? "\n" : ",\n")
+           << "    {\"ph\": \"M\", \"pid\": 1, \"tid\": " << tid
+           << ", \"name\": \"thread_name\", \"args\": {\"name\": "
+           << jsonQuote("worker-" + std::to_string(tid)) << "}}";
+        first = false;
+    }
+    for (const Event &e : events) {
+        os << (first ? "\n" : ",\n")
+           << "    {\"ph\": \"X\", \"pid\": 1, \"tid\": " << e.tid
+           << ", \"ts\": " << e.tsUs << ", \"dur\": " << e.durUs
+           << ", \"name\": " << jsonQuote(e.name)
+           << ", \"cat\": " << jsonQuote(e.category);
+        if (!e.argsJson.empty())
+            os << ", \"args\": " << e.argsJson;
+        os << "}";
+        first = false;
+    }
+    os << (first ? "]\n}\n" : "\n  ]\n}\n");
+}
+
+Status
+TraceEventRecorder::writeFile(const std::string &path) const
+{
+    std::ofstream os(path);
+    if (!os) {
+        return statusf(StatusCode::IoError,
+                       "cannot open trace-event file '%s' for writing",
+                       path.c_str());
+    }
+    write(os);
+    if (!os.good()) {
+        return statusf(StatusCode::IoError,
+                       "write to trace-event file '%s' failed",
+                       path.c_str());
+    }
+    return Status();
+}
+
+} // namespace tlc

@@ -1,0 +1,104 @@
+/**
+ * @file
+ * Chrome trace-event exporter: records timed slices of work and
+ * writes them in the Trace Event Format that chrome://tracing and
+ * Perfetto (ui.perfetto.dev) open directly.
+ *
+ * The sweep engine records one complete ("ph":"X") event per design
+ * point, on the track of the worker thread that priced it, which
+ * gives the first real view into parallel-sweep load balance: open
+ * the file and see which worker did what, when, and for how long.
+ *
+ * Recording is opt-in: nothing is recorded unless a recorder has
+ * been installed with setActive() (the sweep drivers do this when
+ * --trace-out=FILE is given). Instrumentation sites check active()
+ * — a single relaxed atomic load — and skip all work when it is
+ * null, so the exporter costs nothing when off.
+ *
+ * Thread safety: complete() appends under a mutex; events arrive at
+ * design-point granularity (well below contention rates), and the
+ * two clock reads bracketing the slice happen lock-free on the
+ * recording thread.
+ */
+
+#ifndef TLC_UTIL_TRACE_EVENT_HH
+#define TLC_UTIL_TRACE_EVENT_HH
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <iosfwd>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "util/status.hh"
+
+namespace tlc {
+
+/** Collects trace events; write them out once the run completes. */
+class TraceEventRecorder
+{
+  public:
+    using Clock = std::chrono::steady_clock;
+
+    /** Timestamps are recorded relative to construction time. */
+    TraceEventRecorder();
+    TraceEventRecorder(const TraceEventRecorder &) = delete;
+    TraceEventRecorder &operator=(const TraceEventRecorder &) = delete;
+
+    /**
+     * The currently installed recorder, or nullptr when recording
+     * is off. Instrumentation sites must null-check.
+     */
+    static TraceEventRecorder *active();
+
+    /**
+     * Install @p r as the process-wide recorder (nullptr uninstalls).
+     * Install before starting a sweep and uninstall before the
+     * recorder is destroyed; not intended to be swapped mid-sweep.
+     */
+    static void setActive(TraceEventRecorder *r);
+
+    /**
+     * Record one complete slice: @p name ran on track @p tid from
+     * @p begin to @p end. @p args_json, when non-empty, must be a
+     * complete JSON object ("{...}") and becomes the event's args
+     * (shown in the trace viewer's detail pane).
+     */
+    void complete(std::string name, std::string category,
+                  Clock::time_point begin, Clock::time_point end,
+                  std::uint32_t tid, std::string args_json = "");
+
+    /** Number of slices recorded so far. */
+    std::size_t size() const;
+
+    /**
+     * Write the JSON document: a {"traceEvents": [...]} object
+     * holding one thread_name metadata event per track plus every
+     * recorded slice.
+     */
+    void write(std::ostream &os) const;
+
+    /** write() to @p path; IoError Status if the file can't be written. */
+    Status writeFile(const std::string &path) const;
+
+  private:
+    struct Event
+    {
+        std::string name;
+        std::string category;
+        std::string argsJson;
+        std::uint64_t tsUs;
+        std::uint64_t durUs;
+        std::uint32_t tid;
+    };
+
+    Clock::time_point t0_;
+    mutable std::mutex mu_;
+    std::vector<Event> events_;
+};
+
+} // namespace tlc
+
+#endif // TLC_UTIL_TRACE_EVENT_HH

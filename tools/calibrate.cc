@@ -20,6 +20,7 @@ int
 main(int argc, char **argv)
 {
     ArgParser args(argc, argv);
+    applyStandardFlags(args);
     std::uint64_t refs =
         static_cast<std::uint64_t>(args.getInt("refs", 2000000));
     MissRateEvaluator ev(refs);

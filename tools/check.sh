@@ -16,6 +16,22 @@ for b in build/bench/*; do
     TLC_TRACE_SCALE=0.05 "$b" > /dev/null
 done
 
+# Observability end to end: a tiny sweep with progress reporting, a
+# chrome trace, and a run manifest, each validated structurally.
+echo "== smoke-running observability surface =="
+obs_dir=$(mktemp -d)
+build/examples/design_explorer --refs=20000 --budget=500000 \
+    --threads=2 --progress --trace-out="$obs_dir/trace.json" \
+    --manifest="$obs_dir/manifest.json" \
+    > /dev/null 2> "$obs_dir/stderr.txt"
+grep -q "^progress: " "$obs_dir/stderr.txt" || {
+    echo "no progress lines on stderr" >&2
+    exit 1
+}
+python3 tools/validate_trace.py --trace "$obs_dir/trace.json"
+python3 tools/validate_trace.py --manifest "$obs_dir/manifest.json"
+rm -rf "$obs_dir"
+
 # The fault-injection tests only prove "no memory error on corrupt
 # input" when the memory errors would actually be reported, so build
 # them again with the sanitizers on and run a longer fuzz pass.

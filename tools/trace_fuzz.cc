@@ -134,6 +134,7 @@ int
 main(int argc, char **argv)
 {
     ArgParser args(argc, argv);
+    applyStandardFlags(args);
     const std::uint64_t rounds =
         static_cast<std::uint64_t>(args.getInt("rounds", 200));
     const std::uint64_t refs =

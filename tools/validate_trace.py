@@ -1,0 +1,95 @@
+#!/usr/bin/env python3
+"""Validate observability artifacts written by the sweep drivers.
+
+Usage:
+    validate_trace.py --trace FILE      # chrome trace-event file
+    validate_trace.py --manifest FILE   # tlc-run-manifest-v1 file
+
+Checks structure only, with the stdlib json module: the trace must be
+a {"traceEvents": [...]} document of well-formed M/X events, and the
+manifest must carry every schema key plus embedded metrics/phases
+objects. Exit status 0 on success, 1 with a message on stderr
+otherwise. tools/check.sh runs both checks on a smoke sweep.
+"""
+
+import json
+import sys
+
+MANIFEST_KEYS = (
+    "schema", "tool", "command", "workload", "trace_refs", "seed",
+    "threads", "hardware_concurrency", "points_priced", "failures",
+    "wall_seconds", "metrics", "phases",
+)
+
+
+def fail(msg):
+    print(f"validate_trace: {msg}", file=sys.stderr)
+    sys.exit(1)
+
+
+def load(path):
+    try:
+        with open(path, encoding="utf-8") as f:
+            return json.load(f)
+    except (OSError, json.JSONDecodeError) as e:
+        fail(f"{path}: {e}")
+
+
+def check_trace(path):
+    doc = load(path)
+    if not isinstance(doc, dict) or "traceEvents" not in doc:
+        fail(f"{path}: missing traceEvents array")
+    events = doc["traceEvents"]
+    if not isinstance(events, list):
+        fail(f"{path}: traceEvents is not an array")
+    slices = 0
+    for i, ev in enumerate(events):
+        if not isinstance(ev, dict) or "ph" not in ev:
+            fail(f"{path}: event {i} has no phase")
+        if ev["ph"] == "M":
+            if ev.get("name") != "thread_name":
+                fail(f"{path}: event {i}: unexpected metadata event")
+        elif ev["ph"] == "X":
+            slices += 1
+            for key in ("pid", "tid", "ts", "dur", "name"):
+                if key not in ev:
+                    fail(f"{path}: event {i} lacks '{key}'")
+            if ev["ts"] < 0 or ev["dur"] < 0:
+                fail(f"{path}: event {i} has negative time")
+        else:
+            fail(f"{path}: event {i}: unexpected phase '{ev['ph']}'")
+    print(f"{path}: ok ({slices} slices, {len(events) - slices} "
+          "metadata events)")
+
+
+def check_manifest(path):
+    doc = load(path)
+    if not isinstance(doc, dict):
+        fail(f"{path}: not a JSON object")
+    if doc.get("schema") != "tlc-run-manifest-v1":
+        fail(f"{path}: schema is {doc.get('schema')!r}, expected "
+             "'tlc-run-manifest-v1'")
+    for key in MANIFEST_KEYS:
+        if key not in doc:
+            fail(f"{path}: missing key '{key}'")
+    for key in ("metrics", "phases"):
+        if not isinstance(doc[key], dict):
+            fail(f"{path}: '{key}' is not an object")
+    if doc["points_priced"] < 0 or doc["wall_seconds"] < 0:
+        fail(f"{path}: negative counters")
+    print(f"{path}: ok ({doc['points_priced']} points, "
+          f"{len(doc['metrics'])} metrics, "
+          f"{len(doc['phases'])} phases)")
+
+
+def main(argv):
+    if len(argv) != 3 or argv[1] not in ("--trace", "--manifest"):
+        fail("usage: validate_trace.py --trace|--manifest FILE")
+    if argv[1] == "--trace":
+        check_trace(argv[2])
+    else:
+        check_manifest(argv[2])
+
+
+if __name__ == "__main__":
+    main(sys.argv)
