@@ -50,7 +50,7 @@ main()
             c.l1Bytes = 8_KiB;
             c.l2Bytes = 64_KiB;
             c.assume.lineBytes = line;
-            const HierarchyStats &s = ev.missStats(b, c);
+            HierarchyStats s = ev.tryMissStats(b, c).value();
             const TimingResult &l1t = ex.timingOf(8_KiB, 1, line);
             const TimingResult &l2t = ex.timingOf(64_KiB, 4, line);
             t.beginRow();

@@ -37,7 +37,7 @@ main()
                 c.l1Bytes = l1;
                 c.l2Bytes = l2;
                 c.assume.policy = p;
-                return ev.missStats(b, c).globalMissRate();
+                return ev.tryMissStats(b, c).value().globalMissRate();
             };
             double inc = miss(TwoLevelPolicy::Inclusive);
             double strict = miss(TwoLevelPolicy::StrictInclusive);

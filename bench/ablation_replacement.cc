@@ -28,7 +28,7 @@ main()
             c.l1Bytes = 8_KiB;
             c.l2Bytes = 64_KiB;
             c.assume.l2Repl = r;
-            return ev.missStats(b, c).globalMissRate();
+            return ev.tryMissStats(b, c).value().globalMissRate();
         };
         double rnd = miss(ReplPolicy::Random);
         double lru = miss(ReplPolicy::LRU);

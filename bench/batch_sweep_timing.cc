@@ -1,0 +1,117 @@
+/**
+ * @file
+ * Before/after timing of the single-pass multi-configuration engine:
+ * simulates a fixed 64-point grid (8 single-level L1 sizes plus 8 x 7
+ * two-level capacity ratios) once point-major (one trace walk per
+ * configuration via tryMissStats) and once batched (one trace walk
+ * for all lanes via tryMissStatsBatch), both pinned to a single
+ * worker thread so the comparison isolates the engine itself from
+ * thread-level parallelism. Emits JSON — the source of the
+ * checked-in BENCH_batch.json — and fatals if the two modes disagree
+ * on a single counter, so the speedup claim can never drift from the
+ * equivalence claim.
+ *
+ * Usage: bench_batch_sweep_timing [--refs=N]
+ */
+
+#include <chrono>
+#include <thread>
+#include <vector>
+
+#include "bench_common.hh"
+#include "util/units.hh"
+
+using namespace tlc;
+
+namespace {
+
+/** The fixed grid: 1K..128K L1s, alone and under 2x..128x L2s. */
+std::vector<SystemConfig>
+makeGrid()
+{
+    std::vector<SystemConfig> configs;
+    for (std::uint64_t l1 = 1_KiB; l1 <= 128_KiB; l1 *= 2) {
+        SystemConfig c;
+        c.l1Bytes = l1;
+        c.l2Bytes = 0;
+        configs.push_back(c);
+        for (std::uint64_t ratio = 2; ratio <= 128; ratio *= 2) {
+            c.l2Bytes = l1 * ratio;
+            configs.push_back(c);
+        }
+    }
+    return configs;
+}
+
+double
+seconds(std::chrono::steady_clock::time_point t0,
+        std::chrono::steady_clock::time_point t1)
+{
+    return std::chrono::duration<double>(t1 - t0).count();
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    ArgParser args(argc, argv);
+    applyStandardFlags(args);
+    std::uint64_t refs = static_cast<std::uint64_t>(
+        args.getInt("refs",
+                    static_cast<std::int64_t>(
+                        Workloads::defaultTraceLength() / 4)));
+
+    std::vector<SystemConfig> configs = makeGrid();
+    Benchmark b = Benchmark::Gcc1;
+
+    // Both modes run on one worker and a fresh evaluator, traces
+    // pre-generated outside the timed region.
+    setParallelWorkerCount(1);
+
+    MissRateEvaluator point_major(refs);
+    (void)point_major.tryTrace(b);
+    auto t0 = std::chrono::steady_clock::now();
+    std::vector<HierarchyStats> point_stats;
+    for (const SystemConfig &c : configs)
+        point_stats.push_back(point_major.tryMissStats(b, c).value());
+    auto t1 = std::chrono::steady_clock::now();
+
+    MissRateEvaluator batched(refs);
+    (void)batched.tryTrace(b);
+    auto t2 = std::chrono::steady_clock::now();
+    auto batch_results = batched.tryMissStatsBatch(b, configs);
+    auto t3 = std::chrono::steady_clock::now();
+    setParallelWorkerCount(0);
+
+    // Equivalence self-check: the speedup only counts if the batched
+    // engine reproduced the point-major counters exactly.
+    for (std::size_t i = 0; i < configs.size(); ++i) {
+        HierarchyStats bs = batch_results[i].value();
+        const HierarchyStats &ps = point_stats[i];
+        if (bs.instrRefs != ps.instrRefs || bs.dataRefs != ps.dataRefs ||
+            bs.l1iMisses != ps.l1iMisses ||
+            bs.l1dMisses != ps.l1dMisses || bs.l2Hits != ps.l2Hits ||
+            bs.l2Misses != ps.l2Misses || bs.swaps != ps.swaps ||
+            bs.offchipWritebacks != ps.offchipWritebacks)
+            fatal("batched stats diverged from point-major at %s",
+                  configs[i].label().c_str());
+    }
+
+    double point_s = seconds(t0, t1);
+    double batch_s = seconds(t2, t3);
+    std::printf("{\n"
+                "  \"benchmark\": \"single-pass batched simulation\",\n"
+                "  \"workload\": \"gcc1\",\n"
+                "  \"design_points\": %zu,\n"
+                "  \"trace_refs\": %llu,\n"
+                "  \"hardware_concurrency\": %u,\n"
+                "  \"point_major_seconds\": %.3f,\n"
+                "  \"batched_seconds\": %.3f,\n"
+                "  \"speedup\": %.2f\n"
+                "}\n",
+                configs.size(), static_cast<unsigned long long>(refs),
+                std::thread::hardware_concurrency(), point_s, batch_s,
+                point_s / batch_s);
+    return 0;
+}

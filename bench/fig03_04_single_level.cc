@@ -42,7 +42,7 @@ main(int argc, char **argv)
         c.l1Bytes = 32_KiB;
         c.l2Bytes = 0;
         c.assume = a;
-        return ev.missStats(b, c).l1MissRate();
+        return ev.tryMissStats(b, c).value().l1MissRate();
     };
     t.beginRow();
     t.cell("espresso");

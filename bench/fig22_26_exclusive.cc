@@ -105,7 +105,7 @@ main(int argc, char **argv)
         c.l1Bytes = 8 * 1024;
         c.l2Bytes = 64 * 1024;
         c.assume = assume(4, TwoLevelPolicy::Exclusive);
-        const HierarchyStats &s = ev.missStats(b, c);
+        HierarchyStats s = ev.tryMissStats(b, c).value();
         st.beginRow();
         st.cell(Workloads::info(b).name);
         st.cell(s.l1Misses());

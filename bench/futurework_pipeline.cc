@@ -77,7 +77,7 @@ main()
                    "2lvl_gain_nonblocking_pct"});
 
     for (Benchmark b : Workloads::all()) {
-        const TraceBuffer &trace = ev.trace(b);
+        const TraceBuffer &trace = *ev.tryTrace(b).value();
         std::uint64_t warmup = ev.warmupRefs();
 
         struct Cfg

@@ -48,8 +48,12 @@ main()
         sc.l1Bytes = c.l1;
         sc.l2Bytes = c.l2;
         double solo =
-            (ev.missStats(Benchmark::Gcc1, sc).globalMissRate() +
-             ev.missStats(Benchmark::Espresso, sc).globalMissRate()) /
+            (ev.tryMissStats(Benchmark::Gcc1, sc)
+                 .value()
+                 .globalMissRate() +
+             ev.tryMissStats(Benchmark::Espresso, sc)
+                 .value()
+                 .globalMissRate()) /
             2.0;
 
         auto mixed = [&](std::uint64_t q) {

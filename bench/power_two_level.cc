@@ -63,8 +63,8 @@ main()
         Table t({"workload", "single_eu_per_ref", "two_level_eu_per_ref",
                  "saving_pct"});
         for (Benchmark b : Workloads::all()) {
-            const HierarchyStats &ss = ev.missStats(b, single);
-            const HierarchyStats &ts = ev.missStats(b, two);
+            HierarchyStats ss = ev.tryMissStats(b, single).value();
+            HierarchyStats ts = ev.tryMissStats(b, two).value();
             double e_single = em.energyPerReference(
                 ss, array_energy(pr.single_l1, 1), 0.0);
             double e_two = em.energyPerReference(

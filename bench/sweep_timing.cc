@@ -28,7 +28,7 @@ timedSweep(unsigned workers, std::uint64_t refs, std::size_t *points)
     Explorer ex(ev);
     SystemAssumptions a;
     for (Benchmark b : Workloads::all())
-        ev.trace(b); // pre-generate outside the timed region
+        (void)ev.tryTrace(b); // pre-generate outside the timed region
 
     setParallelWorkerCount(workers);
     auto t0 = std::chrono::steady_clock::now();

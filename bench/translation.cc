@@ -47,7 +47,7 @@ main()
              "tpi_base_ns", "tpi_with_vm_ns", "penalty_pct"});
     for (Benchmark b :
          {Benchmark::Gcc1, Benchmark::Li, Benchmark::Tomcatv}) {
-        TlbRunStats ts = runTlb(tlb_params, ev.trace(b),
+        TlbRunStats ts = runTlb(tlb_params, *ev.tryTrace(b).value(),
                                 ev.warmupRefs());
         const std::uint64_t l1s[] = {4_KiB, 32_KiB};
         for (std::uint64_t l1 : l1s) {

@@ -32,11 +32,11 @@ main()
                  "wb_bytes_per_1k", "wt_bytes_per_1k",
                  "writeback_saving_x"});
         for (Benchmark b : Workloads::all()) {
-            const HierarchyStats &s = ev.missStats(b, c);
+            HierarchyStats s = ev.tryMissStats(b, c).value();
             double per1k = 1000.0 / static_cast<double>(s.totalRefs());
             // We regenerate store counts from the trace (stats fold
             // loads and stores together).
-            const TraceBuffer &trace = ev.trace(b);
+            const TraceBuffer &trace = *ev.tryTrace(b).value();
             double stores = static_cast<double>(trace.storeRefs());
             double measured_frac =
                 static_cast<double>(s.totalRefs()) /

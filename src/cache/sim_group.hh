@@ -1,0 +1,252 @@
+/**
+ * @file
+ * SimGroup: N independent cache hierarchies driven in lock-step over
+ * one decoded trace — the cache-layer half of the single-pass
+ * multi-configuration simulation engine (src/core/batch_engine.hh is
+ * the config-mapping half).
+ *
+ * Sweeping the paper's design space the obvious way re-walks the
+ * same multi-million-reference trace once per configuration, and on
+ * this machine the trace walk dominates wall clock. SimGroup inverts
+ * the loop: the trace is decoded once and each reference is applied
+ * to every registered lane, block by block, so the trace data
+ * streams through the L1 of the *host* once per block instead of
+ * once per configuration.
+ *
+ * Lanes come in two flavours:
+ *  - Flat lanes for the paper's common shapes — split direct-mapped
+ *    L1s alone, or backed by an inclusive/strict-inclusive L2 of the
+ *    same line size. These keep their tag state in structure-of-
+ *    arrays form and run a branch-lean inner loop with no virtual
+ *    dispatch.
+ *  - Generic lanes wrapping any Hierarchy (exclusive two-level,
+ *    victim cache, stream buffer, associative L1s) accessed
+ *    record-by-record through the virtual interface.
+ *
+ * Equivalence contract: every lane produces HierarchyStats
+ * byte-identical to running the corresponding Hierarchy alone over
+ * the same records — including replacement RNG draw sequences,
+ * LRU/FIFO stamp ordering and write-back accounting. Flat lanes
+ * re-implement Cache/SingleLevelHierarchy/TwoLevelHierarchy
+ * semantics operation for operation (tests/test_batch_engine.cc
+ * enforces this differentially across every hierarchy shape).
+ *
+ * Thread safety: none — a SimGroup is built, run and read by one
+ * thread. Batched sweeps get their parallelism by giving each worker
+ * its own SimGroup over the shared read-only trace.
+ */
+
+#ifndef TLC_CACHE_SIM_GROUP_HH
+#define TLC_CACHE_SIM_GROUP_HH
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "cache/hierarchy.hh"
+#include "cache/params.hh"
+#include "cache/two_level.hh"
+#include "trace/record.hh"
+#include "util/random.hh"
+
+namespace tlc {
+
+/**
+ * A group of independent cache hierarchies simulated in one trace
+ * pass. Add lanes, then drive records through accessRange(); stats
+ * are read back per lane by the index add*() returned.
+ */
+class SimGroup
+{
+  public:
+    /**
+     * Add a split-L1-only system (SingleLevelHierarchy semantics).
+     * Uses the flat fast path when the L1 is direct-mapped.
+     * @return the new lane's index.
+     */
+    std::size_t addSingleLevel(const CacheParams &l1_params,
+                               std::uint64_t seed = 1);
+
+    /**
+     * Add a two-level system (TwoLevelHierarchy semantics). Uses the
+     * flat fast path for inclusive/strict-inclusive policies over a
+     * direct-mapped L1; exclusive caching takes the generic path.
+     * @return the new lane's index.
+     */
+    std::size_t addTwoLevel(const CacheParams &l1_params,
+                            const CacheParams &l2_params,
+                            TwoLevelPolicy policy, std::uint64_t seed = 1);
+
+    /**
+     * Add an arbitrary hierarchy (victim cache, stream buffer, ...)
+     * as a generic lane. @return the new lane's index.
+     */
+    std::size_t addHierarchy(std::unique_ptr<Hierarchy> h);
+
+    std::size_t laneCount() const { return lanes_.size(); }
+
+    /** Lanes on the structure-of-arrays fast path (for metrics). */
+    std::size_t flatLaneCount() const;
+
+    /** Does @p lane run on the flat fast path? */
+    bool laneIsFlat(std::size_t lane) const;
+
+    /**
+     * Apply @p n records to every lane. Records are processed in
+     * blocks, lane-major within a block, so each lane's tag state
+     * stays hot while the block is replayed against it.
+     */
+    void accessRange(const TraceRecord *recs, std::size_t n);
+
+    /** Zero every lane's statistics, keeping cache contents. */
+    void resetStats();
+
+    /** Statistics of one lane. */
+    const HierarchyStats &stats(std::size_t lane) const;
+
+  private:
+    static constexpr std::uint8_t kValid = 1;
+    static constexpr std::uint8_t kDirty = 2;
+
+    /**
+     * Split direct-mapped L1 tag state, flattened: one 64-bit entry
+     * per set packing the line address and the valid/dirty bits
+     * ((line << 2) | flags), instruction and data entries interleaved
+     * ([set*2] = I, [set*2+1] = D) so a lookup costs one load and a
+     * refill one store. Stamps are unnecessary — a one-way set has a
+     * forced victim, so replacement state can never be observed.
+     */
+    struct DmL1
+    {
+        std::uint32_t lineShift = 0;
+        std::uint32_t setMask = 0;
+        std::vector<std::uint64_t> entries;
+
+        explicit DmL1(const CacheParams &p);
+    };
+
+    /**
+     * Flat replica of Cache for the shared L2: same victim-selection
+     * order (invalid scan, then policy), same LRU/FIFO stamp and
+     * tick behaviour, same Pcg32 stream — so the stats it produces
+     * match a real Cache draw for draw. Entries pack the line
+     * address and valid/dirty bits like DmL1 ((line << 2) | flags),
+     * [set][way] row-major; stamps are kept in a side array that is
+     * only touched under LRU/FIFO — under Random replacement the
+     * stamps and the tick can never influence an outcome, so the
+     * miss path skips them entirely.
+     */
+    struct FlatCache
+    {
+        std::uint32_t lineShift = 0;
+        std::uint32_t ways = 1;
+        std::uint32_t setMask = 0;
+        ReplPolicy repl = ReplPolicy::Random;
+        std::vector<std::uint64_t> entries; ///< (line << 2) | flags
+        std::vector<std::uint64_t> stamps;  ///< LRU/FIFO ordering
+        std::uint64_t tick = 0;
+        Pcg32 rng;
+
+        FlatCache(const CacheParams &p, std::uint64_t seed);
+
+        struct Victim
+        {
+            bool valid = false;
+            std::uint32_t lineAddr = 0;
+            bool dirty = false;
+        };
+
+        int findWay(std::uint32_t set, std::uint32_t line) const;
+        bool lookupAndTouch(std::uint32_t addr);
+        /** contains() + setDirty() fused: dirty the line if resident. */
+        bool touchDirtyIfResident(std::uint32_t addr);
+        std::uint32_t chooseVictimWay(std::uint32_t set);
+        Victim fill(std::uint32_t addr);
+    };
+
+    /** SingleLevelHierarchy over direct-mapped L1s, flattened. */
+    struct DmSingleLane
+    {
+        DmL1 l1;
+        HierarchyStats stats;
+
+        explicit DmSingleLane(const CacheParams &p) : l1(p) {}
+        void run(const TraceRecord *recs, std::size_t n);
+    };
+
+    /**
+     * TwoLevelHierarchy (strict-inclusive) over direct-mapped L1s,
+     * flattened. Strict inclusion back-invalidates L1 lines when
+     * their L2 copy is evicted, so each strict lane needs a private
+     * L1 — non-strict lanes go through SharedL1TwoLevelLanes instead.
+     */
+    struct FlatTwoLevelLane
+    {
+        DmL1 l1;
+        FlatCache l2;
+        HierarchyStats stats;
+
+        FlatTwoLevelLane(const CacheParams &l1_params,
+                         const CacheParams &l2_params, std::uint64_t seed)
+            : l1(l1_params), l2(l2_params, seed + 2)
+        {
+        }
+        void run(const TraceRecord *recs, std::size_t n);
+    };
+
+    /**
+     * All non-strict inclusive two-level lanes that share one
+     * direct-mapped L1 geometry. Plain inclusion never modifies L1
+     * state from the L2 side, so every such lane sees the exact same
+     * L1 access/miss/victim stream — the group simulates the L1 once
+     * per record and fans its misses out to each member's private
+     * L2. This is where the single-pass engine's biggest win comes
+     * from: an L2-capacity sweep over a fixed L1 costs one L1
+     * simulation instead of N.
+     */
+    struct SharedL1TwoLevelLanes
+    {
+        CacheParams l1Params; ///< grouping key
+        DmL1 l1;
+        struct Sub
+        {
+            FlatCache l2;
+            HierarchyStats stats;
+
+            Sub(const CacheParams &l2_params, std::uint64_t seed)
+                : l2(l2_params, seed)
+            {
+            }
+        };
+        std::vector<Sub> subs;
+
+        explicit SharedL1TwoLevelLanes(const CacheParams &p)
+            : l1Params(p), l1(p)
+        {
+        }
+        void run(const TraceRecord *recs, std::size_t n);
+    };
+
+    enum class LaneKind : std::uint8_t {
+        DmSingle,
+        FlatTwoLevel,
+        SharedTwoLevel,
+        Generic
+    };
+    struct LaneRef
+    {
+        LaneKind kind;
+        std::uint32_t index; ///< into the kind's own vector
+        std::uint32_t sub = 0; ///< SharedTwoLevel: index into subs
+    };
+
+    std::vector<LaneRef> lanes_;
+    std::vector<DmSingleLane> dmLanes_;
+    std::vector<FlatTwoLevelLane> flatLanes_;
+    std::vector<SharedL1TwoLevelLanes> sharedLanes_;
+    std::vector<std::unique_ptr<Hierarchy>> genericLanes_;
+};
+
+} // namespace tlc
+
+#endif // TLC_CACHE_SIM_GROUP_HH

@@ -8,6 +8,7 @@
 #include <sstream>
 
 #include "cache/single_level.hh"
+#include "core/batch_engine.hh"
 #include "trace/io.hh"
 #include "util/logging.hh"
 #include "util/metrics.hh"
@@ -43,13 +44,20 @@ struct EvalMetrics
 
 } // namespace
 
+MissRateEvaluator::MissRateEvaluator(EvaluatorOptions options)
+    : traceRefs_(options.traceRefs ? options.traceRefs
+                                   : Workloads::defaultTraceLength()),
+      warmupFraction_(options.warmupFraction),
+      traceFiles_(std::move(options.traceFiles))
+{
+    tlc_assert(warmupFraction_ >= 0.0 && warmupFraction_ < 1.0,
+               "warmup fraction %f out of range", warmupFraction_);
+}
+
 MissRateEvaluator::MissRateEvaluator(std::uint64_t trace_refs,
                                      double warmup_fraction)
-    : traceRefs_(trace_refs ? trace_refs : Workloads::defaultTraceLength()),
-      warmupFraction_(warmup_fraction)
+    : MissRateEvaluator(EvaluatorOptions{trace_refs, warmup_fraction, {}})
 {
-    tlc_assert(warmup_fraction >= 0.0 && warmup_fraction < 1.0,
-               "warmup fraction %f out of range", warmup_fraction);
 }
 
 std::uint64_t
@@ -59,12 +67,11 @@ MissRateEvaluator::warmupRefs() const
         warmupFraction_ * static_cast<double>(traceRefs_));
 }
 
-void
-MissRateEvaluator::setTraceFile(Benchmark b, std::string path)
+std::size_t
+MissRateEvaluator::memoSize() const
 {
     std::lock_guard<std::mutex> lock(mu_);
-    traceFiles_[b] = std::move(path);
-    traces_.erase(b);
+    return results_.size();
 }
 
 Expected<const TraceBuffer *>
@@ -101,15 +108,6 @@ MissRateEvaluator::tryTrace(Benchmark b)
     EvalMetrics::get().tracesGenerated.inc();
     EvalMetrics::get().syntheticRecords.inc(it->second.size());
     return static_cast<const TraceBuffer *>(&it->second);
-}
-
-const TraceBuffer &
-MissRateEvaluator::trace(Benchmark b)
-{
-    Expected<const TraceBuffer *> t = tryTrace(b);
-    tlc_assert(t.ok(), "trace unavailable: %s",
-               t.status().message().c_str());
-    return *t.value();
 }
 
 std::string
@@ -173,38 +171,86 @@ MissRateEvaluator::tryMissStats(Benchmark b, const SystemConfig &config)
     return results_.emplace(k, h->stats()).first->second;
 }
 
-const HierarchyStats &
-MissRateEvaluator::missStats(Benchmark b, const SystemConfig &config)
+std::vector<Expected<HierarchyStats>>
+MissRateEvaluator::tryMissStatsBatch(Benchmark b,
+                                     std::span<const SystemConfig> configs)
 {
-    std::string k = key(b, config);
+    // Placeholder status for slots resolved later; every slot is
+    // overwritten before the function returns.
+    const Status pending =
+        statusf(StatusCode::InternalError, "batch slot not resolved");
+
+    std::vector<Expected<HierarchyStats>> out;
+    out.reserve(configs.size());
+    std::vector<std::size_t> missing;   ///< slot index -> configs index
+    std::vector<std::size_t> missingLane; ///< slot index -> lane index
+    std::vector<SystemConfig> laneConfigs; ///< one per unique memo key
+    std::vector<std::string> laneKeys;
+    std::map<std::string, std::size_t> laneOf;
+
     {
         std::lock_guard<std::mutex> lock(mu_);
-        auto it = results_.find(k);
-        if (it != results_.end()) {
-            EvalMetrics::get().memoHits.inc();
-            return it->second;
+        for (std::size_t i = 0; i < configs.size(); ++i) {
+            Status cs = configs[i].check();
+            if (!cs.ok()) {
+                out.emplace_back(std::move(cs));
+                continue;
+            }
+            std::string k = key(b, configs[i]);
+            auto it = results_.find(k);
+            if (it != results_.end()) {
+                EvalMetrics::get().memoHits.inc();
+                out.emplace_back(it->second);
+                continue;
+            }
+            out.emplace_back(pending);
+            missing.push_back(i);
+            auto [lit, inserted] =
+                laneOf.emplace(std::move(k), laneConfigs.size());
+            if (inserted) {
+                laneConfigs.push_back(configs[i]);
+                laneKeys.push_back(lit->first);
+            }
+            missingLane.push_back(lit->second);
         }
     }
-    EvalMetrics::get().memoMisses.inc();
+    if (missing.empty())
+        return out;
 
-    std::unique_ptr<Hierarchy> h = makeHierarchy(config);
-    {
-        ScopedTimer timer(config.hasL2() ? phase::kSimL2
-                                         : phase::kSimL1);
-        simulate(b, *h);
+    Expected<const TraceBuffer *> t = tryTrace(b);
+    if (!t.ok()) {
+        for (std::size_t slot : missing)
+            out[slot] = t.status();
+        return out;
     }
-    recordHierarchyMetrics(h->stats());
 
-    // std::map node addresses are stable, so the returned reference
-    // survives later insertions by other workers.
-    std::lock_guard<std::mutex> lock(mu_);
-    return results_.emplace(k, h->stats()).first->second;
+    // Timing-only knobs collapse onto one memo key, so each unique
+    // key simulates exactly once — one lane — and the whole group
+    // shares a single pass over the trace.
+    EvalMetrics::get().memoMisses.inc(laneConfigs.size());
+    BatchEngine::Result batch =
+        BatchEngine::simulateConfigs(*t.value(), warmupRefs(),
+                                     laneConfigs);
+    for (const HierarchyStats &s : batch.stats)
+        recordHierarchyMetrics(s);
+
+    {
+        std::lock_guard<std::mutex> lock(mu_);
+        for (std::size_t lane = 0; lane < laneKeys.size(); ++lane)
+            results_.emplace(laneKeys[lane], batch.stats[lane]);
+    }
+    for (std::size_t j = 0; j < missing.size(); ++j)
+        out[missing[j]] = batch.stats[missingLane[j]];
+    return out;
 }
 
 void
 MissRateEvaluator::simulate(Benchmark b, Hierarchy &h)
 {
-    h.simulate(trace(b), warmupRefs());
+    Expected<const TraceBuffer *> t = tryTrace(b);
+    tlc_assert(t.ok(), "trace unavailable: %s",
+               t.status().message().c_str());
+    h.simulate(*t.value(), warmupRefs());
 }
 
 } // namespace tlc

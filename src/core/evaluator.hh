@@ -7,22 +7,27 @@
  * generates each benchmark trace once and memoizes simulation
  * results so figure drivers stay fast.
  *
- * Traces are synthetic by default (Workloads::generate); a benchmark
- * can instead be routed to an on-disk trace with setTraceFile(), the
- * path users with real captured traces take. Because on-disk data
- * can be corrupt, the try* entry points report failures as Status
- * values: a sweep that hits an unreadable trace or an invalid
+ * Setup is value-based: construct with EvaluatorOptions to pick the
+ * trace length, the warmup fraction, and which benchmarks are routed
+ * to on-disk trace files instead of the synthetic model — there is
+ * no post-construction mutation to race with a sweep. Because
+ * on-disk data can be corrupt, every entry point reports failures as
+ * Status values: a sweep that hits an unreadable trace or an invalid
  * configuration records the failure and keeps going (see
  * Explorer::evaluateAll) instead of exiting mid-run.
  *
+ * Batching: tryMissStatsBatch() services many configurations from
+ * ONE trace pass via the batch engine (core/batch_engine.hh) —
+ * memoized configs are answered from cache, the rest share a single
+ * decode of the benchmark trace. Results are byte-identical to
+ * per-config tryMissStats() calls.
+ *
  * Thread safety: the trace and result caches are guarded by an
- * internal mutex, and each evaluation simulates on its own
- * Hierarchy instance over the shared read-only trace, so the try
- * entry points, missStats and trace may be called from several
- * sweep workers concurrently. Simulation runs outside the lock; two workers
- * racing on the same key compute identical (deterministic) stats
- * and the first insert wins. setTraceFile() is setup-time only —
- * do not call it while a sweep is in flight.
+ * internal mutex, and each evaluation simulates on private state
+ * over the shared read-only trace, so the try* entry points may be
+ * called from several sweep workers concurrently. Simulation runs
+ * outside the lock; two workers racing on the same key compute
+ * identical (deterministic) stats and the first insert wins.
  */
 
 #ifndef TLC_CORE_EVALUATOR_HH
@@ -31,7 +36,9 @@
 #include <map>
 #include <memory>
 #include <mutex>
+#include <span>
 #include <string>
+#include <vector>
 
 #include "cache/hierarchy.hh"
 #include "core/system_config.hh"
@@ -41,6 +48,23 @@
 namespace tlc {
 
 /**
+ * Construction-time configuration of a MissRateEvaluator. A plain
+ * value: build one, adjust fields, hand it to the constructor.
+ */
+struct EvaluatorOptions
+{
+    /** References per benchmark trace
+     *  (0 => Workloads::defaultTraceLength()). */
+    std::uint64_t traceRefs = 0;
+    /** Leading fraction of each trace excluded from statistics. */
+    double warmupFraction = 0.1;
+    /** Benchmarks routed to on-disk trace files (any format
+     *  loadTraceFile understands) instead of the synthetic model.
+     *  Loads happen lazily at first use. */
+    std::map<Benchmark, std::string> traceFiles;
+};
+
+/**
  * Runs configurations against benchmark traces. Results depend only
  * on the functional cache parameters, so the memoization key ignores
  * timing-only knobs (off-chip time, dual porting).
@@ -48,21 +72,16 @@ namespace tlc {
 class MissRateEvaluator
 {
   public:
+    explicit MissRateEvaluator(EvaluatorOptions options);
+
     /**
+     * Convenience for the common all-synthetic case.
      * @param trace_refs      references per benchmark trace
      *                        (0 => Workloads::defaultTraceLength())
      * @param warmup_fraction leading fraction excluded from stats
      */
     explicit MissRateEvaluator(std::uint64_t trace_refs = 0,
                                double warmup_fraction = 0.1);
-
-    /**
-     * Route @p b to an on-disk trace file (any format loadTraceFile
-     * understands) instead of the synthetic model. Load happens
-     * lazily at first use; a cached trace for @p b is dropped so the
-     * next access re-reads the file.
-     */
-    void setTraceFile(Benchmark b, std::string path);
 
     /**
      * The (lazily loaded/generated, cached) trace of @p b, or the
@@ -72,13 +91,6 @@ class MissRateEvaluator
     Expected<const TraceBuffer *> tryTrace(Benchmark b);
 
     /**
-     * The (lazily generated, cached) trace of a benchmark.
-     * Legacy convenience: panics when a routed trace file is
-     * unreadable; fail-soft callers use tryTrace().
-     */
-    const TraceBuffer &trace(Benchmark b);
-
-    /**
      * Miss statistics of @p config on @p b (memoized), with invalid
      * configurations and unreadable traces reported as a Status
      * instead of aborting.
@@ -86,14 +98,26 @@ class MissRateEvaluator
     Expected<HierarchyStats> tryMissStats(Benchmark b,
                                           const SystemConfig &config);
 
-    /** Miss statistics of @p config on @p b (memoized). */
-    const HierarchyStats &missStats(Benchmark b, const SystemConfig &config);
+    /**
+     * Miss statistics of every configuration of @p configs on @p b,
+     * ordered like the input. Memoized configs are answered from
+     * cache; the rest are simulated together in ONE pass over the
+     * benchmark trace (deduplicated by memo key first), producing
+     * stats byte-identical to per-config tryMissStats() calls.
+     * Failures are per-slot: an invalid config fails its own slot,
+     * an unloadable trace fails every non-memoized slot.
+     */
+    std::vector<Expected<HierarchyStats>> tryMissStatsBatch(
+        Benchmark b, std::span<const SystemConfig> configs);
 
     /** Run an arbitrary hierarchy against a benchmark's trace. */
     void simulate(Benchmark b, Hierarchy &h);
 
     std::uint64_t traceRefs() const { return traceRefs_; }
     std::uint64_t warmupRefs() const;
+
+    /** Number of memoized (benchmark, config) results. */
+    std::size_t memoSize() const;
 
   private:
     std::string key(Benchmark b, const SystemConfig &c) const;

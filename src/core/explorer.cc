@@ -10,6 +10,7 @@
 #include <chrono>
 #include <cstdio>
 #include <optional>
+#include <span>
 #include <sstream>
 
 #include "util/logging.hh"
@@ -46,6 +47,14 @@ struct ExploreMetrics
         return m;
     }
 };
+
+/**
+ * Configurations per worker batch. Each batch's memo-missing
+ * configs simulate as lanes of one trace pass; capping the batch
+ * bounds the lane state resident at once and leaves enough batches
+ * to keep the worker team fed.
+ */
+constexpr std::size_t kMaxBatchConfigs = 32;
 
 } // namespace
 
@@ -100,7 +109,7 @@ FailureReport::size() const
     return failures_.size();
 }
 
-const std::vector<SweepFailure> &
+std::vector<SweepFailure>
 FailureReport::failures() const
 {
     std::lock_guard<std::mutex> lock(mu_);
@@ -227,7 +236,8 @@ Explorer::areaOf(const SystemConfig &config)
 }
 
 DesignPoint
-Explorer::evaluate(Benchmark b, const SystemConfig &config)
+Explorer::pricePoint(const SystemConfig &config,
+                     const HierarchyStats &miss)
 {
     DesignPoint p;
     p.config = config;
@@ -238,7 +248,7 @@ Explorer::evaluate(Benchmark b, const SystemConfig &config)
                               config.assume.lineBytes);
     }
     p.areaRbe = areaOf(config);
-    p.miss = evaluator_.missStats(b, config);
+    p.miss = miss;
 
     TpiParams tp;
     tp.l1CycleNs = p.l1Timing.cycleNs;
@@ -252,6 +262,17 @@ Explorer::evaluate(Benchmark b, const SystemConfig &config)
     }
     ExploreMetrics::get().priced.inc();
     return p;
+}
+
+DesignPoint
+Explorer::evaluate(Benchmark b, const SystemConfig &config)
+{
+    Expected<DesignPoint> p = tryEvaluate(b, config);
+    if (!p.ok()) {
+        fatal("design point %s: %s", config.label().c_str(),
+              p.status().message().c_str());
+    }
+    return std::move(p.value());
 }
 
 Expected<DesignPoint>
@@ -268,29 +289,7 @@ Explorer::tryEvaluate(Benchmark b, const SystemConfig &config)
     if (!miss.ok())
         return miss.status();
 
-    DesignPoint p;
-    p.config = config;
-    p.l1Timing = timingOf(config.l1Bytes, config.assume.l1Assoc,
-                          config.assume.lineBytes);
-    if (config.hasL2()) {
-        p.l2Timing = timingOf(config.l2Bytes, config.assume.l2Assoc,
-                              config.assume.lineBytes);
-    }
-    p.areaRbe = areaOf(config);
-    p.miss = miss.value();
-
-    TpiParams tp;
-    tp.l1CycleNs = p.l1Timing.cycleNs;
-    tp.l2CycleNsRaw = config.hasL2() ? p.l2Timing.cycleNs : 0.0;
-    tp.offchipNs = config.assume.offchipNs;
-    tp.issuePerCycle = config.assume.dualPortedL1 ? 2.0 : 1.0;
-    tp.hasL2 = config.hasL2();
-    {
-        ScopedTimer t(phase::kModelTpi);
-        p.tpi = computeTpi(p.miss, tp);
-    }
-    ExploreMetrics::get().priced.inc();
-    return p;
+    return pricePoint(config, miss.value());
 }
 
 void
@@ -326,10 +325,11 @@ Explorer::evaluateAll(Benchmark b, const std::vector<SystemConfig> &configs,
     ExploreMetrics::get().sweeps.inc();
 
     // Observability plumbing, all inert unless switched on: the
-    // trace-event recorder adds one slice per design point on the
-    // pricing worker's track, and the progress callback fires on a
-    // throttle as points complete. Neither affects results — the
-    // output/report ordering below stays byte-identical to serial.
+    // trace-event recorder adds one slice per simulation batch plus
+    // one per design point on the pricing worker's track, and the
+    // progress callback fires on a throttle as points complete.
+    // Neither affects results — the output/report ordering below
+    // stays byte-identical to serial.
     TraceEventRecorder *recorder = TraceEventRecorder::active();
     const char *benchName = Workloads::info(b).name;
     using ProgressClock = std::chrono::steady_clock;
@@ -373,33 +373,70 @@ Explorer::evaluateAll(Benchmark b, const std::vector<SystemConfig> &configs,
         progress_(sp);
     };
 
-    // Price the points across the worker team. Each index writes
-    // only its own slot; the trace is shared read-only, simulation
-    // state lives inside tryEvaluate's per-call hierarchy, and the
-    // memo caches are internally locked. Collecting results and
-    // failures after the join, in input-index order, makes a
-    // parallel sweep byte-identical to a serial one.
-    std::vector<std::optional<Expected<DesignPoint>>> slots(configs.size());
-    parallelFor(configs.size(), [&](std::size_t i) {
-        auto begin = recorder ? TraceEventRecorder::Clock::now()
-                              : TraceEventRecorder::Clock::time_point{};
-        slots[i].emplace(tryEvaluate(b, configs[i]));
+    // Benchmark-major batching: the configuration list is split into
+    // contiguous batches, each batch's memo-missing configs simulate
+    // as lanes of one trace pass, and batches distribute across the
+    // worker team. Batch shape cannot affect results — every lane
+    // carries its own tag state and replacement RNG stream, exactly
+    // as a standalone Hierarchy would — so the sweep stays
+    // byte-identical to the point-major path whatever the worker
+    // count. Each index writes only its own slots; collecting
+    // results and failures after the join, in input-index order,
+    // keeps the output deterministic.
+    const std::size_t n = configs.size();
+    std::size_t batchSize = (n + parallelWorkerCount() - 1) /
+                            parallelWorkerCount();
+    batchSize = std::clamp<std::size_t>(batchSize, 1, kMaxBatchConfigs);
+    const std::size_t numBatches = (n + batchSize - 1) / batchSize;
+
+    std::vector<std::optional<Expected<DesignPoint>>> slots(n);
+    parallelFor(numBatches, [&](std::size_t bi) {
+        const std::size_t lo = bi * batchSize;
+        const std::size_t hi = std::min(lo + batchSize, n);
+        auto bbegin = recorder ? TraceEventRecorder::Clock::now()
+                               : TraceEventRecorder::Clock::time_point{};
+        std::vector<Expected<HierarchyStats>> miss =
+            evaluator_.tryMissStatsBatch(
+                b, std::span<const SystemConfig>(configs).subspan(
+                       lo, hi - lo));
         if (recorder) {
             recorder->complete(
-                configs[i].label(), "design-point", begin,
-                TraceEventRecorder::Clock::now(), parallelWorkerId(),
+                std::string(benchName) + " batch " + std::to_string(bi),
+                "sim-batch", bbegin, TraceEventRecorder::Clock::now(),
+                parallelWorkerId(),
                 std::string("{\"benchmark\": \"") + benchName +
-                    "\", \"index\": " + std::to_string(i) + "}");
+                    "\", \"first\": " + std::to_string(lo) +
+                    ", \"count\": " + std::to_string(hi - lo) + "}");
         }
-        if (!slots[i]->ok())
-            failedSoFar.fetch_add(1, std::memory_order_relaxed);
-        std::size_t d = done.fetch_add(1, std::memory_order_relaxed) + 1;
-        fireProgress(d, /*final=*/false);
+        for (std::size_t i = lo; i < hi; ++i) {
+            auto begin = recorder
+                             ? TraceEventRecorder::Clock::now()
+                             : TraceEventRecorder::Clock::time_point{};
+            if (miss[i - lo].ok()) {
+                slots[i].emplace(
+                    pricePoint(configs[i], miss[i - lo].value()));
+            } else {
+                slots[i].emplace(
+                    Expected<DesignPoint>(miss[i - lo].status()));
+            }
+            if (recorder) {
+                recorder->complete(
+                    configs[i].label(), "design-point", begin,
+                    TraceEventRecorder::Clock::now(), parallelWorkerId(),
+                    std::string("{\"benchmark\": \"") + benchName +
+                        "\", \"index\": " + std::to_string(i) + "}");
+            }
+            if (!slots[i]->ok())
+                failedSoFar.fetch_add(1, std::memory_order_relaxed);
+            std::size_t d =
+                done.fetch_add(1, std::memory_order_relaxed) + 1;
+            fireProgress(d, /*final=*/false);
+        }
     });
-    fireProgress(configs.size(), /*final=*/true);
+    fireProgress(n, /*final=*/true);
 
-    out.reserve(configs.size());
-    for (std::size_t i = 0; i < configs.size(); ++i) {
+    out.reserve(n);
+    for (std::size_t i = 0; i < n; ++i) {
         Expected<DesignPoint> &p = *slots[i];
         if (p.ok()) {
             out.push_back(std::move(p.value()));
@@ -410,6 +447,56 @@ Explorer::evaluateAll(Benchmark b, const std::vector<SystemConfig> &configs,
             fatal("design point %s: %s", configs[i].label().c_str(),
                   p.status().message().c_str());
         }
+    }
+    return out;
+}
+
+std::vector<BenchmarkSweep>
+Explorer::evaluateAll(const SweepRequest &request)
+{
+    // Scoped overrides: the request's thread width and progress
+    // callback are in effect for this call only, restored even when
+    // a body throws.
+    struct Scope
+    {
+        Explorer &ex;
+        const bool restoreWorkers;
+        const unsigned prevWorkers;
+        const bool restoreProgress;
+        ProgressCallback prevProgress;
+        double prevInterval;
+
+        Scope(Explorer &e, const SweepRequest &req)
+            : ex(e), restoreWorkers(req.threads != 0),
+              prevWorkers(parallelWorkerOverride()),
+              restoreProgress(static_cast<bool>(req.progress)),
+              prevProgress(e.progress_),
+              prevInterval(e.progressIntervalSeconds_)
+        {
+            if (restoreWorkers)
+                setParallelWorkerCount(req.threads);
+            if (restoreProgress) {
+                e.setProgressCallback(req.progress,
+                                      req.progressIntervalSeconds);
+            }
+        }
+
+        ~Scope()
+        {
+            if (restoreWorkers)
+                setParallelWorkerCount(prevWorkers);
+            if (restoreProgress) {
+                ex.progress_ = std::move(prevProgress);
+                ex.progressIntervalSeconds_ = prevInterval;
+            }
+        }
+    } scope(*this, request);
+
+    std::vector<BenchmarkSweep> out;
+    out.reserve(request.benchmarks.size());
+    for (Benchmark b : request.benchmarks) {
+        out.push_back(
+            {b, evaluateAll(b, request.configs, request.report)});
     }
     return out;
 }

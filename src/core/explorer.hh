@@ -10,13 +10,19 @@
  * complete — one corrupt trace byte must not abort a multi-hour
  * multi-hundred-point run.
  *
- * Sweeps are parallel: evaluateAll() prices design points across the
- * parallelFor worker team (util/parallel.hh; TLC_THREADS or
- * --threads control the width). Results are deterministic — the
+ * Sweeps are benchmark-major and batched: evaluateAll() partitions
+ * the configuration list into contiguous batches, distributes the
+ * batches across the parallelFor worker team (util/parallel.hh;
+ * TLC_THREADS or --threads control the width), and simulates each
+ * batch's memo-missing configurations in ONE pass over the benchmark
+ * trace via MissRateEvaluator::tryMissStatsBatch — instead of
+ * re-walking the trace once per design point. Results are
+ * deterministic: simulation lanes are fully independent, and the
  * output vector, the envelope, and the FailureReport are ordered by
- * input index regardless of worker completion order, so a parallel
- * sweep produces byte-identical figure data to a serial one
- * (enforced by tests/test_parallel_differential.cc).
+ * input index regardless of batch shape or worker completion order,
+ * so a batched parallel sweep produces byte-identical figure data to
+ * a serial point-major one (enforced by
+ * tests/test_parallel_differential.cc and tests/test_batch_engine.cc).
  */
 
 #ifndef TLC_CORE_EXPLORER_HH
@@ -70,8 +76,9 @@ struct SweepFailure
  * application sweeping benchmarks in parallel can share one report).
  * Explorer itself never does: it records failures after the worker
  * team joins, in input-index order, so the report contents are
- * deterministic. The accessors take the same lock as add(), but the
- * references they return are only stable once no writer is active.
+ * deterministic. All accessors take the same lock as add();
+ * failures() returns a snapshot by value, so the result stays valid
+ * and stable even while writers are active.
  */
 class FailureReport
 {
@@ -80,7 +87,9 @@ class FailureReport
 
     bool empty() const;
     std::size_t size() const;
-    const std::vector<SweepFailure> &failures() const;
+
+    /** Consistent copy of the failures recorded so far. */
+    std::vector<SweepFailure> failures() const;
 
     /** True when some failure's subject contains @p needle. */
     bool mentions(const std::string &needle) const;
@@ -111,10 +120,44 @@ struct SweepProgress
  * A throttled stderr progress printer: one complete line per update
  * (single fwrite, so concurrent workers can't interleave it), of the
  * form "progress: <label> 12/340 (3.5%) 1 failed ...". Suitable for
- * Explorer::setProgressCallback.
+ * SweepRequest::progress / Explorer::setProgressCallback.
  */
 std::function<void(const SweepProgress &)>
 stderrProgressPrinter(std::string label);
+
+/**
+ * A whole sweep as one value: which configurations to price, on
+ * which benchmarks, and how to run. Build one, set fields, hand it
+ * to Explorer::evaluateAll — no setup-time mutation of the explorer
+ * is needed.
+ */
+struct SweepRequest
+{
+    /** Configurations to price (shared by every benchmark). */
+    std::vector<SystemConfig> configs;
+    /** Benchmarks to price them on, swept in order. */
+    std::vector<Benchmark> benchmarks;
+    /** Failure sink: with one, bad points/benchmarks are recorded
+     *  and skipped (fail-soft); without, the first failure is
+     *  fatal. */
+    FailureReport *report = nullptr;
+    /** Progress callback for this request (empty => none). Fires per
+     *  benchmark sweep, throttled to progressIntervalSeconds; the
+     *  final update of each sweep (done == total) always fires. */
+    std::function<void(const SweepProgress &)> progress;
+    double progressIntervalSeconds = 0.25;
+    /** Worker-team width for this request; 0 inherits the current
+     *  TLC_THREADS / setParallelWorkerCount setting. The previous
+     *  width is restored when the request completes. */
+    unsigned threads = 0;
+};
+
+/** Priced points of one benchmark of a SweepRequest. */
+struct BenchmarkSweep
+{
+    Benchmark benchmark;
+    std::vector<DesignPoint> points;
+};
 
 /**
  * Prices configurations and sweeps design spaces. Timing and area
@@ -158,7 +201,11 @@ class Explorer
     /** Total chip area of a configuration (both L1s + L2), rbe. */
     double areaOf(const SystemConfig &config);
 
-    /** Fully price one configuration on one benchmark. */
+    /**
+     * Fully price one configuration on one benchmark; a failure
+     * (invalid configuration, unloadable trace) is fatal. Fail-soft
+     * callers use tryEvaluate().
+     */
     DesignPoint evaluate(Benchmark b, const SystemConfig &config);
 
     /**
@@ -170,18 +217,30 @@ class Explorer
                                       const SystemConfig &config);
 
     /**
-     * Price an explicit configuration list, distributing the points
-     * across the parallelFor worker team. The output vector is
-     * ordered by input index whatever the completion order, and
-     * with @p report, failed points are recorded there in input
-     * order and skipped (fail-soft); without it, a failure is fatal
-     * as in the classic API (the lowest-index failure is the one
-     * reported). A benchmark whose trace cannot be loaded is
-     * reported once, not once per configuration.
+     * Price an explicit configuration list benchmark-major: the
+     * list is split into contiguous batches, batches run across the
+     * parallelFor worker team, and each batch's memo-missing
+     * configurations share one pass over the benchmark trace
+     * (tryMissStatsBatch). The output vector is ordered by input
+     * index whatever the batch shape, and with @p report, failed
+     * points are recorded there in input order and skipped
+     * (fail-soft); without it, a failure is fatal as in the classic
+     * API (the lowest-index failure is the one reported). A
+     * benchmark whose trace cannot be loaded is reported once, not
+     * once per configuration.
      */
     std::vector<DesignPoint> evaluateAll(
         Benchmark b, const std::vector<SystemConfig> &configs,
         FailureReport *report = nullptr);
+
+    /**
+     * Run a whole SweepRequest: every benchmark of the request is
+     * priced against its configuration list (one batched sweep per
+     * benchmark), with the request's report, progress callback and
+     * thread override in effect for the duration of the call.
+     * Results are ordered like request.benchmarks.
+     */
+    std::vector<BenchmarkSweep> evaluateAll(const SweepRequest &request);
 
     /** Price every configuration of a design space. */
     std::vector<DesignPoint> sweep(Benchmark b,
@@ -202,7 +261,8 @@ class Explorer
      * final update (done == total) always fires. The callback may
      * run on any worker thread — keep it cheap and thread-safe
      * (stderrProgressPrinter qualifies). Setup-time API: do not call
-     * while a sweep is in flight.
+     * while a sweep is in flight. Per-request callbacks
+     * (SweepRequest::progress) take precedence for their request.
      */
     void setProgressCallback(ProgressCallback cb,
                              double min_interval_seconds = 0.25);
@@ -212,6 +272,10 @@ class Explorer
     const AreaModel &areaModel() const { return area_; }
 
   private:
+    /** Assemble a DesignPoint from its (already computed) stats. */
+    DesignPoint pricePoint(const SystemConfig &config,
+                           const HierarchyStats &miss);
+
     MissRateEvaluator &evaluator_;
     AccessTimeModel timing_;
     AreaModel area_;

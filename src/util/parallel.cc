@@ -54,6 +54,12 @@ setParallelWorkerCount(unsigned n)
     g_worker_override.store(n, std::memory_order_relaxed);
 }
 
+unsigned
+parallelWorkerOverride()
+{
+    return g_worker_override.load(std::memory_order_relaxed);
+}
+
 bool
 inParallelWorker()
 {

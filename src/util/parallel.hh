@@ -43,6 +43,13 @@ unsigned parallelWorkerCount();
  */
 void setParallelWorkerCount(unsigned n);
 
+/**
+ * The current programmatic override, 0 when none is installed.
+ * Lets a scoped override (SweepRequest::threads) restore whatever
+ * was in effect before it.
+ */
+unsigned parallelWorkerOverride();
+
 /** True while the calling thread is executing a parallelFor body. */
 bool inParallelWorker();
 

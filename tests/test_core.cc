@@ -103,9 +103,12 @@ TEST(Evaluator, MemoizesResults)
     SystemConfig c;
     c.l1Bytes = 4_KiB;
     c.l2Bytes = 0;
-    const HierarchyStats &a = ev.missStats(Benchmark::Espresso, c);
-    const HierarchyStats &b = ev.missStats(Benchmark::Espresso, c);
-    EXPECT_EQ(&a, &b); // same cached object
+    HierarchyStats a = ev.tryMissStats(Benchmark::Espresso, c).value();
+    EXPECT_EQ(ev.memoSize(), 1u);
+    HierarchyStats b = ev.tryMissStats(Benchmark::Espresso, c).value();
+    EXPECT_EQ(ev.memoSize(), 1u); // second call answered from cache
+    EXPECT_EQ(a.totalRefs(), b.totalRefs());
+    EXPECT_EQ(a.l1Misses(), b.l1Misses());
 }
 
 TEST(Evaluator, KeyDistinguishesPolicies)
@@ -117,9 +120,10 @@ TEST(Evaluator, KeyDistinguishesPolicies)
     inc.assume.policy = TwoLevelPolicy::Inclusive;
     SystemConfig exc = inc;
     exc.assume.policy = TwoLevelPolicy::Exclusive;
-    const HierarchyStats &a = ev.missStats(Benchmark::Gcc1, inc);
-    const HierarchyStats &b = ev.missStats(Benchmark::Gcc1, exc);
-    EXPECT_NE(&a, &b);
+    (void)ev.tryMissStats(Benchmark::Gcc1, inc).value();
+    EXPECT_EQ(ev.memoSize(), 1u);
+    (void)ev.tryMissStats(Benchmark::Gcc1, exc).value();
+    EXPECT_EQ(ev.memoSize(), 2u); // distinct memo entries
 }
 
 TEST(Evaluator, TimingOnlyKnobsShareMissResults)
@@ -131,9 +135,11 @@ TEST(Evaluator, TimingOnlyKnobsShareMissResults)
     SystemConfig b = a;
     b.assume.offchipNs = 200;
     b.assume.dualPortedL1 = true;
-    const HierarchyStats &sa = ev.missStats(Benchmark::Li, a);
-    const HierarchyStats &sb = ev.missStats(Benchmark::Li, b);
-    EXPECT_EQ(&sa, &sb);
+    HierarchyStats sa = ev.tryMissStats(Benchmark::Li, a).value();
+    HierarchyStats sb = ev.tryMissStats(Benchmark::Li, b).value();
+    EXPECT_EQ(ev.memoSize(), 1u); // one shared memo entry
+    EXPECT_EQ(sa.l1Misses(), sb.l1Misses());
+    EXPECT_EQ(sa.l2Misses, sb.l2Misses);
 }
 
 TEST(Evaluator, WarmupExcluded)
@@ -143,7 +149,7 @@ TEST(Evaluator, WarmupExcluded)
     SystemConfig c;
     c.l1Bytes = 4_KiB;
     c.l2Bytes = 0;
-    const HierarchyStats &s = ev.missStats(Benchmark::Doduc, c);
+    HierarchyStats s = ev.tryMissStats(Benchmark::Doduc, c).value();
     EXPECT_EQ(s.totalRefs(), 90000u);
 }
 

@@ -290,13 +290,18 @@ TEST(FailSoftSweep, BadTraceAndBadConfigAreReportedAndSkipped)
             EXPECT_GT(p.tpi.tpi, 0.0);
     }
 
-    // Same benchmark routed to a nonexistent trace file: the whole
+    // Same benchmark routed to a nonexistent trace file (routing is
+    // construction-time, so this is a fresh evaluator): the whole
     // benchmark fails once, on top of the invalid config.
-    eval.setTraceFile(Benchmark::Eqntott, "/nonexistent/eqntott.trc");
     {
+        EvaluatorOptions opts;
+        opts.traceRefs = 20000;
+        opts.traceFiles[Benchmark::Eqntott] = "/nonexistent/eqntott.trc";
+        MissRateEvaluator routed(std::move(opts));
+        Explorer routedExplorer(routed);
         FailureReport report;
-        auto points = explorer.evaluateAll(Benchmark::Eqntott, configs,
-                                           &report);
+        auto points = routedExplorer.evaluateAll(Benchmark::Eqntott,
+                                                 configs, &report);
         EXPECT_TRUE(points.empty());
         ASSERT_EQ(report.size(), 1u);
         EXPECT_TRUE(report.mentions("eqntott"));
@@ -316,15 +321,20 @@ TEST(FailSoftSweep, BadTraceAndBadConfigAreReportedAndSkipped)
         std::ofstream os(bad, std::ios::binary);
         os << "TLCT garbage follows the magic";
     }
-    eval.setTraceFile(Benchmark::Tomcatv, bad);
     {
+        EvaluatorOptions opts;
+        opts.traceRefs = 20000;
+        opts.traceFiles[Benchmark::Tomcatv] = bad;
+        MissRateEvaluator routed(std::move(opts));
+        Explorer routedExplorer(routed);
         FailureReport report;
-        auto tom = explorer.evaluateAll(Benchmark::Tomcatv, configs,
-                                        &report);
+        auto tom = routedExplorer.evaluateAll(Benchmark::Tomcatv,
+                                              configs, &report);
         EXPECT_TRUE(tom.empty());
         EXPECT_TRUE(report.mentions("tomcatv"));
 
-        auto li = explorer.evaluateAll(Benchmark::Li, configs, &report);
+        auto li = routedExplorer.evaluateAll(Benchmark::Li, configs,
+                                             &report);
         EXPECT_EQ(li.size(), 3u);
         // Combined report: tomcatv's trace + li's invalid config.
         EXPECT_EQ(report.size(), 2u);
@@ -357,38 +367,48 @@ TEST(FailSoftSweep, TryEvaluateReportsInvalidConfigBeforeSimulating)
     EXPECT_GT(ok.value().areaRbe, 0.0);
 }
 
-TEST(FailSoftSweep, SetTraceFileRoutesAndRecovers)
+TEST(FailSoftSweep, TraceFileRoutingServesFilesAndReportsErrors)
 {
-    MissRateEvaluator eval(20000);
-
-    // Write a real trace for fpppp, route to it, and verify the
-    // evaluator serves the file's records rather than synthesis.
+    // Write a real trace for fpppp, route to it at construction, and
+    // verify the evaluator serves the file's records rather than
+    // synthesis.
     TraceBuffer small = Workloads::generate(Benchmark::Fpppp, 5000, 2);
     std::string path = ::testing::TempDir() + "/tlc_fpppp.trc";
     ASSERT_TRUE(saveTraceFile(path, small));
 
-    eval.setTraceFile(Benchmark::Fpppp, path);
-    auto t = eval.tryTrace(Benchmark::Fpppp);
-    ASSERT_TRUE(t.ok()) << t.status().toString();
-    EXPECT_EQ(t.value()->size(), small.size());
+    {
+        EvaluatorOptions opts;
+        opts.traceRefs = 20000;
+        opts.traceFiles[Benchmark::Fpppp] = path;
+        MissRateEvaluator eval(std::move(opts));
+        auto t = eval.tryTrace(Benchmark::Fpppp);
+        ASSERT_TRUE(t.ok()) << t.status().toString();
+        EXPECT_EQ(t.value()->size(), small.size());
+    }
 
-    // Re-routing to a bad path drops the cache and reports IoError;
-    // the Status names the benchmark and the path.
-    eval.setTraceFile(Benchmark::Fpppp, "/nonexistent/x.trc");
-    auto bad = eval.tryTrace(Benchmark::Fpppp);
-    ASSERT_FALSE(bad.ok());
-    EXPECT_EQ(bad.status().code(), StatusCode::IoError);
-    EXPECT_NE(bad.status().message().find("fpppp"), std::string::npos)
-        << bad.status().message();
-    EXPECT_NE(bad.status().message().find("/nonexistent/x.trc"),
-              std::string::npos)
-        << bad.status().message();
+    // Routing to a bad path reports IoError; the Status names the
+    // benchmark and the path.
+    {
+        EvaluatorOptions opts;
+        opts.traceRefs = 20000;
+        opts.traceFiles[Benchmark::Fpppp] = "/nonexistent/x.trc";
+        MissRateEvaluator eval(std::move(opts));
+        auto bad = eval.tryTrace(Benchmark::Fpppp);
+        ASSERT_FALSE(bad.ok());
+        EXPECT_EQ(bad.status().code(), StatusCode::IoError);
+        EXPECT_NE(bad.status().message().find("fpppp"),
+                  std::string::npos)
+            << bad.status().message();
+        EXPECT_NE(bad.status().message().find("/nonexistent/x.trc"),
+                  std::string::npos)
+            << bad.status().message();
 
-    // tryMissStats surfaces the same failure.
-    SystemConfig cfg;
-    auto stats = eval.tryMissStats(Benchmark::Fpppp, cfg);
-    EXPECT_FALSE(stats.ok());
-    EXPECT_EQ(stats.status().code(), StatusCode::IoError);
+        // tryMissStats surfaces the same failure.
+        SystemConfig cfg;
+        auto stats = eval.tryMissStats(Benchmark::Fpppp, cfg);
+        EXPECT_FALSE(stats.ok());
+        EXPECT_EQ(stats.status().code(), StatusCode::IoError);
+    }
 
     std::remove(path.c_str());
 }

@@ -163,8 +163,8 @@ TEST_F(IntegrationTest, ExclusiveReducesOffchipMisses)
         inc.assume = assume(50, 4, TwoLevelPolicy::Inclusive);
         SystemConfig exc = inc;
         exc.assume.policy = TwoLevelPolicy::Exclusive;
-        const HierarchyStats &si = ev().missStats(b, inc);
-        const HierarchyStats &se = ev().missStats(b, exc);
+        HierarchyStats si = ev().tryMissStats(b, inc).value();
+        HierarchyStats se = ev().tryMissStats(b, exc).value();
         EXPECT_LE(se.l2Misses, si.l2Misses) << Workloads::info(b).name;
     }
 }

@@ -429,12 +429,20 @@ TEST(Progress, SweepSlicesLandOnTheActiveRecorder)
     SystemAssumptions a;
     auto points = ex.sweep(Benchmark::Gcc1, a, true, false);
     TraceEventRecorder::setActive(nullptr);
-    EXPECT_EQ(rec.size(), points.size());
+    // One design-point slice per point, plus at least one sim-batch
+    // slice from the batched simulation underneath.
+    EXPECT_GT(rec.size(), points.size());
     std::ostringstream os;
     rec.write(os);
-    EXPECT_TRUE(jsonSyntaxOk(os.str()));
-    EXPECT_NE(os.str().find("\"cat\": \"design-point\""),
-              std::string::npos);
+    std::string json = os.str();
+    EXPECT_TRUE(jsonSyntaxOk(json));
+    std::size_t design_points = 0;
+    const std::string needle = "\"cat\": \"design-point\"";
+    for (std::size_t pos = json.find(needle); pos != std::string::npos;
+         pos = json.find(needle, pos + needle.size()))
+        ++design_points;
+    EXPECT_EQ(design_points, points.size());
+    EXPECT_NE(json.find("\"cat\": \"sim-batch\""), std::string::npos);
 }
 
 // ------------------------------------------------------------ manifest

@@ -54,9 +54,11 @@ runSweep(unsigned workers, Benchmark b,
          const std::string &trace_file = "")
 {
     WorkerCountGuard guard(workers);
-    MissRateEvaluator ev(kRefs);
+    EvaluatorOptions opts;
+    opts.traceRefs = kRefs;
     if (!trace_file.empty())
-        ev.setTraceFile(b, trace_file);
+        opts.traceFiles[b] = trace_file;
+    MissRateEvaluator ev(std::move(opts));
     Explorer ex(ev);
     FailureReport report;
     SweepResult r;

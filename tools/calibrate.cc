@@ -36,7 +36,7 @@ main(int argc, char **argv)
             SystemConfig c;
             c.l1Bytes = s;
             c.l2Bytes = 0;
-            t.cell(ev.missStats(b, c).l1MissRate(), 4);
+            t.cell(ev.tryMissStats(b, c).value().l1MissRate(), 4);
         }
     }
     t.printAscii(std::cout);

@@ -43,15 +43,28 @@ echo "== running sanitized robustness tests =="
 build-asan/tests/test_robustness
 build-asan/tools/trace_fuzz --rounds=100 --refs=2000
 
+# The batched engine's speedup claim is only worth checking in if
+# the equivalence self-check passes (the bench fatals on any counter
+# mismatch) and the JSON it emits is well-formed.
+echo "== smoke-running batched sweep timing =="
+batch_json=$(mktemp)
+TLC_TRACE_SCALE=0.05 build/bench/bench_batch_sweep_timing \
+    > "$batch_json"
+python3 -c "import json, sys; json.load(open(sys.argv[1]))" \
+    "$batch_json"
+rm -f "$batch_json"
+
 # The parallel differential only proves "parallel == serial" when
 # data races would actually be reported, so build the parallel suite
-# (thread pool, differential, golden figures) again under
-# ThreadSanitizer and run it with a multi-thread worker team.
+# (thread pool, differential, golden figures) and the batched-engine
+# differential again under ThreadSanitizer and run them with a
+# multi-thread worker team.
 echo "== rebuilding parallel suite with ThreadSanitizer =="
 cmake -B build-tsan -G Ninja -DTLC_TSAN=ON
-cmake --build build-tsan --target test_parallel
+cmake --build build-tsan --target test_parallel test_batch
 
 echo "== running parallel + differential tests under TSan =="
 TLC_THREADS=4 build-tsan/tests/test_parallel
+TLC_THREADS=4 build-tsan/tests/test_batch
 
 echo "== all checks passed =="
