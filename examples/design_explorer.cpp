@@ -10,6 +10,15 @@
  *                   [--offchip=50] [--refs=2000000] [--threads=N]
  *                   [--quiet|--verbose] [--profile] [--progress]
  *                   [--trace-out=FILE] [--manifest=FILE]
+ *                   [--result-store=FILE] [--resume]
+ *
+ * Persistence (docs/parallelism.md):
+ *   --result-store=FILE  persistent sweep cache: points already in
+ *                        FILE are served from disk, fresh ones are
+ *                        appended, so a killed run continues where
+ *                        it stopped
+ *   --resume             require FILE to exist (guards against a
+ *                        typo silently starting a cold run)
  *
  * Observability (docs/observability.md):
  *   --progress        live per-sweep progress lines on stderr
@@ -22,9 +31,12 @@
 
 #include <chrono>
 #include <cstdio>
+#include <filesystem>
 #include <iostream>
+#include <memory>
 
 #include "core/explorer.hh"
+#include "core/sweep_cache.hh"
 #include "util/args.hh"
 #include "util/logging.hh"
 #include "util/parallel.hh"
@@ -57,7 +69,26 @@ main(int argc, char **argv)
     if (!traceOut.empty())
         TraceEventRecorder::setActive(&recorder);
 
-    MissRateEvaluator ev(refs);
+    std::string storePath = args.getString("result-store");
+    bool resume = args.getBool("resume", false);
+    if (resume && storePath.empty())
+        fatal("--resume requires --result-store=FILE");
+    std::shared_ptr<SweepCache> store;
+    if (!storePath.empty()) {
+        if (resume && !std::filesystem::exists(storePath)) {
+            fatal("--resume: result store '%s' does not exist "
+                  "(nothing to resume)", storePath.c_str());
+        }
+        store = std::make_shared<SweepCache>();
+        Status s = store->open(storePath);
+        if (!s.ok())
+            fatal("result store: %s", s.message().c_str());
+    }
+
+    EvaluatorOptions evopts;
+    evopts.traceRefs = refs;
+    evopts.resultStore = store;
+    MissRateEvaluator ev(evopts);
     Explorer ex(ev);
     if (progress)
         ex.setProgressCallback(stderrProgressPrinter(

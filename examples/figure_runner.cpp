@@ -9,6 +9,12 @@
  *   figure_runner --figure=fig05 [--refs=2000000] [--csv]
  *                 [--threads=N] [--quiet|--verbose] [--profile]
  *                 [--progress] [--trace-out=FILE] [--manifest=FILE]
+ *                 [--result-store=FILE] [--resume]
+ *
+ * Persistence (docs/parallelism.md): --result-store=FILE keeps every
+ * simulated point in FILE and serves repeated points from it, so a
+ * killed run --resume's where it stopped and regenerating a figure
+ * with the same refs is nearly free.
  *
  * Observability (docs/observability.md): --progress prints live
  * sweep progress to stderr, --trace-out writes a chrome://tracing
@@ -19,10 +25,13 @@
 
 #include <chrono>
 #include <cstdio>
+#include <filesystem>
 #include <iostream>
+#include <memory>
 
 #include "core/explorer.hh"
 #include "core/figures.hh"
+#include "core/sweep_cache.hh"
 #include "util/args.hh"
 #include "util/logging.hh"
 #include "util/parallel.hh"
@@ -67,9 +76,13 @@ listCatalog()
 
 int
 runScatter(const FigureSpec &f, std::uint64_t refs, bool csv,
-           bool progress, std::size_t *points_priced)
+           bool progress, std::shared_ptr<SweepCache> store,
+           std::size_t *points_priced)
 {
-    MissRateEvaluator ev(refs);
+    EvaluatorOptions evopts;
+    evopts.traceRefs = refs;
+    evopts.resultStore = std::move(store);
+    MissRateEvaluator ev(evopts);
     Explorer ex(ev);
     std::printf("%s: %s\n", f.id.c_str(), f.title.c_str());
     std::printf("assumptions: %s\n\n", f.assume.toString().c_str());
@@ -133,6 +146,21 @@ main(int argc, char **argv)
         static_cast<std::uint64_t>(args.getInt("refs", 1000000));
     bool csv = args.getBool("csv", false);
     bool progress = args.getBool("progress", false);
+    std::string storePath = args.getString("result-store");
+    bool resume = args.getBool("resume", false);
+    if (resume && storePath.empty())
+        fatal("--resume requires --result-store=FILE");
+    std::shared_ptr<SweepCache> store;
+    if (!storePath.empty()) {
+        if (resume && !std::filesystem::exists(storePath)) {
+            fatal("--resume: result store '%s' does not exist "
+                  "(nothing to resume)", storePath.c_str());
+        }
+        store = std::make_shared<SweepCache>();
+        Status s = store->open(storePath);
+        if (!s.ok())
+            fatal("result store: %s", s.message().c_str());
+    }
     std::string traceOut = args.getString("trace-out");
     std::string manifestPath = args.getString("manifest");
     if (!manifestPath.empty())
@@ -146,7 +174,7 @@ main(int argc, char **argv)
     int rc = 0;
     switch (f.kind) {
       case ExhibitKind::TpiScatter:
-        rc = runScatter(f, refs, csv, progress, &pointsPriced);
+        rc = runScatter(f, refs, csv, progress, store, &pointsPriced);
         break;
       case ExhibitKind::Table:
       case ExhibitKind::TimingCurve:

@@ -5,6 +5,7 @@
 
 #include "evaluator.hh"
 
+#include <optional>
 #include <sstream>
 
 #include "cache/single_level.hh"
@@ -48,6 +49,7 @@ MissRateEvaluator::MissRateEvaluator(EvaluatorOptions options)
     : traceRefs_(options.traceRefs ? options.traceRefs
                                    : Workloads::defaultTraceLength()),
       warmupFraction_(options.warmupFraction),
+      store_(std::move(options.resultStore)),
       traceFiles_(std::move(options.traceFiles))
 {
     tlc_assert(warmupFraction_ >= 0.0 && warmupFraction_ < 1.0,
@@ -114,14 +116,34 @@ std::string
 MissRateEvaluator::key(Benchmark b, const SystemConfig &c) const
 {
     std::ostringstream os;
-    os << static_cast<int>(b) << ":" << c.l1Bytes << ":" << c.l2Bytes
-       << ":" << c.assume.lineBytes << ":" << c.assume.l1Assoc;
-    if (c.hasL2()) {
-        os << ":" << c.assume.l2Assoc << ":"
-           << static_cast<int>(c.assume.policy) << ":"
-           << static_cast<int>(c.assume.l2Repl);
-    }
+    os << static_cast<int>(b) << ":" << c.missKeyString();
     return os.str();
+}
+
+std::string
+MissRateEvaluator::storeKeyText(Benchmark b, const SystemConfig &c)
+{
+    std::string traceId;
+    {
+        // The trace identity (a stat of the trace file at most) is
+        // computed once per benchmark and cached; it deliberately
+        // does NOT load the trace, so a fully warm sweep never
+        // touches trace bytes.
+        std::lock_guard<std::mutex> lock(mu_);
+        auto it = traceIds_.find(b);
+        if (it == traceIds_.end()) {
+            auto fit = traceFiles_.find(b);
+            it = traceIds_
+                     .emplace(b, SweepCache::traceIdentity(
+                                     b, traceRefs_,
+                                     fit == traceFiles_.end()
+                                         ? std::string()
+                                         : fit->second))
+                     .first;
+        }
+        traceId = it->second;
+    }
+    return SweepCache::keyText(traceId, warmupRefs(), c);
 }
 
 std::unique_ptr<Hierarchy>
@@ -152,6 +174,16 @@ MissRateEvaluator::tryMissStats(Benchmark b, const SystemConfig &config)
     }
     EvalMetrics::get().memoMisses.inc();
 
+    // Second cache level: the persistent store. A hit skips the
+    // trace load and the simulation entirely.
+    if (hasResultStore()) {
+        std::string text = storeKeyText(b, config);
+        if (std::optional<HierarchyStats> cached = store_->lookup(text)) {
+            std::lock_guard<std::mutex> lock(mu_);
+            return results_.emplace(k, *cached).first->second;
+        }
+    }
+
     Expected<const TraceBuffer *> t = tryTrace(b);
     if (!t.ok())
         return t.status();
@@ -166,6 +198,8 @@ MissRateEvaluator::tryMissStats(Benchmark b, const SystemConfig &config)
         h->simulate(*t.value(), warmupRefs());
     }
     recordHierarchyMetrics(h->stats());
+    if (hasResultStore())
+        store_->store(storeKeyText(b, config), h->stats());
 
     std::lock_guard<std::mutex> lock(mu_);
     return results_.emplace(k, h->stats()).first->second;
@@ -216,31 +250,67 @@ MissRateEvaluator::tryMissStatsBatch(Benchmark b,
     }
     if (missing.empty())
         return out;
+    EvalMetrics::get().memoMisses.inc(laneConfigs.size());
 
-    Expected<const TraceBuffer *> t = tryTrace(b);
-    if (!t.ok()) {
-        for (std::size_t slot : missing)
-            out[slot] = t.status();
-        return out;
+    // Second cache level: resolve lanes from the persistent store
+    // before touching the trace. laneStats[lane] ends up holding
+    // each lane's statistics however they were obtained; only the
+    // lanes the store could not answer simulate, and when that set
+    // is empty the trace is never loaded or generated at all.
+    std::vector<std::optional<HierarchyStats>> laneStats(
+        laneConfigs.size());
+    std::vector<std::string> laneText(laneConfigs.size());
+    std::vector<std::size_t> simLanes;
+    if (hasResultStore()) {
+        for (std::size_t lane = 0; lane < laneConfigs.size(); ++lane) {
+            laneText[lane] = storeKeyText(b, laneConfigs[lane]);
+            laneStats[lane] = store_->lookup(laneText[lane]);
+            if (!laneStats[lane])
+                simLanes.push_back(lane);
+        }
+    } else {
+        for (std::size_t lane = 0; lane < laneConfigs.size(); ++lane)
+            simLanes.push_back(lane);
     }
 
     // Timing-only knobs collapse onto one memo key, so each unique
     // key simulates exactly once — one lane — and the whole group
     // shares a single pass over the trace.
-    EvalMetrics::get().memoMisses.inc(laneConfigs.size());
-    BatchEngine::Result batch =
-        BatchEngine::simulateConfigs(*t.value(), warmupRefs(),
-                                     laneConfigs);
-    for (const HierarchyStats &s : batch.stats)
-        recordHierarchyMetrics(s);
+    Status traceFailure;
+    if (!simLanes.empty()) {
+        Expected<const TraceBuffer *> t = tryTrace(b);
+        if (!t.ok()) {
+            traceFailure = t.status();
+        } else {
+            std::vector<SystemConfig> simConfigs;
+            simConfigs.reserve(simLanes.size());
+            for (std::size_t lane : simLanes)
+                simConfigs.push_back(laneConfigs[lane]);
+            BatchEngine::Result batch = BatchEngine::simulateConfigs(
+                *t.value(), warmupRefs(), simConfigs);
+            for (std::size_t j = 0; j < simLanes.size(); ++j) {
+                laneStats[simLanes[j]] = batch.stats[j];
+                recordHierarchyMetrics(batch.stats[j]);
+                if (hasResultStore())
+                    store_->store(laneText[simLanes[j]],
+                                  batch.stats[j]);
+            }
+        }
+    }
 
     {
         std::lock_guard<std::mutex> lock(mu_);
-        for (std::size_t lane = 0; lane < laneKeys.size(); ++lane)
-            results_.emplace(laneKeys[lane], batch.stats[lane]);
+        for (std::size_t lane = 0; lane < laneKeys.size(); ++lane) {
+            if (laneStats[lane])
+                results_.emplace(laneKeys[lane], *laneStats[lane]);
+        }
     }
-    for (std::size_t j = 0; j < missing.size(); ++j)
-        out[missing[j]] = batch.stats[missingLane[j]];
+    for (std::size_t j = 0; j < missing.size(); ++j) {
+        const std::optional<HierarchyStats> &s =
+            laneStats[missingLane[j]];
+        out[missing[j]] = s ? Expected<HierarchyStats>(*s)
+                            : Expected<HierarchyStats>(traceFailure);
+    }
     return out;
 }
 

@@ -22,6 +22,15 @@
  * decode of the benchmark trace. Results are byte-identical to
  * per-config tryMissStats() calls.
  *
+ * Persistence: with EvaluatorOptions::resultStore set, a second
+ * cache level sits between the memo and simulation — a persistent,
+ * content-addressed SweepCache (core/sweep_cache.hh). Points
+ * resolved there skip the simulation (and, when every point hits,
+ * the trace load/generation too); points that do simulate are
+ * appended, so interrupted or repeated sweeps pick up where the
+ * store left off. Cached results are bit-exact, keeping warm sweeps
+ * byte-identical to cold ones.
+ *
  * Thread safety: the trace and result caches are guarded by an
  * internal mutex, and each evaluation simulates on private state
  * over the shared read-only trace, so the try* entry points may be
@@ -41,6 +50,7 @@
 #include <vector>
 
 #include "cache/hierarchy.hh"
+#include "core/sweep_cache.hh"
 #include "core/system_config.hh"
 #include "trace/workload.hh"
 #include "util/status.hh"
@@ -62,6 +72,14 @@ struct EvaluatorOptions
      *  loadTraceFile understands) instead of the synthetic model.
      *  Loads happen lazily at first use. */
     std::map<Benchmark, std::string> traceFiles;
+    /** Persistent result store shared across runs (core/
+     *  sweep_cache.hh). With one, the evaluator consults the store
+     *  between the in-memory memo and simulation, and appends every
+     *  freshly simulated result — so repeated and resumed sweeps
+     *  skip the trace walks entirely. Null (the default) disables
+     *  persistence; a SweepCache that is not open() behaves the
+     *  same. */
+    std::shared_ptr<SweepCache> resultStore;
 };
 
 /**
@@ -119,16 +137,25 @@ class MissRateEvaluator
     /** Number of memoized (benchmark, config) results. */
     std::size_t memoSize() const;
 
+    /** True when an open persistent result store is attached. */
+    bool hasResultStore() const
+    {
+        return store_ && store_->enabled();
+    }
+
   private:
     std::string key(Benchmark b, const SystemConfig &c) const;
+    std::string storeKeyText(Benchmark b, const SystemConfig &c);
     static std::unique_ptr<Hierarchy> makeHierarchy(
         const SystemConfig &config);
 
     std::uint64_t traceRefs_;
     double warmupFraction_;
-    mutable std::mutex mu_; ///< guards the three caches below
+    std::shared_ptr<SweepCache> store_;
+    mutable std::mutex mu_; ///< guards the four caches below
     std::map<Benchmark, TraceBuffer> traces_;
     std::map<Benchmark, std::string> traceFiles_;
+    std::map<Benchmark, std::string> traceIds_;
     std::map<std::string, HierarchyStats> results_;
 };
 

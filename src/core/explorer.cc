@@ -310,16 +310,24 @@ Explorer::evaluateAll(Benchmark b, const std::vector<SystemConfig> &configs,
         return out;
 
     // An unloadable benchmark trace fails every point the same way;
-    // detect it once and report the benchmark, not every config.
-    Expected<const TraceBuffer *> t = evaluator_.tryTrace(b);
-    if (!t.ok()) {
-        if (!report) {
-            fatal("benchmark '%s': %s", Workloads::info(b).name,
-                  t.status().message().c_str());
+    // detect it once up front and report the benchmark, not every
+    // config. With a persistent result store attached the preflight
+    // is skipped — a fully warm sweep must not load or generate the
+    // trace at all — and the same trace failure, should it surface
+    // from the lanes that do simulate, is collapsed to one report
+    // entry in the collection loop below.
+    if (!evaluator_.hasResultStore()) {
+        Expected<const TraceBuffer *> t = evaluator_.tryTrace(b);
+        if (!t.ok()) {
+            if (!report) {
+                fatal("benchmark '%s': %s", Workloads::info(b).name,
+                      t.status().message().c_str());
+            }
+            report->add(std::string("benchmark ") +
+                            Workloads::info(b).name,
+                        t.status());
+            return out;
         }
-        report->add(std::string("benchmark ") + Workloads::info(b).name,
-                    t.status());
-        return out;
     }
 
     ExploreMetrics::get().sweeps.inc();
@@ -436,11 +444,26 @@ Explorer::evaluateAll(Benchmark b, const std::vector<SystemConfig> &configs,
     fireProgress(n, /*final=*/true);
 
     out.reserve(n);
+    // With the preflight skipped (result store attached), a trace
+    // that turns out to be unloadable fails every simulated point
+    // with the same non-config status; collapse those to a single
+    // "benchmark <name>" entry so the report matches the preflight
+    // path's shape.
+    std::string benchFailure;
     for (std::size_t i = 0; i < n; ++i) {
         Expected<DesignPoint> &p = *slots[i];
         if (p.ok()) {
             out.push_back(std::move(p.value()));
         } else if (report) {
+            if (p.status().code() != StatusCode::InvalidConfig) {
+                std::string repr = p.status().toString();
+                if (repr != benchFailure) {
+                    benchFailure = std::move(repr);
+                    report->add(std::string("benchmark ") + benchName,
+                                p.status());
+                }
+                continue;
+            }
             ExploreMetrics::get().failed.inc();
             report->add(configs[i].label(), p.status());
         } else {

@@ -37,6 +37,20 @@ SystemConfig::label() const
     return formatConfigLabel(l1Bytes, l2Bytes);
 }
 
+std::string
+SystemConfig::missKeyString() const
+{
+    std::ostringstream os;
+    os << "l1=" << l1Bytes << ";l2=" << l2Bytes << ";line="
+       << assume.lineBytes << ";l1assoc=" << assume.l1Assoc;
+    if (hasL2()) {
+        os << ";l2assoc=" << assume.l2Assoc << ";policy="
+           << twoLevelPolicyName(assume.policy) << ";l2repl="
+           << replPolicyName(assume.l2Repl);
+    }
+    return os.str();
+}
+
 Status
 SystemConfig::check() const
 {

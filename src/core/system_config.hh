@@ -59,6 +59,18 @@ struct SystemConfig
     /** The paper's "L1:L2" label in KB, e.g. "32:256" or "8:0". */
     std::string label() const;
 
+    /**
+     * Canonical serialization of every parameter the MISS COUNTS of
+     * this configuration depend on — geometry, associativities, line
+     * size, policy and replacement (by stable name, not enum value)
+     * — and nothing they don't (off-chip time, porting, cell type
+     * are timing-only). Both the evaluator's in-memory memo and the
+     * persistent sweep cache (core/sweep_cache.hh) key on this, so
+     * the two can never disagree about which results are
+     * interchangeable.
+     */
+    std::string missKeyString() const;
+
     /** Cache parameters for each L1 array (direct-mapped, split). */
     CacheParams l1Params() const;
     /** Cache parameters for the L2 array (requires hasL2()). */

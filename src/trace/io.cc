@@ -15,6 +15,7 @@
 #include <ostream>
 #include <sstream>
 
+#include "util/crc32.hh"
 #include "util/metrics.hh"
 
 namespace tlc {
@@ -247,22 +248,43 @@ unzigzag(std::uint64_t v)
         -static_cast<std::int64_t>(v & 1);
 }
 
+/**
+ * Fold one DECODED record into the footer CRC in its canonical
+ * 5-byte form (little-endian address + type). Checksumming the
+ * decoded side, not the varint bytes, keeps the footer meaningful
+ * across recompression and pins down the delta/zigzag decode itself.
+ */
+std::uint32_t
+crcRecord(std::uint32_t state, std::uint32_t addr, unsigned ty)
+{
+    unsigned char rec[5];
+    rec[0] = static_cast<unsigned char>(addr & 0xff);
+    rec[1] = static_cast<unsigned char>((addr >> 8) & 0xff);
+    rec[2] = static_cast<unsigned char>((addr >> 16) & 0xff);
+    rec[3] = static_cast<unsigned char>((addr >> 24) & 0xff);
+    rec[4] = static_cast<unsigned char>(ty);
+    return crc32Update(state, rec, sizeof rec);
+}
+
 } // namespace
 
 void
 writeCompressedTrace(std::ostream &os, const TraceBuffer &buf)
 {
     os.write(kTraceMagic, 4);
-    putU32(os, kTraceVersionCompressed);
+    putU32(os, kTraceVersionCompressedCrc);
     putU64(os, buf.size());
     std::uint32_t last[3] = {0, 0, 0};
+    std::uint32_t crc = kCrc32Init;
     for (const auto &rec : buf) {
         unsigned ty = static_cast<unsigned>(rec.type);
         std::int64_t delta = static_cast<std::int64_t>(rec.addr) -
             static_cast<std::int64_t>(last[ty]);
         last[ty] = rec.addr;
         putVarint(os, (zigzag(delta) << 2) | ty);
+        crc = crcRecord(crc, rec.addr, ty);
     }
+    putU32(os, crc32Final(crc));
 }
 
 Status
@@ -290,18 +312,28 @@ readCompressedTrace(std::istream &is, TraceBuffer &buf)
     if (!getU32(is, version))
         return Status(StatusCode::Truncated,
                       "stream ends inside the version field");
-    if (version != kTraceVersionCompressed) {
+    if (version != kTraceVersionCompressed &&
+        version != kTraceVersionCompressedCrc) {
         return statusf(StatusCode::VersionMismatch,
-                       "version %u where the compressed reader expects %u",
-                       version, kTraceVersionCompressed);
+                       "version %u where the compressed reader expects "
+                       "%u or %u", version, kTraceVersionCompressed,
+                       kTraceVersionCompressedCrc);
     }
+    const bool hasFooter = version == kTraceVersionCompressedCrc;
     std::uint64_t count;
     if (!getU64(is, count))
         return Status(StatusCode::Truncated,
                       "stream ends inside the record count");
     const std::uint64_t remaining = remainingBytes(is);
-    // Compressed records are at least one byte each.
-    if (remaining != kUnknownRemaining && count > remaining) {
+    // Compressed records are at least one byte each, and version 3
+    // owes a 4-byte footer on top.
+    const std::uint64_t overhead = hasFooter ? 4 : 0;
+    if (remaining != kUnknownRemaining && remaining < overhead) {
+        return Status(StatusCode::Truncated,
+                      "stream ends inside the CRC footer");
+    }
+    if (remaining != kUnknownRemaining &&
+        count > remaining - overhead) {
         return statusf(StatusCode::CountTooLarge,
                        "record count %llu exceeds the %llu bytes that "
                        "remain (compressed records are >= 1 byte)",
@@ -310,6 +342,7 @@ readCompressedTrace(std::istream &is, TraceBuffer &buf)
     }
     buf.reserve(entry + clampedReserve(count, remaining, 1));
     std::uint32_t last[3] = {0, 0, 0};
+    std::uint32_t crc = kCrc32Init;
     for (std::uint64_t i = 0; i < count; ++i) {
         std::uint64_t word;
         Status s = getVarint(is, word);
@@ -330,6 +363,23 @@ readCompressedTrace(std::istream &is, TraceBuffer &buf)
             static_cast<std::int64_t>(last[ty]) + delta);
         last[ty] = addr;
         buf.append(addr, static_cast<RefType>(ty));
+        if (hasFooter)
+            crc = crcRecord(crc, addr, ty);
+    }
+    if (hasFooter) {
+        std::uint32_t want;
+        if (!getU32(is, want)) {
+            return fail(Status(StatusCode::Truncated,
+                               "stream ends inside the CRC footer"));
+        }
+        std::uint32_t got = crc32Final(crc);
+        if (want != got) {
+            return fail(statusf(
+                StatusCode::ChecksumMismatch,
+                "CRC footer 0x%08x does not match 0x%08x computed "
+                "over the %llu decoded records", want, got,
+                static_cast<unsigned long long>(count)));
+        }
     }
     return Status();
 }
@@ -448,7 +498,8 @@ loadTraceFile(const std::string &path, TraceBuffer &buf)
         }
         is.seekg(0);
         Status s;
-        if (version == kTraceVersionCompressed)
+        if (version == kTraceVersionCompressed ||
+            version == kTraceVersionCompressedCrc)
             s = readCompressedTrace(is, buf);
         else if (version == kTraceVersion)
             s = readBinaryTrace(is, buf);
@@ -456,8 +507,10 @@ loadTraceFile(const std::string &path, TraceBuffer &buf)
             TraceIoMetrics::get().errors.inc();
             return statusf(StatusCode::VersionMismatch,
                            "'%s': unsupported trace version %u "
-                           "(expected %u or %u)", path.c_str(), version,
-                           kTraceVersion, kTraceVersionCompressed);
+                           "(expected %u, %u or %u)", path.c_str(),
+                           version, kTraceVersion,
+                           kTraceVersionCompressed,
+                           kTraceVersionCompressedCrc);
         }
         recordLoad(s, buf.size() - entry_records,
                    file_bytes > 0

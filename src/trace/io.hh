@@ -15,8 +15,13 @@
  * Error handling: on-disk data is untrusted. Every reader validates
  * at the boundary and returns a tlc::Status with a typed code (bad
  * magic, version mismatch, truncation, overlong varint, reference
- * type out of range, record count larger than the remaining file)
- * instead of trusting the stream or exiting. Reads are
+ * type out of range, record count larger than the remaining file,
+ * checksum mismatch) instead of trusting the stream or exiting.
+ * Compressed traces written by this build (version 3) end in a
+ * CRC-32 footer computed over the DECODED records, so a bit flip
+ * anywhere in the payload is detected even when the damaged varint
+ * still decodes structurally; version-2 files (no footer) from
+ * earlier builds still load. Reads are
  * transactional with respect to the destination buffer: on ANY
  * failure the TraceBuffer is rolled back to the size it had on
  * entry, so a failed load leaves no partial records behind. Record
@@ -43,6 +48,11 @@ extern const char kTraceMagic[4];
 constexpr std::uint32_t kTraceVersion = 1;
 /** Compressed (per-type delta + varint) format version. */
 constexpr std::uint32_t kTraceVersionCompressed = 2;
+/** Compressed format with a mandatory CRC-32 footer over the decoded
+ *  records (4-byte little-endian address + type byte each). Written
+ *  by writeCompressedTrace; readCompressedTrace accepts this and the
+ *  footer-less version 2. */
+constexpr std::uint32_t kTraceVersionCompressedCrc = 3;
 
 /** Write @p buf to @p os in the binary format. */
 void writeBinaryTrace(std::ostream &os, const TraceBuffer &buf);
@@ -61,12 +71,16 @@ Status readBinaryTrace(std::istream &is, TraceBuffer &buf);
  * strided data sweeps cost one byte per reference instead of five.
  * This is the practical format for the paper-scale traces
  * (tens of millions to billions of references, Table 1); WRL's own
- * tracing system [2] compressed similarly.
+ * tracing system [2] compressed similarly. The stream ends in a
+ * CRC-32 footer over the decoded records (version 3).
  */
 void writeCompressedTrace(std::ostream &os, const TraceBuffer &buf);
 
 /**
- * Read a compressed trace (header included). On failure returns a
+ * Read a compressed trace (header included): version 3 with its
+ * mandatory CRC footer, or a legacy footer-less version 2. A footer
+ * that is absent or cut reads as Truncated; one that disagrees with
+ * the decoded records as ChecksumMismatch. On failure returns a
  * descriptive Status and rolls @p buf back to its entry size.
  */
 Status readCompressedTrace(std::istream &is, TraceBuffer &buf);

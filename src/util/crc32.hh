@@ -1,0 +1,75 @@
+/**
+ * @file
+ * CRC-32 (IEEE 802.3, the zlib/PNG polynomial) over byte ranges.
+ *
+ * Used wherever on-disk records need tamper evidence: the result
+ * store (util/result_store.hh) checksums every appended record, and
+ * the compressed trace format (trace/io.hh, version 3) carries a
+ * whole-stream checksum so a flipped payload byte cannot silently
+ * decode into a different — but structurally valid — trace.
+ *
+ * Incremental use: seed with kCrc32Init, fold ranges with
+ * crc32Update(), finish with crc32Final(). crc32() does all three
+ * for a single contiguous range.
+ */
+
+#ifndef TLC_UTIL_CRC32_HH
+#define TLC_UTIL_CRC32_HH
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+
+namespace tlc {
+
+inline constexpr std::uint32_t kCrc32Init = 0xffffffffu;
+
+namespace detail {
+
+/** The byte-at-a-time lookup table for the reflected polynomial. */
+inline const std::array<std::uint32_t, 256> &
+crc32Table()
+{
+    static const std::array<std::uint32_t, 256> table = [] {
+        std::array<std::uint32_t, 256> t{};
+        for (std::uint32_t i = 0; i < 256; ++i) {
+            std::uint32_t c = i;
+            for (int k = 0; k < 8; ++k)
+                c = (c >> 1) ^ ((c & 1) ? 0xedb88320u : 0);
+            t[i] = c;
+        }
+        return t;
+    }();
+    return table;
+}
+
+} // namespace detail
+
+/** Fold @p n bytes at @p data into a running CRC state. */
+inline std::uint32_t
+crc32Update(std::uint32_t state, const void *data, std::size_t n)
+{
+    const auto &table = detail::crc32Table();
+    const unsigned char *p = static_cast<const unsigned char *>(data);
+    for (std::size_t i = 0; i < n; ++i)
+        state = table[(state ^ p[i]) & 0xff] ^ (state >> 8);
+    return state;
+}
+
+/** Finalize a running CRC state into the published checksum. */
+inline std::uint32_t
+crc32Final(std::uint32_t state)
+{
+    return state ^ 0xffffffffu;
+}
+
+/** One-shot CRC-32 of a contiguous byte range. */
+inline std::uint32_t
+crc32(const void *data, std::size_t n)
+{
+    return crc32Final(crc32Update(kCrc32Init, data, n));
+}
+
+} // namespace tlc
+
+#endif // TLC_UTIL_CRC32_HH

@@ -1,0 +1,114 @@
+/**
+ * @file
+ * Persistent, append-only, content-addressed result store.
+ *
+ * A ResultStore is one file plus an in-memory index: records are
+ * (key, payload) pairs appended to the file and never rewritten, so
+ * a process killed mid-append loses at most the record in flight.
+ * On open() the file is scanned once, every intact record enters
+ * the index (later records with the same key supersede earlier
+ * ones), and damage is handled fail-soft:
+ *
+ *  - a record whose CRC-32 disagrees with its bytes is skipped (it
+ *    simply no longer answers lookups — the caller recomputes and
+ *    appends a fresh copy);
+ *  - a truncated or structurally corrupt tail ends the scan, and
+ *    the file is cut back to the last intact record before new
+ *    appends go after it, so one torn write cannot poison every
+ *    subsequent record.
+ *
+ * Only a damaged HEADER (wrong magic or an unknown version) refuses
+ * to open: appending to a file we cannot parse at all could destroy
+ * someone else's data, so that is reported as a Status and the
+ * store stays disabled.
+ *
+ * The store is generic — keys and payloads are opaque byte strings.
+ * Domain code (core/sweep_cache.hh) decides what the key hashes and
+ * how payloads serialize. Thread safety: every public method takes
+ * an internal mutex; appends flush before returning.
+ *
+ * File layout (all integers little-endian):
+ *   header:  "TLRS" magic, u32 format version (= 1)
+ *   record:  u32 key_bytes, u32 payload_bytes, key, payload,
+ *            u32 crc32(key + payload)
+ */
+
+#ifndef TLC_UTIL_RESULT_STORE_HH
+#define TLC_UTIL_RESULT_STORE_HH
+
+#include <cstdint>
+#include <cstdio>
+#include <map>
+#include <mutex>
+#include <string>
+#include <string_view>
+
+#include "util/status.hh"
+
+namespace tlc {
+
+/** Magic bytes that open a result-store file. */
+extern const char kResultStoreMagic[4];
+/** On-disk format version understood by this build. */
+constexpr std::uint32_t kResultStoreVersion = 1;
+
+/** Sanity caps: a record whose declared lengths exceed these is
+ *  treated as structural corruption (scan stops, tail truncated). */
+constexpr std::uint32_t kResultStoreMaxKeyBytes = 1u << 12;
+constexpr std::uint32_t kResultStoreMaxPayloadBytes = 1u << 20;
+
+class ResultStore
+{
+  public:
+    ResultStore() = default;
+    ~ResultStore();
+    ResultStore(const ResultStore &) = delete;
+    ResultStore &operator=(const ResultStore &) = delete;
+
+    /**
+     * Open (creating if absent) the store at @p path, scan existing
+     * records into the index, and recover from a damaged tail by
+     * truncating back to the last intact record. Corrupt individual
+     * records are counted in droppedRecords() and skipped — open()
+     * still succeeds. Fails only when the file cannot be created,
+     * or its header names a different magic/version (appending to
+     * an alien file would destroy it).
+     */
+    Status open(const std::string &path);
+
+    /** Flush and close; lookups fail and appends error afterwards. */
+    void close();
+
+    bool isOpen() const;
+    const std::string &path() const { return path_; }
+
+    /** Keys currently answering lookups. */
+    std::size_t size() const;
+
+    /** Records skipped during open(): CRC mismatches plus one for a
+     *  truncated/structurally corrupt tail. */
+    std::uint64_t droppedRecords() const;
+
+    /** Fetch @p key's payload into @p payload (latest append wins). */
+    bool lookup(const std::string &key, std::string *payload) const;
+
+    /**
+     * Append one record and flush it to the OS. The index is updated
+     * so an immediate lookup() sees the new payload. Oversized keys
+     * or payloads (see the caps above) are rejected, not written.
+     */
+    Status append(const std::string &key, std::string_view payload);
+
+  private:
+    Status scan();
+
+    mutable std::mutex mu_;
+    std::string path_;
+    std::FILE *file_ = nullptr;
+    std::map<std::string, std::string> index_;
+    std::uint64_t dropped_ = 0;
+};
+
+} // namespace tlc
+
+#endif // TLC_UTIL_RESULT_STORE_HH

@@ -30,6 +30,8 @@ statusCodeName(StatusCode code)
         return "type-out-of-range";
       case StatusCode::CountTooLarge:
         return "count-too-large";
+      case StatusCode::ChecksumMismatch:
+        return "bad-crc";
       case StatusCode::ParseError:
         return "parse-error";
       case StatusCode::InvalidConfig:

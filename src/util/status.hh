@@ -41,6 +41,7 @@ enum class StatusCode {
     OverlongVarint,  ///< varint longer than 10 bytes / overflows u64
     TypeOutOfRange,  ///< reference type byte not instr/load/store
     CountTooLarge,   ///< record count exceeds the bytes that remain
+    ChecksumMismatch,///< stored CRC disagrees with the payload
     ParseError,      ///< malformed text-format line
     InvalidConfig,   ///< cache/system parameters violate invariants
     UnknownName,     ///< lookup by name failed

@@ -173,6 +173,14 @@ TEST(ReadersUnderFaults, BitFlippedTracesNeverLeavePartialData)
     const std::string raw = raw_os.str();
     const std::string comp = comp_os.str();
     const std::string text = text_os.str();
+    // The legacy footer-less compressed format: same record encoding,
+    // version 2, no trailing CRC. Version-3 images reject essentially
+    // every payload flip via the footer, so this flavour carries the
+    // "flips are not universally fatal" half of the property — a flip
+    // that still decodes structurally is accepted here, as every
+    // compressed trace was before the footer existed.
+    std::string legacy = comp.substr(0, comp.size() - 4);
+    legacy[4] = 2;
 
     ReadOutcome out;
     for (std::uint64_t seed = 1; seed <= 150; ++seed) {
@@ -189,6 +197,10 @@ TEST(ReadersUnderFaults, BitFlippedTracesNeverLeavePartialData)
                      [](std::istream &is, TraceBuffer &b) {
                          return readCompressedTrace(is, b);
                      }, out, "compressed", seed);
+        expectRobust(corruptCopy(legacy, spec),
+                     [](std::istream &is, TraceBuffer &b) {
+                         return readCompressedTrace(is, b);
+                     }, out, "legacy compressed", seed);
         expectRobust(corruptCopy(text, spec),
                      [](std::istream &is, TraceBuffer &b) {
                          return readTextTrace(is, b);

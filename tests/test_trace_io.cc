@@ -174,6 +174,36 @@ corpus()
                          Reader::Compressed, s,
                          StatusCode::OverlongVarint});
     }
+    // --- compressed, version 3 (mandatory CRC footer) -----------------
+    {
+        std::string s = comp;
+        s.resize(s.size() - 4); // records intact, footer gone
+        cases.push_back({"compressed missing CRC footer",
+                         Reader::Compressed, s, StatusCode::Truncated});
+    }
+    {
+        std::string s = comp;
+        s.resize(s.size() - 2); // footer cut mid-word
+        cases.push_back({"compressed cut CRC footer",
+                         Reader::Compressed, s, StatusCode::Truncated});
+    }
+    {
+        std::string s = comp;
+        s[s.size() - 1] ^= 0x01; // footer disagrees with the records
+        cases.push_back({"compressed bad CRC footer",
+                         Reader::Compressed, s,
+                         StatusCode::ChecksumMismatch});
+    }
+    {
+        // A payload bit flip that still decodes structurally (the
+        // varint frame survives; the address and type change) — only
+        // the footer can catch this one.
+        std::string s = comp;
+        s[16] ^= 0x01;
+        cases.push_back({"compressed payload bit flip",
+                         Reader::Compressed, s,
+                         StatusCode::ChecksumMismatch});
+    }
     {
         // Ten bytes but bits beyond 64 set in the last one.
         std::string s = header(2, 1);
@@ -308,6 +338,70 @@ TEST(TraceCorpus, OomSizedCountDoesNotReserve)
     s = readWith(Reader::Compressed, header(2, 1ULL << 61), buf);
     EXPECT_EQ(s.code(), StatusCode::CountTooLarge);
     EXPECT_EQ(buf.records().capacity(), 0u);
+}
+
+TEST(TraceCrcFooter, WriterEmitsVersion3)
+{
+    std::string comp = serializeCompressed(sampleTrace());
+    ASSERT_GE(comp.size(), 16u + 4u);
+    EXPECT_EQ(comp.substr(0, 4), "TLCT");
+    EXPECT_EQ(static_cast<unsigned char>(comp[4]),
+              kTraceVersionCompressedCrc);
+
+    TraceBuffer buf;
+    ASSERT_TRUE(readWith(Reader::Compressed, comp, buf).ok());
+    ASSERT_EQ(buf.size(), 4u);
+    EXPECT_EQ(buf[1].addr, 0x10000020u);
+}
+
+TEST(TraceCrcFooter, LegacyVersion2StillLoads)
+{
+    // A version-2 image is the version-3 image with the old version
+    // number and no footer — the record encoding never changed.
+    std::string comp = serializeCompressed(sampleTrace());
+    std::string legacy = header(2, sampleTrace().size()) +
+        comp.substr(16, comp.size() - 16 - 4);
+
+    TraceBuffer buf;
+    ASSERT_TRUE(readWith(Reader::Compressed, legacy, buf).ok());
+    ASSERT_EQ(buf.size(), 4u);
+    EXPECT_EQ(buf[0].addr, 0x00400000u);
+    EXPECT_EQ(buf[3].addr, 0x00400004u);
+
+    // And through the sniffing file loader too.
+    std::string path = ::testing::TempDir() + "/tlc_legacy_v2.trc";
+    {
+        std::ofstream os(path, std::ios::binary);
+        os.write(legacy.data(),
+                 static_cast<std::streamsize>(legacy.size()));
+    }
+    TraceBuffer fromFile;
+    EXPECT_TRUE(loadTraceFile(path, fromFile).ok());
+    EXPECT_EQ(fromFile.size(), 4u);
+    std::remove(path.c_str());
+}
+
+TEST(TraceCrcFooter, ZeroRecordFileRoundTripsAndGuardsItsFooter)
+{
+    TraceBuffer empty;
+    std::string img = serializeCompressed(empty);
+    // Header + footer and nothing else.
+    EXPECT_EQ(img.size(), 16u + 4u);
+
+    TraceBuffer buf;
+    EXPECT_TRUE(readWith(Reader::Compressed, img, buf).ok());
+    EXPECT_TRUE(buf.empty());
+
+    // Even with zero records the footer is owed: cutting it is
+    // truncation, corrupting it is a checksum mismatch.
+    TraceBuffer scratch;
+    Status s = readWith(Reader::Compressed, img.substr(0, 17), scratch);
+    EXPECT_EQ(s.code(), StatusCode::Truncated);
+    std::string bad = img;
+    bad[18] ^= 0x20;
+    s = readWith(Reader::Compressed, bad, scratch);
+    EXPECT_EQ(s.code(), StatusCode::ChecksumMismatch);
+    EXPECT_TRUE(scratch.empty());
 }
 
 // ---------------------------------------------------------------------

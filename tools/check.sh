@@ -1,70 +1,195 @@
 #!/bin/sh
-# One-shot verification: configure, build, run the full test suite,
-# then smoke-run every bench driver and example at reduced trace
-# scale, then re-run the robustness suite and a longer fuzz pass
-# under ASan+UBSan. This is the CI entry point.
+# Tiered verification driver. Every tier is self-contained (it
+# configures and builds what it needs), so CI can fan the tiers out
+# as independent jobs while `sh tools/check.sh` with no arguments
+# still runs everything, exactly as before the tiers existed.
+#
+# Usage:
+#   tools/check.sh                  # full: every tier below, in order
+#   tools/check.sh --tier=fast      # configure + build + ctest
+#   tools/check.sh --tier=asan      # robustness suites under ASan+UBSan
+#   tools/check.sh --tier=tsan      # parallel suites under TSan
+#   tools/check.sh --tier=smoke     # bench/example smoke runs, the
+#                                   # observability and result-store
+#                                   # round trips, and the benchmark
+#                                   # regression gate (bench_compare.py)
+#
+# Ninja is used when available and CMake's default generator
+# otherwise; ccache is picked up automatically when installed (CI
+# caches its directory across runs).
 set -e
 cd "$(dirname "$0")/.."
 
-cmake -B build -G Ninja
-cmake --build build
-ctest --test-dir build --output-on-failure
-
-echo "== smoke-running bench drivers at TLC_TRACE_SCALE=0.05 =="
-for b in build/bench/*; do
-    echo "-- $(basename "$b")"
-    TLC_TRACE_SCALE=0.05 "$b" > /dev/null
+tier=full
+for arg in "$@"; do
+    case "$arg" in
+      --tier=*) tier="${arg#--tier=}" ;;
+      *)
+        echo "check.sh: unknown argument '$arg'" >&2
+        echo "usage: tools/check.sh [--tier=fast|asan|tsan|smoke|full]" >&2
+        exit 2
+        ;;
+    esac
 done
+case "$tier" in
+  fast|asan|tsan|smoke|full) ;;
+  *)
+    echo "check.sh: unknown tier '$tier'" >&2
+    echo "usage: tools/check.sh [--tier=fast|asan|tsan|smoke|full]" >&2
+    exit 2
+    ;;
+esac
 
-# Observability end to end: a tiny sweep with progress reporting, a
-# chrome trace, and a run manifest, each validated structurally.
-echo "== smoke-running observability surface =="
-obs_dir=$(mktemp -d)
-build/examples/design_explorer --refs=20000 --budget=500000 \
-    --threads=2 --progress --trace-out="$obs_dir/trace.json" \
-    --manifest="$obs_dir/manifest.json" \
-    > /dev/null 2> "$obs_dir/stderr.txt"
-grep -q "^progress: " "$obs_dir/stderr.txt" || {
-    echo "no progress lines on stderr" >&2
-    exit 1
+# The hard Ninja requirement is gone: fall back to CMake's default
+# generator (usually Unix Makefiles) when ninja is not on PATH.
+GEN=
+if command -v ninja >/dev/null 2>&1; then
+    GEN="-G Ninja"
+fi
+LAUNCHER=
+if command -v ccache >/dev/null 2>&1; then
+    LAUNCHER="-DCMAKE_CXX_COMPILER_LAUNCHER=ccache"
+fi
+
+# configure <build-dir> [extra cmake flags...]
+configure() {
+    dir="$1"
+    shift
+    # $GEN/$LAUNCHER intentionally unquoted: empty means no argument.
+    cmake -B "$dir" $GEN $LAUNCHER "$@"
 }
-python3 tools/validate_trace.py --trace "$obs_dir/trace.json"
-python3 tools/validate_trace.py --manifest "$obs_dir/manifest.json"
-rm -rf "$obs_dir"
 
-# The fault-injection tests only prove "no memory error on corrupt
-# input" when the memory errors would actually be reported, so build
-# them again with the sanitizers on and run a longer fuzz pass.
-echo "== rebuilding fault-injection suite with ASan+UBSan =="
-cmake -B build-asan -G Ninja -DTLC_SANITIZE=ON
-cmake --build build-asan --target test_robustness trace_fuzz
+build_main() {
+    configure build
+    cmake --build build
+}
 
-echo "== running sanitized robustness tests =="
-build-asan/tests/test_robustness
-build-asan/tools/trace_fuzz --rounds=100 --refs=2000
+run_fast() {
+    echo "== tier fast: configure + build + ctest =="
+    build_main
+    ctest --test-dir build --output-on-failure
+}
 
-# The batched engine's speedup claim is only worth checking in if
-# the equivalence self-check passes (the bench fatals on any counter
-# mismatch) and the JSON it emits is well-formed.
-echo "== smoke-running batched sweep timing =="
-batch_json=$(mktemp)
-TLC_TRACE_SCALE=0.05 build/bench/bench_batch_sweep_timing \
-    > "$batch_json"
-python3 -c "import json, sys; json.load(open(sys.argv[1]))" \
-    "$batch_json"
-rm -f "$batch_json"
+run_asan() {
+    # The fault-injection and store-corruption tests only prove "no
+    # memory error on corrupt input" when the memory errors would
+    # actually be reported, so build those suites again with the
+    # sanitizers on and run a longer fuzz pass.
+    echo "== tier asan: robustness suites under ASan+UBSan =="
+    configure build-asan -DTLC_SANITIZE=ON
+    cmake --build build-asan --target test_robustness \
+        test_result_store trace_fuzz
+    build-asan/tests/test_robustness
+    build-asan/tests/test_result_store
+    build-asan/tools/trace_fuzz --rounds=100 --refs=2000
+}
 
-# The parallel differential only proves "parallel == serial" when
-# data races would actually be reported, so build the parallel suite
-# (thread pool, differential, golden figures) and the batched-engine
-# differential again under ThreadSanitizer and run them with a
-# multi-thread worker team.
-echo "== rebuilding parallel suite with ThreadSanitizer =="
-cmake -B build-tsan -G Ninja -DTLC_TSAN=ON
-cmake --build build-tsan --target test_parallel test_batch
+run_tsan() {
+    # The parallel differential only proves "parallel == serial" when
+    # data races would actually be reported, so build the parallel
+    # suite (thread pool, differential, golden figures) and the
+    # batched-engine differential under ThreadSanitizer and run them
+    # with a multi-thread worker team.
+    echo "== tier tsan: parallel suites under TSan =="
+    configure build-tsan -DTLC_TSAN=ON
+    cmake --build build-tsan --target test_parallel test_batch
+    TLC_THREADS=4 build-tsan/tests/test_parallel
+    TLC_THREADS=4 build-tsan/tests/test_batch
+}
 
-echo "== running parallel + differential tests under TSan =="
-TLC_THREADS=4 build-tsan/tests/test_parallel
-TLC_THREADS=4 build-tsan/tests/test_batch
+run_smoke() {
+    echo "== tier smoke: build =="
+    build_main
 
-echo "== all checks passed =="
+    echo "== smoke-running bench drivers at TLC_TRACE_SCALE=0.05 =="
+    for b in build/bench/*; do
+        echo "-- $(basename "$b")"
+        TLC_TRACE_SCALE=0.05 "$b" > /dev/null
+    done
+
+    # Observability end to end: a tiny sweep with progress reporting,
+    # a chrome trace, and a run manifest, each validated structurally.
+    echo "== smoke-running observability surface =="
+    obs_dir=$(mktemp -d)
+    build/examples/design_explorer --refs=20000 --budget=500000 \
+        --threads=2 --progress --trace-out="$obs_dir/trace.json" \
+        --manifest="$obs_dir/manifest.json" \
+        > /dev/null 2> "$obs_dir/stderr.txt"
+    grep -q "^progress: " "$obs_dir/stderr.txt" || {
+        echo "no progress lines on stderr" >&2
+        exit 1
+    }
+    python3 tools/validate_trace.py --trace "$obs_dir/trace.json"
+    python3 tools/validate_trace.py --manifest "$obs_dir/manifest.json"
+    rm -rf "$obs_dir"
+
+    # The persistent result store end to end: a cold sweep fills the
+    # store, the warm --resume rerun must print byte-identical output,
+    # and --resume against a store that does not exist must refuse.
+    echo "== smoke-running result store / resume round trip =="
+    store_dir=$(mktemp -d)
+    build/examples/design_explorer --refs=20000 \
+        --result-store="$store_dir/sweep.tlrs" > "$store_dir/cold.txt"
+    build/examples/design_explorer --refs=20000 \
+        --result-store="$store_dir/sweep.tlrs" --resume \
+        > "$store_dir/warm.txt"
+    cmp "$store_dir/cold.txt" "$store_dir/warm.txt" || {
+        echo "warm --resume sweep output differs from cold" >&2
+        exit 1
+    }
+    if build/examples/design_explorer --refs=20000 \
+        --result-store="$store_dir/nonexistent.tlrs" --resume \
+        > /dev/null 2>&1; then
+        echo "--resume accepted a store file that does not exist" >&2
+        exit 1
+    fi
+    rm -rf "$store_dir"
+
+    # The batched engine's speedup claim is only worth checking in if
+    # the equivalence self-check passes (the bench fatals on any
+    # counter mismatch) and the JSON it emits is well-formed.
+    echo "== smoke-running batched sweep timing =="
+    batch_json=$(mktemp)
+    TLC_TRACE_SCALE=0.05 build/bench/bench_batch_sweep_timing \
+        > "$batch_json"
+    python3 -c "import json, sys; json.load(open(sys.argv[1]))" \
+        "$batch_json"
+    rm -f "$batch_json"
+
+    # The benchmark regression gate: regenerate the three checked-in
+    # BENCH_*.json documents at their reference settings and compare
+    # against the committed baselines. Counts must match exactly;
+    # ratios (speedup, hit rates) may not regress past the tolerance;
+    # absolute seconds are machine-dependent and ignored. One worker
+    # keeps the cache-memo counters deterministic.
+    echo "== benchmark regression gate (bench_compare.py) =="
+    gate_dir=$(mktemp -d)
+    TLC_THREADS=1 build/bench/bench_sweep_timing \
+        > "$gate_dir/sweep.json"
+    TLC_THREADS=1 build/bench/bench_batch_sweep_timing \
+        > "$gate_dir/batch.json"
+    TLC_THREADS=1 build/bench/bench_observability_snapshot \
+        > "$gate_dir/observability.json"
+    python3 tools/bench_compare.py BENCH_sweep.json \
+        "$gate_dir/sweep.json"
+    python3 tools/bench_compare.py BENCH_batch.json \
+        "$gate_dir/batch.json"
+    python3 tools/bench_compare.py BENCH_observability.json \
+        "$gate_dir/observability.json"
+    rm -rf "$gate_dir"
+}
+
+case "$tier" in
+  fast)  run_fast ;;
+  asan)  run_asan ;;
+  tsan)  run_tsan ;;
+  smoke) run_smoke ;;
+  full)
+    run_fast
+    run_smoke
+    run_asan
+    run_tsan
+    ;;
+esac
+
+echo "== tier '$tier' passed =="
