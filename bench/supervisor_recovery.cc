@@ -1,0 +1,188 @@
+/**
+ * @file
+ * Recovery drill of the fault-isolated sweep supervisor: sweeps the
+ * fixed 64-point grid once in process (the reference) and once under
+ * the process supervisor with a permanent crash injected at a known
+ * design point. Fatals unless the supervised run quarantines EXACTLY
+ * the poisoned point and reproduces every healthy point bit-exactly
+ * — so the recovery numbers below can never drift from the
+ * graceful-degradation claim they advertise. A third, fault-free
+ * supervised run must match the reference completely.
+ *
+ * Emits JSON — the source of the checked-in BENCH_recovery.json.
+ * The counts (quarantined points, retries, bisections, worker
+ * launches) are deterministic and gate CI as exact-match fields in
+ * tools/bench_compare.py; wall-clock fields are *_seconds and
+ * ignored.
+ *
+ * Usage: bench_supervisor_recovery [--refs=N]
+ */
+
+#include <chrono>
+#include <thread>
+#include <vector>
+
+#include "bench_common.hh"
+#include "core/shard_runner.hh"
+#include "util/units.hh"
+
+using namespace tlc;
+
+namespace {
+
+/** The fixed grid: 1K..128K L1s, alone and under 2x..128x L2s. */
+std::vector<SystemConfig>
+makeGrid()
+{
+    std::vector<SystemConfig> configs;
+    for (std::uint64_t l1 = 1_KiB; l1 <= 128_KiB; l1 *= 2) {
+        SystemConfig c;
+        c.l1Bytes = l1;
+        c.l2Bytes = 0;
+        configs.push_back(c);
+        for (std::uint64_t ratio = 2; ratio <= 128; ratio *= 2) {
+            c.l2Bytes = l1 * ratio;
+            configs.push_back(c);
+        }
+    }
+    return configs;
+}
+
+double
+seconds(std::chrono::steady_clock::time_point t0,
+        std::chrono::steady_clock::time_point t1)
+{
+    return std::chrono::duration<double>(t1 - t0).count();
+}
+
+void
+requireIdentical(const DesignPoint &a, const DesignPoint &b)
+{
+    if (a.config.label() != b.config.label() || a.areaRbe != b.areaRbe ||
+        a.miss.instrRefs != b.miss.instrRefs ||
+        a.miss.dataRefs != b.miss.dataRefs ||
+        a.miss.l1iMisses != b.miss.l1iMisses ||
+        a.miss.l1dMisses != b.miss.l1dMisses ||
+        a.miss.l2Hits != b.miss.l2Hits ||
+        a.miss.l2Misses != b.miss.l2Misses ||
+        a.miss.swaps != b.miss.swaps ||
+        a.miss.offchipWritebacks != b.miss.offchipWritebacks ||
+        a.tpi.tpi != b.tpi.tpi) {
+        fatal("supervised point %s diverged from the in-process run",
+              a.config.label().c_str());
+    }
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    ArgParser args(argc, argv);
+    applyStandardFlags(args);
+    std::uint64_t refs = static_cast<std::uint64_t>(
+        args.getInt("refs",
+                    static_cast<std::int64_t>(
+                        Workloads::defaultTraceLength() / 4)));
+
+    const std::vector<SystemConfig> configs = makeGrid();
+    const Benchmark b = Benchmark::Gcc1;
+    const std::uint32_t poisoned = 12;
+    setParallelWorkerCount(1);
+
+    // Reference: the in-process engine.
+    EvaluatorOptions evopts;
+    evopts.traceRefs = refs;
+    MissRateEvaluator ev(evopts);
+    Explorer ex(ev);
+    FailureReport cleanReport;
+    auto t0 = std::chrono::steady_clock::now();
+    std::vector<DesignPoint> reference =
+        ex.evaluateAll(b, configs, &cleanReport);
+    auto t1 = std::chrono::steady_clock::now();
+    if (!cleanReport.empty() || reference.size() != configs.size())
+        fatal("reference sweep failed");
+
+    SupervisorOptions opts;
+    opts.pointsPerShard = 16;
+    opts.retry.maxRetries = 1;
+    opts.retry.backoffBaseSeconds = 0.001;
+    opts.retry.backoffMaxSeconds = 0.01;
+    opts.evaluator = evopts;
+
+    // Supervised, fault-free: must match the reference completely.
+    {
+        MissRateEvaluator sev(evopts);
+        Explorer sex(sev);
+        FailureReport report;
+        SupervisedSweep clean =
+            supervisedEvaluateAll(sex, b, configs, &report, opts);
+        if (!report.empty() || clean.points.size() != reference.size())
+            fatal("fault-free supervised sweep diverged");
+        for (std::size_t i = 0; i < reference.size(); ++i)
+            requireIdentical(clean.points[i], reference[i]);
+    }
+
+    // Supervised with a permanent crash at the poisoned point: the
+    // sweep completes, quarantines exactly that point, and every
+    // other point is bit-exact.
+    opts.faults.faults.push_back([] {
+        ShardFault f;
+        f.kind = ShardFault::Kind::Crash;
+        f.atIndex = poisoned;
+        f.times = -1;
+        return f;
+    }());
+    MissRateEvaluator sev(evopts);
+    Explorer sex(sev);
+    FailureReport report;
+    auto t2 = std::chrono::steady_clock::now();
+    SupervisedSweep recovered =
+        supervisedEvaluateAll(sex, b, configs, &report, opts);
+    auto t3 = std::chrono::steady_clock::now();
+    setParallelWorkerCount(0);
+
+    if (recovered.points.size() != reference.size() - 1)
+        fatal("expected exactly one quarantined point, lost %zu",
+              reference.size() - recovered.points.size());
+    std::size_t ri = 0;
+    for (std::size_t i = 0; i < reference.size(); ++i) {
+        if (i == poisoned)
+            continue;
+        requireIdentical(recovered.points[ri++], reference[i]);
+    }
+    if (report.size() != 1 ||
+        report.failures()[0].subject != configs[poisoned].label() ||
+        report.failures()[0].status.code() != StatusCode::WorkerCrash)
+        fatal("quarantine report does not name the poisoned point");
+
+    const SupervisionStats &st = recovered.stats;
+    std::printf(
+        "{\n"
+        "  \"benchmark\": \"supervised sweep crash recovery\",\n"
+        "  \"workload\": \"gcc1\",\n"
+        "  \"design_points\": %zu,\n"
+        "  \"trace_refs\": %llu,\n"
+        "  \"hardware_concurrency\": %u,\n"
+        "  \"points_priced\": %zu,\n"
+        "  \"quarantined_points\": %llu,\n"
+        "  \"worker_launches\": %llu,\n"
+        "  \"worker_crashes\": %llu,\n"
+        "  \"shards_resolved\": %llu,\n"
+        "  \"shard_retries\": %llu,\n"
+        "  \"shard_bisections\": %llu,\n"
+        "  \"healthy_points_identical\": true,\n"
+        "  \"in_process_seconds\": %.3f,\n"
+        "  \"supervised_recovery_seconds\": %.3f\n"
+        "}\n",
+        configs.size(), static_cast<unsigned long long>(refs),
+        std::thread::hardware_concurrency(), recovered.points.size(),
+        static_cast<unsigned long long>(st.quarantined),
+        static_cast<unsigned long long>(st.attempts),
+        static_cast<unsigned long long>(st.crashes),
+        static_cast<unsigned long long>(st.shards),
+        static_cast<unsigned long long>(st.retries),
+        static_cast<unsigned long long>(st.bisections),
+        seconds(t0, t1), seconds(t2, t3));
+    return 0;
+}

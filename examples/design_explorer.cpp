@@ -11,6 +11,9 @@
  *                   [--quiet|--verbose] [--profile] [--progress]
  *                   [--trace-out=FILE] [--manifest=FILE]
  *                   [--result-store=FILE] [--resume]
+ *                   [--isolate=process] [--shard-points=N]
+ *                   [--shard-timeout=SECS] [--max-retries=N]
+ *                   [--store-fsync]
  *
  * Persistence (docs/parallelism.md):
  *   --result-store=FILE  persistent sweep cache: points already in
@@ -19,6 +22,16 @@
  *                        it stopped
  *   --resume             require FILE to exist (guards against a
  *                        typo silently starting a cold run)
+ *
+ * Fault isolation (docs/robustness.md):
+ *   --isolate=process  simulate each shard of the sweep in a forked
+ *                      worker subprocess: a crashing or hanging
+ *                      design point is retried, bisected and
+ *                      quarantined instead of killing the run. The
+ *                      remaining flags (--shard-points,
+ *                      --shard-timeout, --max-retries, --store-fsync,
+ *                      --inject-*) tune and drill the supervisor;
+ *                      see supervisorOptionsFromArgs().
  *
  * Observability (docs/observability.md):
  *   --progress        live per-sweep progress lines on stderr
@@ -36,6 +49,7 @@
 #include <memory>
 
 #include "core/explorer.hh"
+#include "core/shard_runner.hh"
 #include "core/sweep_cache.hh"
 #include "util/args.hh"
 #include "util/logging.hh"
@@ -69,6 +83,9 @@ main(int argc, char **argv)
     if (!traceOut.empty())
         TraceEventRecorder::setActive(&recorder);
 
+    SupervisorOptions sopts;
+    const bool isolate = supervisorOptionsFromArgs(args, &sopts);
+
     std::string storePath = args.getString("result-store");
     bool resume = args.getBool("resume", false);
     if (resume && storePath.empty())
@@ -79,10 +96,14 @@ main(int argc, char **argv)
             fatal("--resume: result store '%s' does not exist "
                   "(nothing to resume)", storePath.c_str());
         }
-        store = std::make_shared<SweepCache>();
-        Status s = store->open(storePath);
-        if (!s.ok())
-            fatal("result store: %s", s.message().c_str());
+        // In isolate mode the worker subprocesses own the store —
+        // the parent must not hold a second write handle on it.
+        if (!isolate) {
+            store = std::make_shared<SweepCache>();
+            Status s = store->open(storePath);
+            if (!s.ok())
+                fatal("result store: %s", s.message().c_str());
+        }
     }
 
     EvaluatorOptions evopts;
@@ -93,6 +114,15 @@ main(int argc, char **argv)
     if (progress)
         ex.setProgressCallback(stderrProgressPrinter(
             Workloads::info(bench).name));
+    if (isolate) {
+        sopts.evaluator = evopts;
+        sopts.evaluator.resultStore.reset();
+        sopts.resultStorePath = storePath;
+        if (progress) {
+            sopts.progress =
+                stderrProgressPrinter(Workloads::info(bench).name);
+        }
+    }
 
     std::printf("workload: %s    area budget: %.0f rbe    off-chip: "
                 "%.0f ns\n\n",
@@ -127,7 +157,14 @@ main(int argc, char **argv)
         a.offchipNs = offchip;
         a.l2Assoc = sc.assoc;
         a.policy = sc.policy;
-        auto points = ex.sweep(bench, a, true, sc.two_level, &report);
+        std::vector<DesignPoint> points;
+        if (isolate) {
+            points = supervisedSweepSpace(ex, bench, a, true,
+                                          sc.two_level, &report, sopts)
+                         .points;
+        } else {
+            points = ex.sweep(bench, a, true, sc.two_level, &report);
+        }
         pointsPriced += points.size();
         Envelope env = Explorer::envelopeOf(points);
         const EnvelopePoint *p = env.bestPointWithin(budget);

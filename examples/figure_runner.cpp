@@ -10,11 +10,19 @@
  *                 [--threads=N] [--quiet|--verbose] [--profile]
  *                 [--progress] [--trace-out=FILE] [--manifest=FILE]
  *                 [--result-store=FILE] [--resume]
+ *                 [--isolate=process] [--shard-points=N]
+ *                 [--shard-timeout=SECS] [--max-retries=N]
+ *                 [--store-fsync]
  *
  * Persistence (docs/parallelism.md): --result-store=FILE keeps every
  * simulated point in FILE and serves repeated points from it, so a
  * killed run --resume's where it stopped and regenerating a figure
  * with the same refs is nearly free.
+ *
+ * Fault isolation (docs/robustness.md): --isolate=process simulates
+ * each shard of the sweep in a forked worker subprocess, so a
+ * crashing or hanging design point is retried, bisected and
+ * quarantined instead of killing the figure run.
  *
  * Observability (docs/observability.md): --progress prints live
  * sweep progress to stderr, --trace-out writes a chrome://tracing
@@ -31,6 +39,7 @@
 
 #include "core/explorer.hh"
 #include "core/figures.hh"
+#include "core/shard_runner.hh"
 #include "core/sweep_cache.hh"
 #include "util/args.hh"
 #include "util/logging.hh"
@@ -77,15 +86,32 @@ listCatalog()
 int
 runScatter(const FigureSpec &f, std::uint64_t refs, bool csv,
            bool progress, std::shared_ptr<SweepCache> store,
-           std::size_t *points_priced)
+           const SupervisorOptions *sopts, std::size_t *points_priced)
 {
     EvaluatorOptions evopts;
     evopts.traceRefs = refs;
     evopts.resultStore = std::move(store);
     MissRateEvaluator ev(evopts);
     Explorer ex(ev);
+    // The supervisor is inherently fail-soft, so the isolated path
+    // collects skips in a report and summarises them at the end; the
+    // in-process path keeps its classic fatal-on-failure behaviour.
+    FailureReport report;
     std::printf("%s: %s\n", f.id.c_str(), f.title.c_str());
     std::printf("assumptions: %s\n\n", f.assume.toString().c_str());
+
+    auto sweepSpace = [&](Benchmark b, bool two_level) {
+        if (!sopts)
+            return ex.sweep(b, f.assume, true, two_level);
+        SupervisorOptions so = *sopts;
+        if (progress) {
+            so.progress = stderrProgressPrinter(
+                f.id + " " + Workloads::info(b).name);
+        }
+        return supervisedSweepSpace(ex, b, f.assume, true, two_level,
+                                    &report, so)
+            .points;
+    };
 
     for (Benchmark b : f.workloads) {
         const char *name = Workloads::info(b).name;
@@ -95,7 +121,7 @@ runScatter(const FigureSpec &f, std::uint64_t refs, bool csv,
         // Figures 3-4 are single-level only; everything else sweeps
         // the full space.
         bool single_only = f.benchTarget == "bench_fig03_04_single_level";
-        auto points = ex.sweep(b, f.assume, true, !single_only);
+        auto points = sweepSpace(b, !single_only);
         *points_priced += points.size();
         Table t({"workload", "config", "area_rbe", "tpi_ns"});
         for (const auto &p : points) {
@@ -113,7 +139,7 @@ runScatter(const FigureSpec &f, std::uint64_t refs, bool csv,
         Envelope best = Explorer::envelopeOf(points);
         if (f.compareSingleLevel && !single_only && !csv) {
             Envelope single =
-                Explorer::envelopeOf(ex.sweep(b, f.assume, true, false));
+                Explorer::envelopeOf(sweepSpace(b, false));
             ScatterPlot plot(72, 18, true, true);
             plot.setYLabel(std::string(name) + "  [TPI ns, log]");
             plot.setXLabel("area (rbe, log)");
@@ -127,6 +153,8 @@ runScatter(const FigureSpec &f, std::uint64_t refs, bool csv,
         }
         std::printf("\n");
     }
+    if (!report.empty())
+        std::fputs(report.summary().c_str(), stderr);
     return 0;
 }
 
@@ -146,6 +174,8 @@ main(int argc, char **argv)
         static_cast<std::uint64_t>(args.getInt("refs", 1000000));
     bool csv = args.getBool("csv", false);
     bool progress = args.getBool("progress", false);
+    SupervisorOptions sopts;
+    const bool isolate = supervisorOptionsFromArgs(args, &sopts);
     std::string storePath = args.getString("result-store");
     bool resume = args.getBool("resume", false);
     if (resume && storePath.empty())
@@ -156,10 +186,20 @@ main(int argc, char **argv)
             fatal("--resume: result store '%s' does not exist "
                   "(nothing to resume)", storePath.c_str());
         }
-        store = std::make_shared<SweepCache>();
-        Status s = store->open(storePath);
-        if (!s.ok())
-            fatal("result store: %s", s.message().c_str());
+        // In isolate mode the worker subprocesses own the store —
+        // the parent must not hold a second write handle on it.
+        if (!isolate) {
+            store = std::make_shared<SweepCache>();
+            Status s = store->open(storePath);
+            if (!s.ok())
+                fatal("result store: %s", s.message().c_str());
+        }
+    }
+    if (isolate) {
+        EvaluatorOptions evopts;
+        evopts.traceRefs = refs;
+        sopts.evaluator = evopts;
+        sopts.resultStorePath = storePath;
     }
     std::string traceOut = args.getString("trace-out");
     std::string manifestPath = args.getString("manifest");
@@ -174,7 +214,8 @@ main(int argc, char **argv)
     int rc = 0;
     switch (f.kind) {
       case ExhibitKind::TpiScatter:
-        rc = runScatter(f, refs, csv, progress, store, &pointsPriced);
+        rc = runScatter(f, refs, csv, progress, store,
+                        isolate ? &sopts : nullptr, &pointsPriced);
         break;
       case ExhibitKind::Table:
       case ExhibitKind::TimingCurve:

@@ -271,11 +271,18 @@ class Explorer
     const AccessTimeModel &timingModel() const { return timing_; }
     const AreaModel &areaModel() const { return area_; }
 
-  private:
-    /** Assemble a DesignPoint from its (already computed) stats. */
+    /**
+     * Assemble a DesignPoint from already-computed miss statistics:
+     * timing, area and TPI are (memoized) pure functions of the
+     * configuration, so pricing the same stats twice is
+     * byte-identical. The process-isolated sweep supervisor
+     * (core/shard_runner.hh) uses this to price statistics its
+     * worker subprocesses simulated out of process.
+     */
     DesignPoint pricePoint(const SystemConfig &config,
                            const HierarchyStats &miss);
 
+  private:
     MissRateEvaluator &evaluator_;
     AccessTimeModel timing_;
     AreaModel area_;

@@ -1,0 +1,637 @@
+/**
+ * @file
+ * Shard-runner implementation: the worker-side simulate-and-report
+ * loop, the parent-side retry/bisect/quarantine state machine, and
+ * the collection pass that keeps supervised output byte-identical to
+ * Explorer::evaluateAll.
+ */
+
+#include "shard_runner.hh"
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <memory>
+#include <optional>
+#include <span>
+#include <thread>
+
+#include <signal.h>
+#include <unistd.h>
+
+#include "trace/workload.hh"
+#include "util/logging.hh"
+#include "util/metrics.hh"
+#include "util/profiler.hh"
+
+namespace tlc {
+
+namespace {
+
+/** Shard-level supervision metrics (per-worker ones live in
+ *  util/supervisor.cc as supervisor.worker.*). */
+struct ShardMetrics
+{
+    MetricCounter &sweeps;
+    MetricCounter &shards;
+    MetricCounter &retries;
+    MetricCounter &bisections;
+    MetricCounter &quarantined;
+    MetricCounter &backoffWaits;
+
+    static ShardMetrics &get()
+    {
+        auto &r = MetricsRegistry::global();
+        static ShardMetrics m{
+            r.counter("supervisor.sweeps"),
+            r.counter("supervisor.shards"),
+            r.counter("supervisor.retries"),
+            r.counter("supervisor.bisections"),
+            r.counter("supervisor.quarantined"),
+            r.counter("supervisor.backoff_waits"),
+        };
+        return m;
+    }
+};
+
+// -----------------------------------------------------------------
+// Wire format (payloads of util/supervisor.hh frames)
+//
+// Result frame: u8 tag=1, u32le global config index, u8 ok;
+//   ok   -> the eight HierarchyStats fields, u64le, declaration order
+//   fail -> u32le StatusCode, u32le message length, message bytes
+// Done frame:   u8 tag=2, u32le result-frame count
+// -----------------------------------------------------------------
+
+constexpr std::uint8_t kTagResult = 1;
+constexpr std::uint8_t kTagDone = 2;
+
+void
+putU32le(std::string &s, std::uint32_t v)
+{
+    for (int i = 0; i < 4; ++i)
+        s.push_back(static_cast<char>((v >> (8 * i)) & 0xff));
+}
+
+void
+putU64le(std::string &s, std::uint64_t v)
+{
+    for (int i = 0; i < 8; ++i)
+        s.push_back(static_cast<char>((v >> (8 * i)) & 0xff));
+}
+
+std::uint32_t
+getU32le(const unsigned char *p)
+{
+    std::uint32_t v = 0;
+    for (int i = 0; i < 4; ++i)
+        v |= static_cast<std::uint32_t>(p[i]) << (8 * i);
+    return v;
+}
+
+std::uint64_t
+getU64le(const unsigned char *p)
+{
+    std::uint64_t v = 0;
+    for (int i = 0; i < 8; ++i)
+        v |= static_cast<std::uint64_t>(p[i]) << (8 * i);
+    return v;
+}
+
+std::string
+encodeResult(std::uint32_t index, const Expected<HierarchyStats> &r)
+{
+    std::string out;
+    out.push_back(static_cast<char>(kTagResult));
+    putU32le(out, index);
+    out.push_back(static_cast<char>(r.ok() ? 1 : 0));
+    if (r.ok()) {
+        const HierarchyStats &s = r.value();
+        putU64le(out, s.instrRefs);
+        putU64le(out, s.dataRefs);
+        putU64le(out, s.l1iMisses);
+        putU64le(out, s.l1dMisses);
+        putU64le(out, s.l2Hits);
+        putU64le(out, s.l2Misses);
+        putU64le(out, s.swaps);
+        putU64le(out, s.offchipWritebacks);
+    } else {
+        putU32le(out, static_cast<std::uint32_t>(r.status().code()));
+        const std::string &msg = r.status().message();
+        putU32le(out, static_cast<std::uint32_t>(msg.size()));
+        out.append(msg);
+    }
+    return out;
+}
+
+std::string
+encodeDone(std::uint32_t count)
+{
+    std::string out;
+    out.push_back(static_cast<char>(kTagDone));
+    putU32le(out, count);
+    return out;
+}
+
+/** A decoded result frame. */
+struct WireResult
+{
+    std::uint32_t index = 0;
+    std::optional<Expected<HierarchyStats>> result;
+};
+
+/** A StatusCode from the wire, clamped to the known range. */
+StatusCode
+clampStatusCode(std::uint32_t raw)
+{
+    if (raw == 0 ||
+        raw > static_cast<std::uint32_t>(StatusCode::WorkerTimeout))
+        return StatusCode::InternalError;
+    return static_cast<StatusCode>(raw);
+}
+
+/** Decode one result-frame payload; false on malformed layout. */
+bool
+decodeResult(std::string_view payload, WireResult &out)
+{
+    const auto *p =
+        reinterpret_cast<const unsigned char *>(payload.data());
+    if (payload.size() < 1 + 4 + 1 || p[0] != kTagResult)
+        return false;
+    out.index = getU32le(p + 1);
+    const bool ok = p[5] != 0;
+    if (ok) {
+        if (payload.size() != 1 + 4 + 1 + 8 * 8)
+            return false;
+        HierarchyStats s;
+        const unsigned char *q = p + 6;
+        s.instrRefs = getU64le(q + 0 * 8);
+        s.dataRefs = getU64le(q + 1 * 8);
+        s.l1iMisses = getU64le(q + 2 * 8);
+        s.l1dMisses = getU64le(q + 3 * 8);
+        s.l2Hits = getU64le(q + 4 * 8);
+        s.l2Misses = getU64le(q + 5 * 8);
+        s.swaps = getU64le(q + 6 * 8);
+        s.offchipWritebacks = getU64le(q + 7 * 8);
+        out.result.emplace(s);
+        return true;
+    }
+    if (payload.size() < 1 + 4 + 1 + 4 + 4)
+        return false;
+    const StatusCode code = clampStatusCode(getU32le(p + 6));
+    const std::uint32_t msgLen = getU32le(p + 10);
+    if (payload.size() != 1 + 4 + 1 + 4 + 4 +
+                              static_cast<std::size_t>(msgLen))
+        return false;
+    out.result.emplace(Status(
+        code, std::string(payload.substr(1 + 4 + 1 + 4 + 4, msgLen))));
+    return true;
+}
+
+// -----------------------------------------------------------------
+// Worker side (runs in the forked child)
+// -----------------------------------------------------------------
+
+/** Hang in a SIGTERM-proof way, so the SIGKILL escalation is what
+ *  actually ends the worker (the injection tests depend on it). */
+[[noreturn]] void
+hangForever()
+{
+    signal(SIGTERM, SIG_IGN);
+    for (;;)
+        pause();
+}
+
+/**
+ * The forked worker: misbehave if a fault says so, otherwise rebuild
+ * the evaluator in this process, simulate the shard's
+ * configurations, persist to the shard's own store handle, and
+ * report each result as one frame followed by a Done frame.
+ */
+void
+runShardWorker(int write_fd, Benchmark b,
+               const std::vector<SystemConfig> &configs,
+               const std::vector<std::uint32_t> &shard,
+               const SupervisorOptions &opts, const ShardFault &fault)
+{
+    if (fault.kind == ShardFault::Kind::Crash)
+        raise(SIGSEGV);
+    if (fault.kind == ShardFault::Kind::Hang)
+        hangForever();
+    if (fault.kind == ShardFault::Kind::ExitEarly)
+        _exit(3);
+
+    // This worker's own evaluator and store handle: the parent's
+    // evaluator memo is inherited copy-on-write by fork but its
+    // store fd must not be shared (two writers on one offset would
+    // interleave), so the child opens the path itself. An unopenable
+    // store degrades this shard to uncached, exactly like the
+    // in-process engine.
+    EvaluatorOptions evopts = opts.evaluator;
+    evopts.resultStore.reset();
+    std::shared_ptr<SweepCache> cache;
+    if (!opts.resultStorePath.empty()) {
+        cache = std::make_shared<SweepCache>();
+        ResultStoreOptions ro;
+        ro.fsyncOnCommit = opts.storeFsync;
+        Status s = cache->open(opts.resultStorePath, ro);
+        if (s.ok())
+            evopts.resultStore = cache;
+        else
+            cache.reset();
+    }
+    MissRateEvaluator ev(evopts);
+
+    std::vector<SystemConfig> shardConfigs;
+    shardConfigs.reserve(shard.size());
+    for (std::uint32_t idx : shard)
+        shardConfigs.push_back(configs[idx]);
+
+    std::vector<Expected<HierarchyStats>> miss =
+        ev.tryMissStatsBatch(b, shardConfigs);
+
+    // Commit to disk before claiming success on the pipe: a result
+    // the parent saw must be one a resumed run can find in the
+    // store.
+    if (cache)
+        cache->close();
+
+    std::uint32_t sent = 0;
+    for (std::size_t i = 0; i < shard.size(); ++i) {
+        if (fault.kind == ShardFault::Kind::PartialWrite &&
+            shard[i] >= fault.atIndex) {
+            // Tear the stream mid-frame: a header promising 64
+            // payload bytes, then 4 bytes of nothing, then death.
+            std::string torn;
+            putU32le(torn, 64);
+            putU32le(torn, 0xdeadbeefu);
+            torn.append("torn");
+            ssize_t ignored =
+                ::write(write_fd, torn.data(), torn.size());
+            (void)ignored;
+            _exit(1);
+        }
+        if (!writeFrame(write_fd, encodeResult(shard[i], miss[i])).ok())
+            _exit(4); // parent gone; nothing sensible left to do
+        ++sent;
+    }
+    if (!writeFrame(write_fd, encodeDone(sent)).ok())
+        _exit(4);
+}
+
+// -----------------------------------------------------------------
+// Parent side
+// -----------------------------------------------------------------
+
+/**
+ * The retry/bisect/quarantine state machine of one supervised sweep.
+ * Owns the per-index result slots and quarantine statuses; shards
+ * run strictly sequentially (one result-store writer at a time, and
+ * the simulation is the bottleneck, not the supervision).
+ */
+class ShardSupervisor
+{
+  public:
+    ShardSupervisor(Benchmark b,
+                    const std::vector<SystemConfig> &configs,
+                    const SupervisorOptions &opts)
+        : bench_(b), configs_(configs), opts_(opts),
+          slots_(configs.size()), quarantine_(configs.size()),
+          faultFired_(opts.faults.faults.size(), 0),
+          start_(std::chrono::steady_clock::now())
+    {
+    }
+
+    void run()
+    {
+        ShardMetrics::get().sweeps.inc();
+        const std::size_t n = configs_.size();
+        const std::size_t per =
+            std::max<std::size_t>(1, opts_.pointsPerShard);
+        for (std::size_t lo = 0; lo < n; lo += per) {
+            const std::size_t hi = std::min(lo + per, n);
+            std::vector<std::uint32_t> shard;
+            shard.reserve(hi - lo);
+            for (std::size_t i = lo; i < hi; ++i)
+                shard.push_back(static_cast<std::uint32_t>(i));
+            resolve(shard);
+        }
+    }
+
+    SupervisionStats &stats() { return stats_; }
+    std::optional<Expected<HierarchyStats>> &slot(std::size_t i)
+    {
+        return slots_[i];
+    }
+    std::optional<Status> &quarantine(std::size_t i)
+    {
+        return quarantine_[i];
+    }
+
+  private:
+    /** The armed fault of @p shard, if any (None kind otherwise). */
+    ShardFault armFault(const std::vector<std::uint32_t> &shard)
+    {
+        for (std::size_t f = 0; f < opts_.faults.faults.size(); ++f) {
+            const ShardFault &fault = opts_.faults.faults[f];
+            if (fault.kind == ShardFault::Kind::None)
+                continue;
+            if (fault.times >= 0 && faultFired_[f] >= fault.times)
+                continue;
+            if (std::find(shard.begin(), shard.end(), fault.atIndex) ==
+                shard.end())
+                continue;
+            ++faultFired_[f];
+            return fault;
+        }
+        return ShardFault{};
+    }
+
+    /**
+     * One worker launch over @p shard. Results from intact frames
+     * are kept even when the attempt as a whole fails — a crash
+     * after reporting 30 of 32 points leaves only 2 to re-run.
+     */
+    WorkerOutcome attempt(const std::vector<std::uint32_t> &shard)
+    {
+        ScopedTimer t(phase::kSupervisorShard);
+        ++stats_.attempts;
+        const ShardFault fault = armFault(shard);
+
+        bool doneSeen = false;
+        bool badFrame = false;
+        auto onFrame = [&](std::string_view payload) {
+            if (payload.empty()) {
+                badFrame = true;
+                return;
+            }
+            if (static_cast<std::uint8_t>(payload[0]) == kTagDone) {
+                doneSeen = payload.size() == 5;
+                badFrame = badFrame || payload.size() != 5;
+                return;
+            }
+            WireResult wr;
+            if (!decodeResult(payload, wr) ||
+                wr.index >= slots_.size()) {
+                badFrame = true;
+                return;
+            }
+            slots_[wr.index] = std::move(*wr.result);
+        };
+
+        WorkerOutcome outcome = superviseWorker(
+            [&](int fd) {
+                runShardWorker(fd, bench_, configs_, shard, opts_,
+                               fault);
+            },
+            opts_.watchdog, onFrame);
+
+        if (outcome.ok() && (badFrame || !doneSeen)) {
+            // The pipe closed cleanly but the conversation did not
+            // finish — treat like any other protocol violation.
+            outcome.kind = WorkerOutcome::Kind::Protocol;
+            outcome.detail = badFrame
+                                 ? "worker sent a malformed frame"
+                                 : "worker exited without a Done frame";
+        }
+        switch (outcome.kind) {
+        case WorkerOutcome::Kind::Ok:
+            break;
+        case WorkerOutcome::Kind::Crash:
+            ++stats_.crashes;
+            break;
+        case WorkerOutcome::Kind::Timeout:
+            ++stats_.timeouts;
+            break;
+        case WorkerOutcome::Kind::Exit:
+            ++stats_.exits;
+            break;
+        case WorkerOutcome::Kind::Protocol:
+        case WorkerOutcome::Kind::ForkFailed:
+            ++stats_.protocolErrors;
+            break;
+        }
+        return outcome;
+    }
+
+    std::vector<std::uint32_t>
+    unresolvedOf(const std::vector<std::uint32_t> &shard) const
+    {
+        std::vector<std::uint32_t> out;
+        for (std::uint32_t idx : shard)
+            if (!slots_[idx].has_value())
+                out.push_back(idx);
+        return out;
+    }
+
+    /** Resolve every index of @p shard: retry, bisect, quarantine. */
+    void resolve(const std::vector<std::uint32_t> &shard)
+    {
+        ++stats_.shards;
+        ShardMetrics::get().shards.inc();
+
+        std::vector<std::uint32_t> pending = shard;
+        const std::uint64_t backoffKey = shard.front();
+        const int maxAttempts =
+            1 + std::max(0, opts_.retry.maxRetries);
+        for (int a = 0; a < maxAttempts; ++a) {
+            WorkerOutcome outcome = attempt(pending);
+            pending = unresolvedOf(pending);
+            if (pending.empty()) {
+                fireProgress();
+                return;
+            }
+            if (a + 1 == maxAttempts) {
+                giveUp(pending, outcome);
+                return;
+            }
+            ++stats_.retries;
+            ShardMetrics::get().retries.inc();
+            const double wait =
+                opts_.retry.backoffSeconds(a, backoffKey);
+            ++stats_.backoffWaits;
+            ShardMetrics::get().backoffWaits.inc();
+            stats_.backoffSeconds += wait;
+            {
+                ScopedTimer t(phase::kSupervisorBackoff);
+                std::this_thread::sleep_for(
+                    std::chrono::duration<double>(wait));
+            }
+        }
+    }
+
+    /** Out of retries: split and recurse, or quarantine the point. */
+    void giveUp(const std::vector<std::uint32_t> &pending,
+                const WorkerOutcome &outcome)
+    {
+        if (pending.size() == 1) {
+            const std::uint32_t idx = pending.front();
+            ++stats_.quarantined;
+            ShardMetrics::get().quarantined.inc();
+            const StatusCode code =
+                outcome.kind == WorkerOutcome::Kind::Timeout
+                    ? StatusCode::WorkerTimeout
+                    : StatusCode::WorkerCrash;
+            quarantine_[idx] = statusf(
+                code,
+                "isolated worker %s; point quarantined after %d "
+                "attempt(s)",
+                outcome.detail.c_str(),
+                1 + std::max(0, opts_.retry.maxRetries));
+            warn("supervisor: quarantined design point %s (%s)",
+                 configs_[idx].label().c_str(),
+                 outcome.detail.c_str());
+            fireProgress();
+            return;
+        }
+        // The shard keeps killing workers and we cannot tell which
+        // point is poisoned: split it and give each half a fresh
+        // retry budget. log2(points) rounds isolate one bad point.
+        ++stats_.bisections;
+        ShardMetrics::get().bisections.inc();
+        const std::size_t mid = pending.size() / 2;
+        resolve(std::vector<std::uint32_t>(pending.begin(),
+                                           pending.begin() + mid));
+        resolve(std::vector<std::uint32_t>(pending.begin() + mid,
+                                           pending.end()));
+    }
+
+    void fireProgress()
+    {
+        if (!opts_.progress)
+            return;
+        SweepProgress p;
+        p.total = configs_.size();
+        for (std::size_t i = 0; i < slots_.size(); ++i) {
+            if (quarantine_[i].has_value()) {
+                ++p.done;
+                ++p.failed;
+            } else if (slots_[i].has_value()) {
+                ++p.done;
+                if (!slots_[i]->ok())
+                    ++p.failed;
+            }
+        }
+        p.elapsedSeconds =
+            std::chrono::duration<double>(
+                std::chrono::steady_clock::now() - start_)
+                .count();
+        p.etaSeconds =
+            p.done ? p.elapsedSeconds *
+                         static_cast<double>(p.total - p.done) /
+                         static_cast<double>(p.done)
+                   : 0.0;
+        opts_.progress(p);
+    }
+
+    Benchmark bench_;
+    const std::vector<SystemConfig> &configs_;
+    const SupervisorOptions &opts_;
+    SupervisionStats stats_;
+    std::vector<std::optional<Expected<HierarchyStats>>> slots_;
+    std::vector<std::optional<Status>> quarantine_;
+    std::vector<int> faultFired_;
+    std::chrono::steady_clock::time_point start_;
+};
+
+} // namespace
+
+SupervisedSweep
+supervisedEvaluateAll(Explorer &ex, Benchmark b,
+                      const std::vector<SystemConfig> &configs,
+                      FailureReport *report,
+                      const SupervisorOptions &opts)
+{
+    tlc_assert(report != nullptr,
+               "supervisedEvaluateAll requires a FailureReport: "
+               "process isolation exists to keep going fail-soft");
+    SupervisedSweep out;
+    if (configs.empty())
+        return out;
+
+    ShardSupervisor sup(b, configs, opts);
+    sup.run();
+    out.stats = sup.stats();
+
+    // Collection: mirror Explorer::evaluateAll exactly, in input
+    // index order — ok points price through the same memoized pure
+    // functions, failed points record the same way (including the
+    // collapse of repeated non-config benchmark failures into one
+    // entry), so points, envelopes and report ordering are
+    // byte-identical to an in-process run. Quarantined points slot
+    // in at their input position like any other per-point failure.
+    const char *benchName = Workloads::info(b).name;
+    std::string benchFailure;
+    out.points.reserve(configs.size());
+    for (std::size_t i = 0; i < configs.size(); ++i) {
+        if (sup.quarantine(i).has_value()) {
+            report->add(configs[i].label(), *sup.quarantine(i));
+            continue;
+        }
+        tlc_assert(sup.slot(i).has_value(),
+                   "supervised sweep left index %zu unresolved", i);
+        Expected<HierarchyStats> &r = *sup.slot(i);
+        if (r.ok()) {
+            out.points.push_back(ex.pricePoint(configs[i], r.value()));
+        } else if (r.status().code() != StatusCode::InvalidConfig) {
+            std::string repr = r.status().toString();
+            if (repr != benchFailure) {
+                benchFailure = std::move(repr);
+                report->add(std::string("benchmark ") + benchName,
+                            r.status());
+            }
+        } else {
+            MetricsRegistry::global()
+                .counter("explore.points.failed")
+                .inc();
+            report->add(configs[i].label(), r.status());
+        }
+    }
+    return out;
+}
+
+SupervisedSweep
+supervisedSweepSpace(Explorer &ex, Benchmark b,
+                     const SystemAssumptions &assume,
+                     bool include_single_level, bool include_two_level,
+                     FailureReport *report, const SupervisorOptions &opts)
+{
+    return supervisedEvaluateAll(
+        ex, b,
+        DesignSpace::enumerate(assume, include_single_level,
+                               include_two_level),
+        report, opts);
+}
+
+bool
+supervisorOptionsFromArgs(const ArgParser &args, SupervisorOptions *out)
+{
+    const std::string mode = args.getString("isolate", "none");
+    if (mode != "none" && mode != "process") {
+        fatal("--isolate must be 'process' or 'none' (got '%s')",
+              mode.c_str());
+    }
+    out->pointsPerShard =
+        static_cast<std::size_t>(args.getInt("shard-points", 32));
+    out->watchdog.timeoutSeconds = args.getDouble("shard-timeout", 60.0);
+    out->retry.maxRetries =
+        static_cast<int>(args.getInt("max-retries", 2));
+    out->storeFsync = args.getBool("store-fsync", false);
+
+    const int times = static_cast<int>(args.getInt("inject-times", -1));
+    auto inject = [&](const char *key, ShardFault::Kind kind) {
+        if (!args.has(key))
+            return;
+        ShardFault f;
+        f.kind = kind;
+        f.atIndex = static_cast<std::uint32_t>(args.getInt(key, 0));
+        f.times = times;
+        out->faults.faults.push_back(f);
+    };
+    inject("inject-crash-at", ShardFault::Kind::Crash);
+    inject("inject-hang-at", ShardFault::Kind::Hang);
+    inject("inject-partial-at", ShardFault::Kind::PartialWrite);
+    return mode == "process";
+}
+
+} // namespace tlc

@@ -1,0 +1,194 @@
+/**
+ * @file
+ * Fault-isolated sweep execution: shard a configuration list across
+ * forked worker subprocesses, survive worker crashes/hangs, and
+ * quarantine the specific design points that keep killing workers.
+ *
+ * The in-process engine (Explorer::evaluateAll) is fast but shares
+ * its fate with every design point it simulates: one wild pointer in
+ * a simulation lane, one pathological configuration that loops
+ * forever, and the whole multi-hour sweep dies. This layer trades a
+ * fork() per shard for blast-radius containment:
+ *
+ *   run ──▶ worker simulates a shard out of process
+ *    │          │ crash / hang / torn stream
+ *    ▼          ▼
+ *   ok      retry (bounded, deterministic backoff with jitter)
+ *    │          │ still failing
+ *    │          ▼
+ *    │      bisect the shard, recurse on each half
+ *    │          │ a single point still fails
+ *    ▼          ▼
+ *   price   quarantine that point into the FailureReport
+ *
+ * Healthy points are completely unaffected: workers return bit-exact
+ * HierarchyStats over a CRC-framed pipe (util/supervisor.hh), the
+ * parent re-prices them through Explorer::pricePoint (memoized pure
+ * functions of the configuration), and results, envelopes and
+ * failure-report ordering are byte-identical to an in-process run —
+ * the differential tests in tests/test_supervisor.cc enforce this.
+ *
+ * Crash-safe resume: each worker opens its own SweepCache at
+ * SupervisorOptions::resultStorePath and appends every simulated
+ * batch before reporting, so even a SIGKILLed *supervisor* resumes
+ * warm — re-running with the same store answers finished shards from
+ * disk. Shards run sequentially (one store writer, no append races).
+ *
+ * Fault injection: ShardFaultPlan deterministically makes a worker
+ * crash, hang, exit early, or tear its result stream when its shard
+ * contains a chosen design-point index — the hooks behind the
+ * differential tests, tools/check.sh's recovery step, and the
+ * --inject-* flags on design_explorer/figure_runner.
+ *
+ * Observability: shard attempts run under the "supervisor.shard"
+ * profiler phase, backoff sleeps under "supervisor.backoff", and
+ * sweeps tick supervisor.{sweeps,shards,retries,bisections,
+ * quarantined,backoff_waits} next to the per-worker
+ * supervisor.worker.* counters.
+ */
+
+#ifndef TLC_CORE_SHARD_RUNNER_HH
+#define TLC_CORE_SHARD_RUNNER_HH
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "core/explorer.hh"
+#include "util/args.hh"
+#include "util/supervisor.hh"
+
+namespace tlc {
+
+/**
+ * One deterministic injected fault: when a worker's shard contains
+ * design-point index @p atIndex, the worker misbehaves as @p kind
+ * says. @p times bounds how many workers fire the fault (-1 =
+ * every one), which is how tests model transient vs. permanent
+ * failures: times=1 crashes the first attempt and lets the retry
+ * succeed; times=-1 is a poisoned point that must end up
+ * quarantined.
+ */
+struct ShardFault
+{
+    enum class Kind {
+        None,
+        Crash,        ///< raise SIGSEGV on entry
+        Hang,         ///< ignore SIGTERM and pause forever
+        PartialWrite, ///< report indices < atIndex, tear, then die
+        ExitEarly     ///< _exit(3) without reporting
+    };
+
+    Kind kind = Kind::None;
+    std::uint32_t atIndex = 0; ///< global design-point index
+    int times = -1;            ///< firings before the fault disarms
+};
+
+/** All faults armed for one supervised sweep. */
+struct ShardFaultPlan
+{
+    std::vector<ShardFault> faults;
+
+    bool empty() const { return faults.empty(); }
+};
+
+/** How a supervised sweep should run. */
+struct SupervisorOptions
+{
+    /** Design points per worker subprocess before bisection. */
+    std::size_t pointsPerShard = 32;
+    /** Per-attempt watchdog (timeout => SIGTERM => SIGKILL). */
+    WatchdogSpec watchdog;
+    /** Retry budget and backoff pacing per shard. */
+    RetryPolicy retry;
+    /** Evaluator settings workers rebuild in their own process
+     *  (trace length, warmup, trace files). Its resultStore member
+     *  is ignored — workers open their own from resultStorePath. */
+    EvaluatorOptions evaluator;
+    /** Sweep-cache path each worker appends to ("" = uncached). */
+    std::string resultStorePath;
+    /** fsync the store on every commit (durability over speed). */
+    bool storeFsync = false;
+    /** Deterministic fault injection (tests and recovery drills). */
+    ShardFaultPlan faults;
+    /** Progress callback; fires after each shard resolves. */
+    std::function<void(const SweepProgress &)> progress;
+};
+
+/** What it took to finish one supervised sweep. */
+struct SupervisionStats
+{
+    std::uint64_t shards = 0;      ///< shards resolved (incl. splits)
+    std::uint64_t attempts = 0;    ///< worker processes launched
+    std::uint64_t retries = 0;     ///< same-shard re-runs
+    std::uint64_t crashes = 0;     ///< signal deaths observed
+    std::uint64_t timeouts = 0;    ///< watchdog kills
+    std::uint64_t exits = 0;       ///< nonzero worker exits
+    std::uint64_t protocolErrors = 0; ///< torn/corrupt streams
+    std::uint64_t bisections = 0;  ///< shard splits
+    std::uint64_t quarantined = 0; ///< points given up on
+    std::uint64_t backoffWaits = 0;
+    double backoffSeconds = 0.0;   ///< total time asleep in backoff
+};
+
+/** A supervised sweep's priced points plus its war story. */
+struct SupervisedSweep
+{
+    std::vector<DesignPoint> points;
+    SupervisionStats stats;
+};
+
+/**
+ * Price @p configs on @p b like Explorer::evaluateAll, but simulate
+ * every shard in a forked worker subprocess under @p opts. Failed
+ * points land in @p report exactly as the in-process engine would
+ * record them, plus quarantined points (repeated worker death) as
+ * WorkerCrash/WorkerTimeout entries. @p report is required: a
+ * supervisor exists to keep going, which only makes sense fail-soft.
+ */
+SupervisedSweep
+supervisedEvaluateAll(Explorer &ex, Benchmark b,
+                      const std::vector<SystemConfig> &configs,
+                      FailureReport *report,
+                      const SupervisorOptions &opts);
+
+/**
+ * Supervised twin of Explorer::sweep: enumerate the design space of
+ * @p assume and run it through supervisedEvaluateAll.
+ */
+SupervisedSweep
+supervisedSweepSpace(Explorer &ex, Benchmark b,
+                     const SystemAssumptions &assume,
+                     bool include_single_level, bool include_two_level,
+                     FailureReport *report,
+                     const SupervisorOptions &opts);
+
+/**
+ * Parse the process-isolation flags the sweep drivers share
+ * (design_explorer, figure_runner; docs/robustness.md):
+ *
+ *   --isolate=process|none  out-of-process shard execution (none)
+ *   --shard-points=N        design points per worker process (32)
+ *   --shard-timeout=SECS    per-attempt watchdog; <=0 disables (60)
+ *   --max-retries=N         re-runs per shard before bisection (2)
+ *   --store-fsync           fsync the result store on every commit
+ *
+ * plus the deterministic fault-injection flags behind the recovery
+ * drills in tools/check.sh:
+ *
+ *   --inject-crash-at=IDX / --inject-hang-at=IDX /
+ *   --inject-partial-at=IDX   misbehave when a worker's shard holds
+ *                             design-point index IDX
+ *   --inject-times=N          firings before the fault disarms
+ *                             (-1 = every time)
+ *
+ * Fills @p out either way; returns true when --isolate=process was
+ * requested. An unknown --isolate value is fatal.
+ */
+bool supervisorOptionsFromArgs(const ArgParser &args,
+                               SupervisorOptions *out);
+
+} // namespace tlc
+
+#endif // TLC_CORE_SHARD_RUNNER_HH

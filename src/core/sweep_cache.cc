@@ -109,9 +109,10 @@ deserializeStats(const std::string &payload, const std::string &key_text,
 } // namespace
 
 Status
-SweepCache::open(const std::string &path)
+SweepCache::open(const std::string &path,
+                 const ResultStoreOptions &options)
 {
-    return store_.open(path);
+    return store_.open(path, options);
 }
 
 std::string
@@ -193,6 +194,13 @@ SweepCache::store(const std::string &key_text, const HierarchyStats &stats)
     Status s = store_.append(hashKey(key_text),
                              serializeStats(key_text, stats));
     if (!s.ok()) {
+        // A full or failing disk degrades the sweep to uncached; the
+        // failure class (resource-exhausted vs io-error) is in the
+        // message, and the counter lets a supervisor see the store
+        // has stopped absorbing results.
+        MetricsRegistry::global()
+            .counter("sweep_cache.append_failures")
+            .inc();
         warn("sweep cache: %s", s.message().c_str());
         return;
     }

@@ -66,8 +66,11 @@ class SweepCache
   public:
     SweepCache() = default;
 
-    /** Open (or create) the backing store; see ResultStore::open. */
-    Status open(const std::string &path);
+    /** Open (or create) the backing store; see ResultStore::open.
+     *  @p options passes durability knobs (fsync-on-commit) through
+     *  to the underlying ResultStore. */
+    Status open(const std::string &path,
+                const ResultStoreOptions &options = {});
     void close() { store_.close(); }
 
     bool enabled() const { return store_.isOpen(); }

@@ -47,6 +47,8 @@ inline constexpr const char *kSimBatch = "sim.batch";
 inline constexpr const char *kModelTiming = "model.timing";
 inline constexpr const char *kModelArea = "model.area";
 inline constexpr const char *kModelTpi = "model.tpi";
+inline constexpr const char *kSupervisorShard = "supervisor.shard";
+inline constexpr const char *kSupervisorBackoff = "supervisor.backoff";
 } // namespace phase
 
 /** Aggregate wall-clock of one named phase across all threads. */

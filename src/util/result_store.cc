@@ -11,6 +11,7 @@
 
 #include "result_store.hh"
 
+#include <cerrno>
 #include <cstring>
 #include <unistd.h>
 
@@ -61,7 +62,9 @@ ResultStore::close()
     }
     index_.clear();
     path_.clear();
+    options_ = ResultStoreOptions{};
     dropped_ = 0;
+    validEnd_ = 0;
 }
 
 bool
@@ -86,10 +89,11 @@ ResultStore::droppedRecords() const
 }
 
 Status
-ResultStore::open(const std::string &path)
+ResultStore::open(const std::string &path, const ResultStoreOptions &options)
 {
     close();
     std::lock_guard<std::mutex> lock(mu_);
+    options_ = options;
     // "r+b" keeps existing contents; fall back to "w+b" only when
     // the file does not exist yet, so an unreadable existing file is
     // an error rather than silently clobbered.
@@ -141,6 +145,7 @@ ResultStore::scan()
                            "cannot write result store header to '%s'",
                            path_.c_str());
         }
+        validEnd_ = static_cast<long>(kHeaderBytes);
         return Status();
     };
 
@@ -233,6 +238,7 @@ ResultStore::scan()
         }
     }
     std::fseek(file_, validEnd, SEEK_SET);
+    validEnd_ = validEnd;
     return Status();
 }
 
@@ -281,12 +287,37 @@ ResultStore::append(const std::string &key, std::string_view payload)
     state = crc32Update(state, payload.data(), payload.size());
     putU32le(rec, crc32Final(state));
 
+    // A failed or short write leaves a torn record at the tail; cut
+    // the file back to the last intact record right away, so the
+    // damage is repaired at write time (not on the next open) and a
+    // later append in this process cannot land after garbage. errno
+    // classifies the cause: the disk-full family (ENOSPC, EDQUOT,
+    // EFBIG) becomes ResourceExhausted, hardware errors (EIO) and
+    // the rest stay IoError.
+    errno = 0;
     if (std::fwrite(rec.data(), 1, rec.size(), file_) != rec.size() ||
         std::fflush(file_) != 0) {
-        return statusf(StatusCode::IoError,
-                       "write to result store '%s' failed",
-                       path_.c_str());
+        const int err = errno;
+        std::clearerr(file_);
+        if (ftruncate(fileno(file_), validEnd_) == 0)
+            std::fseek(file_, validEnd_, SEEK_SET);
+        return statusf(statusCodeFromErrno(err),
+                       "write to result store '%s' failed: %s",
+                       path_.c_str(),
+                       err ? std::strerror(err) : "short write");
     }
+    if (options_.fsyncOnCommit && fsync(fileno(file_)) != 0) {
+        // The record reached the OS but its durability is unknown;
+        // report honestly and retract it so the caller's "append ok
+        // => record committed" invariant holds.
+        const int err = errno;
+        if (ftruncate(fileno(file_), validEnd_) == 0)
+            std::fseek(file_, validEnd_, SEEK_SET);
+        return statusf(statusCodeFromErrno(err),
+                       "fsync of result store '%s' failed: %s",
+                       path_.c_str(), std::strerror(err));
+    }
+    validEnd_ += static_cast<long>(rec.size());
     index_[key] = std::string(payload);
     return Status();
 }

@@ -57,6 +57,19 @@ constexpr std::uint32_t kResultStoreVersion = 1;
 constexpr std::uint32_t kResultStoreMaxKeyBytes = 1u << 12;
 constexpr std::uint32_t kResultStoreMaxPayloadBytes = 1u << 20;
 
+/** Durability knobs of one open() call. */
+struct ResultStoreOptions
+{
+    /**
+     * fsync the file after every successful append. Off by default
+     * (an OS-level flush already bounds loss to a crash of the whole
+     * machine); the sweep supervisor turns it on for its workers so
+     * a SIGKILL'd run loses at most the record in flight even under
+     * power failure.
+     */
+    bool fsyncOnCommit = false;
+};
+
 class ResultStore
 {
   public:
@@ -74,7 +87,8 @@ class ResultStore
      * or its header names a different magic/version (appending to
      * an alien file would destroy it).
      */
-    Status open(const std::string &path);
+    Status open(const std::string &path,
+                const ResultStoreOptions &options = {});
 
     /** Flush and close; lookups fail and appends error afterwards. */
     void close();
@@ -93,9 +107,18 @@ class ResultStore
     bool lookup(const std::string &key, std::string *payload) const;
 
     /**
-     * Append one record and flush it to the OS. The index is updated
-     * so an immediate lookup() sees the new payload. Oversized keys
-     * or payloads (see the caps above) are rejected, not written.
+     * Append one record and flush it to the OS (and fsync it, with
+     * ResultStoreOptions::fsyncOnCommit). The index is updated so an
+     * immediate lookup() sees the new payload. Oversized keys or
+     * payloads (see the caps above) are rejected, not written.
+     *
+     * A failed write (ENOSPC, EIO, quota/file-size limits) is
+     * surfaced at once as a Status whose code classifies the cause
+     * (ResourceExhausted for the disk-full family, IoError
+     * otherwise), and the file is cut back to the last intact record
+     * immediately — a short write mid-record no longer has to wait
+     * for the next open() to be repaired, and later appends in this
+     * process never land after a torn record.
      */
     Status append(const std::string &key, std::string_view payload);
 
@@ -105,8 +128,11 @@ class ResultStore
     mutable std::mutex mu_;
     std::string path_;
     std::FILE *file_ = nullptr;
+    ResultStoreOptions options_;
     std::map<std::string, std::string> index_;
     std::uint64_t dropped_ = 0;
+    /** Byte just past the last intact record (append repair point). */
+    long validEnd_ = 0;
 };
 
 } // namespace tlc

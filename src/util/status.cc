@@ -5,6 +5,7 @@
 
 #include "status.hh"
 
+#include <cerrno>
 #include <cstdarg>
 #include <cstdio>
 
@@ -40,8 +41,30 @@ statusCodeName(StatusCode code)
         return "unknown-name";
       case StatusCode::InternalError:
         return "internal-error";
+      case StatusCode::ResourceExhausted:
+        return "resource-exhausted";
+      case StatusCode::WorkerCrash:
+        return "worker-crash";
+      case StatusCode::WorkerTimeout:
+        return "worker-timeout";
     }
     return "?";
+}
+
+StatusCode
+statusCodeFromErrno(int err)
+{
+    switch (err) {
+      case ENOSPC:
+#ifdef EDQUOT
+      case EDQUOT:
+#endif
+      case EFBIG:
+      case ENOMEM:
+        return StatusCode::ResourceExhausted;
+      default:
+        return StatusCode::IoError;
+    }
 }
 
 std::string

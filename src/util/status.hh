@@ -45,11 +45,22 @@ enum class StatusCode {
     ParseError,      ///< malformed text-format line
     InvalidConfig,   ///< cache/system parameters violate invariants
     UnknownName,     ///< lookup by name failed
-    InternalError    ///< none of the above (should be rare)
+    InternalError,   ///< none of the above (should be rare)
+    ResourceExhausted, ///< out of disk/quota/file-size (ENOSPC class)
+    WorkerCrash,     ///< isolated worker process died (signal/exit)
+    WorkerTimeout    ///< isolated worker exceeded its watchdog budget
 };
 
 /** Short stable name of a code ("truncated", "bad-magic", ...). */
 const char *statusCodeName(StatusCode code);
+
+/**
+ * The StatusCode best describing an errno value from a failed write:
+ * ENOSPC/EDQUOT/EFBIG (the disk-full family) map to
+ * ResourceExhausted so callers can tell "the disk is full" from
+ * "the disk is broken" (EIO and everything else stays IoError).
+ */
+StatusCode statusCodeFromErrno(int err);
 
 /**
  * The result of an operation that can fail recoverably: a code plus

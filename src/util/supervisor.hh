@@ -1,0 +1,141 @@
+/**
+ * @file
+ * Process-level worker supervision: run a function in a forked
+ * subprocess, stream CRC-framed results back over a pipe, and
+ * survive the worker's death.
+ *
+ * This is the generic half of the fault-isolated sweep engine
+ * (core/shard_runner.hh holds the sweep-specific half). It knows
+ * nothing about caches or design points; it knows how to
+ *
+ *  - fork a worker and hand it the write end of a pipe,
+ *  - read length-prefixed, CRC-32-guarded frames on the parent side
+ *    (a torn or corrupted frame is detected, never acted on),
+ *  - enforce a watchdog deadline on the whole worker run, escalating
+ *    SIGTERM -> SIGKILL when the worker ignores the polite signal,
+ *  - classify how the worker ended: clean, killed by a signal
+ *    (SIGSEGV, abort), nonzero exit, watchdog timeout, or a protocol
+ *    violation (torn tail, bad CRC, absurd frame length),
+ *  - compute deterministic exponential-backoff-with-jitter delays
+ *    for the retry loop of whoever drives it.
+ *
+ * The child runs the worker function and _exit()s — it never returns
+ * into the caller's stack, never runs atexit handlers, and never
+ * flushes the parent's buffered stdio a second time. An exception
+ * escaping the worker function exits with a reserved status instead
+ * of propagating.
+ *
+ * Observability: forks, crashes, timeouts, nonzero exits and
+ * protocol violations tick supervisor.worker.* in the global metrics
+ * registry.
+ */
+
+#ifndef TLC_UTIL_SUPERVISOR_HH
+#define TLC_UTIL_SUPERVISOR_HH
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <string_view>
+
+#include "util/status.hh"
+
+namespace tlc {
+
+/** Largest frame payload accepted by the parent-side reader; a
+ *  declared length beyond this is a protocol violation, not an
+ *  allocation. */
+constexpr std::uint32_t kMaxFrameBytes = 1u << 20;
+
+/** Exit status the child uses when the worker function throws. */
+constexpr int kWorkerExceptionExit = 113;
+
+/**
+ * Write one frame (u32 length, u32 CRC-32 of the payload, payload
+ * bytes, all little-endian) to @p fd, retrying short writes and
+ * EINTR. Worker-side helper; the parent never writes.
+ */
+Status writeFrame(int fd, std::string_view payload);
+
+/** Watchdog budget of one worker run. */
+struct WatchdogSpec
+{
+    /** Whole-run deadline in seconds; <= 0 disables the watchdog. */
+    double timeoutSeconds = 60.0;
+    /** Grace between SIGTERM and the SIGKILL escalation. */
+    double killGraceSeconds = 0.5;
+};
+
+/** How one supervised worker run ended. */
+struct WorkerOutcome
+{
+    enum class Kind {
+        Ok,         ///< clean exit 0, no torn bytes
+        Crash,      ///< killed by a signal (SIGSEGV, SIGABRT, ...)
+        Exit,       ///< exited with a nonzero status
+        Timeout,    ///< watchdog expired; worker was killed
+        Protocol,   ///< bad CRC / absurd length / torn trailing frame
+        ForkFailed  ///< fork or pipe creation itself failed
+    };
+
+    Kind kind = Kind::Ok;
+    int termSignal = 0; ///< valid for Crash
+    int exitStatus = 0; ///< valid for Exit
+    /** Human phrase: "killed by signal 11 (Segmentation fault)". */
+    std::string detail;
+
+    bool ok() const { return kind == Kind::Ok; }
+
+    /**
+     * The failure as a Status: Timeout maps to WorkerTimeout,
+     * everything else to WorkerCrash, with @p context prepended to
+     * the detail phrase. An Ok outcome asserts — success has no
+     * Status to report.
+     */
+    Status toStatus(const std::string &context) const;
+};
+
+/** Short stable name of an outcome kind ("crash", "timeout", ...). */
+const char *workerOutcomeKindName(WorkerOutcome::Kind kind);
+
+/**
+ * Fork, run @p worker(write_fd) in the child, and collect the frames
+ * it writes. The parent invokes @p on_frame once per intact frame,
+ * in order, while the run is still in flight — a worker that dies
+ * halfway still delivers everything it completed. The watchdog
+ * covers the whole run: when it expires the worker gets SIGTERM,
+ * then SIGKILL after the grace period, and the outcome is Timeout.
+ * The child is always reaped before this returns; there are no
+ * zombies to collect.
+ *
+ * on_frame runs on the calling thread and must not throw.
+ */
+WorkerOutcome
+superviseWorker(const std::function<void(int write_fd)> &worker,
+                const WatchdogSpec &watchdog,
+                const std::function<void(std::string_view payload)>
+                    &on_frame);
+
+/**
+ * Deterministic retry pacing: exponential backoff from
+ * backoffBaseSeconds, doubling per attempt, capped at
+ * backoffMaxSeconds, scaled by a jitter factor in [0.5, 1.0) drawn
+ * from a Pcg32 seeded with (seed, key, attempt) — so two supervisors
+ * retrying the same shard pick the same waits (reproducible tests)
+ * while different shards desynchronize.
+ */
+struct RetryPolicy
+{
+    /** Attempts after the first before giving up on a shard. */
+    int maxRetries = 2;
+    double backoffBaseSeconds = 0.05;
+    double backoffMaxSeconds = 2.0;
+    std::uint64_t seed = 0x5eedb0ffULL;
+
+    /** Wait before retry number @p attempt (0-based) of @p key. */
+    double backoffSeconds(int attempt, std::uint64_t key) const;
+};
+
+} // namespace tlc
+
+#endif // TLC_UTIL_SUPERVISOR_HH

@@ -1,0 +1,583 @@
+/**
+ * @file
+ * The fault-isolated sweep supervisor (util/supervisor.hh +
+ * core/shard_runner.hh).
+ *
+ * The contract under test is graceful degradation with byte-exact
+ * accounting:
+ *
+ *  - a supervised sweep with NO faults is byte-identical to the
+ *    in-process engine — points, failure report, envelope;
+ *  - an injected worker crash/hang/torn stream at a known design
+ *    point completes the sweep, quarantines EXACTLY that point, and
+ *    leaves every other point byte-identical;
+ *  - transient faults (times=1) are absorbed by the retry loop with
+ *    zero effect on the output;
+ *  - FailureReport aggregation across retries and bisection loses
+ *    nothing and duplicates nothing, and keeps the in-process
+ *    input-index ordering;
+ *  - a SIGKILLed *supervisor* (and its orphaned workers) resumed
+ *    against the same result store reproduces the uninterrupted
+ *    output byte-for-byte;
+ *  - the result store surfaces the ENOSPC class as
+ *    ResourceExhausted at write time and repairs the torn tail
+ *    immediately, so the file stays intact for the next opener.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include <signal.h>
+#include <sys/resource.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include "core/explorer.hh"
+#include "core/shard_runner.hh"
+#include "core/sweep_cache.hh"
+#include "util/result_store.hh"
+#include "util/supervisor.hh"
+#include "util/units.hh"
+
+using namespace tlc;
+
+namespace {
+
+/// Short traces: a supervised differential run simulates the grid
+/// several times over in subprocesses, and the properties under
+/// test are structural, not statistical.
+constexpr std::uint64_t kRefs = 50000;
+
+std::string
+tempPath(const std::string &name)
+{
+    std::string path = ::testing::TempDir() + name;
+    std::remove(path.c_str());
+    return path;
+}
+
+/** The 64-point reference grid of bench/batch_sweep_timing.cc. */
+std::vector<SystemConfig>
+makeGrid()
+{
+    std::vector<SystemConfig> configs;
+    for (std::uint64_t l1 = 1_KiB; l1 <= 128_KiB; l1 *= 2) {
+        SystemConfig c;
+        c.l1Bytes = l1;
+        c.l2Bytes = 0;
+        configs.push_back(c);
+        for (std::uint64_t ratio = 2; ratio <= 128; ratio *= 2) {
+            c.l2Bytes = l1 * ratio;
+            configs.push_back(c);
+        }
+    }
+    return configs;
+}
+
+struct SweepResult
+{
+    std::vector<DesignPoint> points;
+    std::vector<SweepFailure> failures;
+    SupervisionStats stats;
+};
+
+/** Supervisor options tuned for tests: small shards so one grid
+ *  spans several workers, fast watchdog, near-zero backoff. */
+SupervisorOptions
+testOptions()
+{
+    SupervisorOptions o;
+    o.pointsPerShard = 16;
+    o.watchdog.timeoutSeconds = 20.0;
+    o.watchdog.killGraceSeconds = 0.2;
+    o.retry.maxRetries = 2;
+    o.retry.backoffBaseSeconds = 0.001;
+    o.retry.backoffMaxSeconds = 0.01;
+    o.evaluator.traceRefs = kRefs;
+    return o;
+}
+
+/** In-process reference sweep on a fresh evaluator/explorer pair. */
+SweepResult
+runInProcess(const std::vector<SystemConfig> &configs)
+{
+    EvaluatorOptions opts;
+    opts.traceRefs = kRefs;
+    MissRateEvaluator ev(std::move(opts));
+    Explorer ex(ev);
+    FailureReport report;
+    SweepResult r;
+    r.points = ex.evaluateAll(Benchmark::Gcc1, configs, &report);
+    r.failures = report.failures();
+    return r;
+}
+
+/** Supervised sweep on a fresh evaluator/explorer pair. */
+SweepResult
+runSupervised(const std::vector<SystemConfig> &configs,
+              const SupervisorOptions &opts)
+{
+    EvaluatorOptions evopts;
+    evopts.traceRefs = kRefs;
+    MissRateEvaluator ev(std::move(evopts));
+    Explorer ex(ev);
+    FailureReport report;
+    SweepResult r;
+    SupervisedSweep ss = supervisedEvaluateAll(ex, Benchmark::Gcc1,
+                                               configs, &report, opts);
+    r.points = std::move(ss.points);
+    r.stats = ss.stats;
+    r.failures = report.failures();
+    return r;
+}
+
+/** Bitwise equality of every priced field of two design points. */
+void
+expectIdenticalPoint(const DesignPoint &a, const DesignPoint &b,
+                     std::size_t i)
+{
+    SCOPED_TRACE("point " + std::to_string(i));
+    EXPECT_EQ(a.config.label(), b.config.label());
+    EXPECT_EQ(a.areaRbe, b.areaRbe);
+    EXPECT_EQ(a.l1Timing.accessNs, b.l1Timing.accessNs);
+    EXPECT_EQ(a.l1Timing.cycleNs, b.l1Timing.cycleNs);
+    EXPECT_EQ(a.l2Timing.accessNs, b.l2Timing.accessNs);
+    EXPECT_EQ(a.miss.instrRefs, b.miss.instrRefs);
+    EXPECT_EQ(a.miss.dataRefs, b.miss.dataRefs);
+    EXPECT_EQ(a.miss.l1iMisses, b.miss.l1iMisses);
+    EXPECT_EQ(a.miss.l1dMisses, b.miss.l1dMisses);
+    EXPECT_EQ(a.miss.l2Hits, b.miss.l2Hits);
+    EXPECT_EQ(a.miss.l2Misses, b.miss.l2Misses);
+    EXPECT_EQ(a.miss.swaps, b.miss.swaps);
+    EXPECT_EQ(a.miss.offchipWritebacks, b.miss.offchipWritebacks);
+    EXPECT_EQ(a.tpi.tpi, b.tpi.tpi);
+}
+
+/** Points, failure report and derived envelope all byte-identical. */
+void
+expectIdentical(const SweepResult &a, const SweepResult &b)
+{
+    ASSERT_EQ(a.points.size(), b.points.size());
+    for (std::size_t i = 0; i < a.points.size(); ++i)
+        expectIdenticalPoint(a.points[i], b.points[i], i);
+
+    ASSERT_EQ(a.failures.size(), b.failures.size());
+    for (std::size_t i = 0; i < a.failures.size(); ++i) {
+        SCOPED_TRACE("failure " + std::to_string(i));
+        EXPECT_EQ(a.failures[i].subject, b.failures[i].subject);
+        EXPECT_EQ(a.failures[i].status.code(),
+                  b.failures[i].status.code());
+        EXPECT_EQ(a.failures[i].status.message(),
+                  b.failures[i].status.message());
+    }
+
+    Envelope ea = Explorer::envelopeOf(a.points);
+    Envelope eb = Explorer::envelopeOf(b.points);
+    ASSERT_EQ(ea.points().size(), eb.points().size());
+    for (std::size_t i = 0; i < ea.points().size(); ++i) {
+        EXPECT_EQ(ea.points()[i].area, eb.points()[i].area);
+        EXPECT_EQ(ea.points()[i].tpi, eb.points()[i].tpi);
+        EXPECT_EQ(ea.points()[i].label, eb.points()[i].label);
+    }
+}
+
+ShardFault
+fault(ShardFault::Kind kind, std::uint32_t at, int times)
+{
+    ShardFault f;
+    f.kind = kind;
+    f.atIndex = at;
+    f.times = times;
+    return f;
+}
+
+} // namespace
+
+// ---------------------------------------------------------------
+// util/supervisor.hh: the generic worker-supervision layer.
+// ---------------------------------------------------------------
+
+TEST(Supervisor, FramesRoundTripInOrder)
+{
+    std::vector<std::string> got;
+    WorkerOutcome out = superviseWorker(
+        [](int fd) {
+            ASSERT_TRUE(writeFrame(fd, "alpha").ok());
+            ASSERT_TRUE(writeFrame(fd, "").ok());
+            ASSERT_TRUE(writeFrame(fd, std::string(70000, 'x')).ok());
+        },
+        WatchdogSpec{}, [&](std::string_view p) {
+            got.emplace_back(p);
+        });
+    EXPECT_TRUE(out.ok()) << out.detail;
+    ASSERT_EQ(got.size(), 3u);
+    EXPECT_EQ(got[0], "alpha");
+    EXPECT_EQ(got[1], "");
+    EXPECT_EQ(got[2], std::string(70000, 'x'));
+}
+
+TEST(Supervisor, CrashIsClassifiedAndEarlierFramesSurvive)
+{
+    std::vector<std::string> got;
+    WorkerOutcome out = superviseWorker(
+        [](int fd) {
+            (void)writeFrame(fd, "before-the-crash");
+            raise(SIGSEGV);
+        },
+        WatchdogSpec{}, [&](std::string_view p) {
+            got.emplace_back(p);
+        });
+    EXPECT_EQ(out.kind, WorkerOutcome::Kind::Crash);
+    EXPECT_EQ(out.termSignal, SIGSEGV);
+    ASSERT_EQ(got.size(), 1u);
+    EXPECT_EQ(got[0], "before-the-crash");
+    Status s = out.toStatus("shard 0");
+    EXPECT_EQ(s.code(), StatusCode::WorkerCrash);
+    EXPECT_NE(s.message().find("shard 0"), std::string::npos);
+}
+
+TEST(Supervisor, HangHitsWatchdogDespiteIgnoredSigterm)
+{
+    WatchdogSpec wd;
+    wd.timeoutSeconds = 0.2;
+    wd.killGraceSeconds = 0.1;
+    WorkerOutcome out = superviseWorker(
+        [](int) {
+            signal(SIGTERM, SIG_IGN);
+            for (;;)
+                pause();
+        },
+        wd, [](std::string_view) {});
+    EXPECT_EQ(out.kind, WorkerOutcome::Kind::Timeout);
+    EXPECT_EQ(out.toStatus("shard").code(), StatusCode::WorkerTimeout);
+}
+
+TEST(Supervisor, TornTrailingFrameIsAProtocolError)
+{
+    WorkerOutcome out = superviseWorker(
+        [](int fd) {
+            // A header promising 64 payload bytes, then silence.
+            const unsigned char torn[8] = {64, 0, 0, 0, 0xef, 0xbe,
+                                           0xad, 0xde};
+            (void)::write(fd, torn, sizeof torn);
+        },
+        WatchdogSpec{}, [](std::string_view) {});
+    EXPECT_EQ(out.kind, WorkerOutcome::Kind::Protocol);
+}
+
+TEST(Supervisor, NonzeroExitIsClassified)
+{
+    WorkerOutcome out = superviseWorker([](int) { _exit(7); },
+                                        WatchdogSpec{},
+                                        [](std::string_view) {});
+    EXPECT_EQ(out.kind, WorkerOutcome::Kind::Exit);
+    EXPECT_EQ(out.exitStatus, 7);
+}
+
+TEST(Supervisor, BackoffIsDeterministicBoundedAndJittered)
+{
+    RetryPolicy p;
+    p.backoffBaseSeconds = 0.05;
+    p.backoffMaxSeconds = 2.0;
+    for (int a = 0; a < 8; ++a) {
+        double d1 = p.backoffSeconds(a, 17);
+        double d2 = p.backoffSeconds(a, 17);
+        EXPECT_EQ(d1, d2); // same (seed, key, attempt) => same wait
+        EXPECT_GE(d1, 0.5 * p.backoffBaseSeconds);
+        EXPECT_LE(d1, p.backoffMaxSeconds);
+    }
+    // Different shards desynchronize.
+    EXPECT_NE(p.backoffSeconds(3, 17), p.backoffSeconds(3, 18));
+}
+
+// ---------------------------------------------------------------
+// core/shard_runner.hh: supervised sweeps.
+// ---------------------------------------------------------------
+
+TEST(ShardRunner, CleanSupervisedSweepMatchesInProcess)
+{
+    const auto grid = makeGrid();
+    SweepResult clean = runInProcess(grid);
+    SweepResult sup = runSupervised(grid, testOptions());
+    expectIdentical(clean, sup);
+    EXPECT_EQ(sup.stats.quarantined, 0u);
+    EXPECT_EQ(sup.stats.retries, 0u);
+    EXPECT_EQ(sup.stats.shards, (grid.size() + 15) / 16);
+}
+
+TEST(ShardRunner, PermanentCrashQuarantinesExactlyThatPoint)
+{
+    const auto grid = makeGrid();
+    const std::uint32_t poisoned = 12;
+    SweepResult clean = runInProcess(grid);
+
+    SupervisorOptions opts = testOptions();
+    opts.retry.maxRetries = 1; // keep the bisection cascade short
+    opts.faults.faults.push_back(
+        fault(ShardFault::Kind::Crash, poisoned, -1));
+    SweepResult sup = runSupervised(grid, opts);
+
+    // Exactly the poisoned point is missing; everything else is
+    // byte-identical and in order.
+    ASSERT_EQ(sup.points.size(), clean.points.size() - 1);
+    std::size_t si = 0;
+    for (std::size_t i = 0; i < clean.points.size(); ++i) {
+        if (i == poisoned)
+            continue;
+        expectIdenticalPoint(clean.points[i], sup.points[si], i);
+        ++si;
+    }
+    ASSERT_EQ(sup.failures.size(), 1u);
+    EXPECT_EQ(sup.failures[0].subject, grid[poisoned].label());
+    EXPECT_EQ(sup.failures[0].status.code(), StatusCode::WorkerCrash);
+    EXPECT_NE(sup.failures[0].status.message().find("quarantined"),
+              std::string::npos);
+    EXPECT_EQ(sup.stats.quarantined, 1u);
+    EXPECT_GE(sup.stats.bisections, 1u);
+    EXPECT_GE(sup.stats.crashes, 2u);
+}
+
+TEST(ShardRunner, TransientCrashIsAbsorbedByRetry)
+{
+    const auto grid = makeGrid();
+    SweepResult clean = runInProcess(grid);
+
+    SupervisorOptions opts = testOptions();
+    opts.faults.faults.push_back(
+        fault(ShardFault::Kind::Crash, 12, /*times=*/1));
+    SweepResult sup = runSupervised(grid, opts);
+
+    expectIdentical(clean, sup);
+    EXPECT_EQ(sup.stats.quarantined, 0u);
+    EXPECT_EQ(sup.stats.crashes, 1u);
+    EXPECT_EQ(sup.stats.retries, 1u);
+    EXPECT_EQ(sup.stats.backoffWaits, 1u);
+}
+
+TEST(ShardRunner, TransientHangIsKilledAndRetried)
+{
+    const auto grid = makeGrid();
+    SweepResult clean = runInProcess(grid);
+
+    SupervisorOptions opts = testOptions();
+    opts.watchdog.timeoutSeconds = 0.3;
+    opts.faults.faults.push_back(
+        fault(ShardFault::Kind::Hang, 12, /*times=*/1));
+    SweepResult sup = runSupervised(grid, opts);
+
+    expectIdentical(clean, sup);
+    EXPECT_EQ(sup.stats.timeouts, 1u);
+    EXPECT_EQ(sup.stats.retries, 1u);
+    EXPECT_EQ(sup.stats.quarantined, 0u);
+}
+
+TEST(ShardRunner, TornStreamKeepsDeliveredResultsAndRetriesTheRest)
+{
+    const auto grid = makeGrid();
+    SweepResult clean = runInProcess(grid);
+
+    SupervisorOptions opts = testOptions();
+    opts.faults.faults.push_back(
+        fault(ShardFault::Kind::PartialWrite, 12, /*times=*/1));
+    SweepResult sup = runSupervised(grid, opts);
+
+    expectIdentical(clean, sup);
+    // The partial attempt exited nonzero after tearing its stream;
+    // results it did deliver were kept, the rest re-ran.
+    EXPECT_EQ(sup.stats.exits, 1u);
+    EXPECT_EQ(sup.stats.retries, 1u);
+    EXPECT_EQ(sup.stats.quarantined, 0u);
+}
+
+TEST(ShardRunner, ReportAggregationAcrossRetriesAndBisection)
+{
+    // A grid salted with invalid configurations (a non-power-of-two
+    // L1) surrounding a poisoned point: the supervised report must
+    // keep the in-process entries — same subjects, same codes, same
+    // input-index order — with exactly one quarantine entry
+    // inserted at the poisoned point's position, however many
+    // retries and bisections it took to isolate it.
+    auto grid = makeGrid();
+    SystemConfig bad;
+    bad.l1Bytes = 3000; // not a power of two: fails check()
+    bad.l2Bytes = 0;
+    grid.insert(grid.begin() + 5, bad);
+    bad.l1Bytes = 5000; // distinct, so duplicates below mean bugs
+    grid.insert(grid.begin() + 20, bad);
+    const std::uint32_t poisoned = 13;
+
+    SweepResult clean = runInProcess(grid);
+    ASSERT_EQ(clean.failures.size(), 2u);
+
+    SupervisorOptions opts = testOptions();
+    opts.retry.maxRetries = 1;
+    opts.faults.faults.push_back(
+        fault(ShardFault::Kind::Crash, poisoned, -1));
+    SweepResult sup = runSupervised(grid, opts);
+
+    ASSERT_EQ(sup.failures.size(), clean.failures.size() + 1);
+    std::size_t quarantineEntries = 0;
+    std::vector<SweepFailure> rest;
+    for (const auto &f : sup.failures) {
+        if (f.status.code() == StatusCode::WorkerCrash) {
+            ++quarantineEntries;
+            EXPECT_EQ(f.subject, grid[poisoned].label());
+        } else {
+            rest.push_back(f);
+        }
+    }
+    EXPECT_EQ(quarantineEntries, 1u);
+    ASSERT_EQ(rest.size(), clean.failures.size());
+    for (std::size_t i = 0; i < rest.size(); ++i) {
+        EXPECT_EQ(rest[i].subject, clean.failures[i].subject);
+        EXPECT_EQ(rest[i].status.code(), clean.failures[i].status.code());
+        EXPECT_EQ(rest[i].status.message(),
+                  clean.failures[i].status.message());
+    }
+    // The quarantine entry sits at the poisoned point's input
+    // position: after the index-5 invalid config, before index 20's.
+    EXPECT_EQ(sup.failures[1].subject, grid[poisoned].label());
+
+    // No duplicates anywhere, despite every attempt re-reporting
+    // frames for the healthy points of the poisoned shard.
+    for (std::size_t i = 0; i < sup.failures.size(); ++i)
+        for (std::size_t j = i + 1; j < sup.failures.size(); ++j)
+            EXPECT_FALSE(sup.failures[i].subject ==
+                             sup.failures[j].subject &&
+                         sup.failures[i].status.message() ==
+                             sup.failures[j].status.message());
+}
+
+TEST(ShardRunner, SigkilledSupervisorResumesByteIdentical)
+{
+    const auto grid = makeGrid();
+    const std::string storePath =
+        tempPath("tlc_supervisor_resume.tlrs");
+    SweepResult clean = runInProcess(grid);
+
+    // Phase 1: run a supervised sweep in a forked child (its own
+    // process group, so killing it also kills any in-flight worker
+    // it orphans), and SIGKILL the whole group after the first
+    // shard has committed to the store.
+    int progressPipe[2];
+    ASSERT_EQ(pipe(progressPipe), 0);
+    pid_t child = fork();
+    ASSERT_GE(child, 0);
+    if (child == 0) {
+        setpgid(0, 0);
+        close(progressPipe[0]);
+        const int wfd = progressPipe[1];
+        SupervisorOptions opts = testOptions();
+        opts.resultStorePath = storePath;
+        opts.progress = [wfd](const SweepProgress &) {
+            char b = '.';
+            (void)::write(wfd, &b, 1);
+        };
+        EvaluatorOptions evopts;
+        evopts.traceRefs = kRefs;
+        MissRateEvaluator ev(std::move(evopts));
+        Explorer ex(ev);
+        FailureReport report;
+        (void)supervisedEvaluateAll(ex, Benchmark::Gcc1, grid, &report,
+                                    opts);
+        _exit(0);
+    }
+    close(progressPipe[1]);
+    char b = 0;
+    ASSERT_EQ(::read(progressPipe[0], &b, 1), 1); // 1st shard done
+    kill(-child, SIGKILL);
+    close(progressPipe[0]);
+    int wstatus = 0;
+    ASSERT_EQ(waitpid(child, &wstatus, 0), child);
+    ASSERT_TRUE(WIFSIGNALED(wstatus)); // it did not finish on its own
+
+    // Phase 2: resume against the same store. Finished shards answer
+    // from disk; the tail simulates; output is byte-identical.
+    SupervisorOptions opts = testOptions();
+    opts.resultStorePath = storePath;
+    SweepResult resumed = runSupervised(grid, opts);
+    expectIdentical(clean, resumed);
+    EXPECT_EQ(resumed.stats.quarantined, 0u);
+    std::remove(storePath.c_str());
+}
+
+// ---------------------------------------------------------------
+// Result store durability: the ENOSPC class at write time.
+// ---------------------------------------------------------------
+
+TEST(ResultStoreDurability, EnospcClassSurfacesAndTailStaysIntact)
+{
+    const std::string path = tempPath("tlc_store_enospc.tlrs");
+
+    // The file-size rlimit makes writes past the cap fail with
+    // EFBIG — same ResourceExhausted class as a full disk, minus
+    // the need for one. Run in a child so the rlimit (and the
+    // ignored SIGXFSZ) cannot leak into other tests.
+    pid_t child = fork();
+    ASSERT_GE(child, 0);
+    if (child == 0) {
+        signal(SIGXFSZ, SIG_IGN); // take EFBIG, not a fatal signal
+        struct rlimit rl = {4096, 4096};
+        if (setrlimit(RLIMIT_FSIZE, &rl) != 0)
+            _exit(10);
+        ResultStore store;
+        ResultStoreOptions ro;
+        ro.fsyncOnCommit = true;
+        if (!store.open(path, ro).ok())
+            _exit(11);
+        const std::string payload(512, 'p');
+        for (int i = 0; i < 64; ++i) {
+            Status s = store.append("key" + std::to_string(i), payload);
+            if (!s.ok()) {
+                // Failure must carry the resource-exhausted class
+                // and leave the store usable for further queries.
+                if (s.code() != StatusCode::ResourceExhausted)
+                    _exit(12);
+                std::string back;
+                if (!store.lookup("key0", &back) || back != payload)
+                    _exit(13);
+                _exit(0);
+            }
+        }
+        _exit(14); // the cap never bit: test setup is wrong
+    }
+    int wstatus = 0;
+    ASSERT_EQ(waitpid(child, &wstatus, 0), child);
+    ASSERT_TRUE(WIFEXITED(wstatus));
+    EXPECT_EQ(WEXITSTATUS(wstatus), 0)
+        << "child exit " << WEXITSTATUS(wstatus);
+
+    // The write-time repair truncated the torn record, so a fresh
+    // open sees only intact records and drops nothing.
+    ResultStore reopened;
+    ASSERT_TRUE(reopened.open(path).ok());
+    EXPECT_EQ(reopened.droppedRecords(), 0u);
+    EXPECT_GT(reopened.size(), 0u);
+    std::string back;
+    EXPECT_TRUE(reopened.lookup("key0", &back));
+    std::remove(path.c_str());
+}
+
+TEST(ResultStoreDurability, FsyncOnCommitRoundTrips)
+{
+    const std::string path = tempPath("tlc_store_fsync.tlrs");
+    {
+        ResultStore store;
+        ResultStoreOptions ro;
+        ro.fsyncOnCommit = true;
+        ASSERT_TRUE(store.open(path, ro).ok());
+        ASSERT_TRUE(store.append("k", "v").ok());
+        ASSERT_TRUE(store.append("k2", "v2").ok());
+    }
+    ResultStore reopened;
+    ASSERT_TRUE(reopened.open(path).ok());
+    EXPECT_EQ(reopened.size(), 2u);
+    std::string v;
+    EXPECT_TRUE(reopened.lookup("k2", &v));
+    EXPECT_EQ(v, "v2");
+    std::remove(path.c_str());
+}

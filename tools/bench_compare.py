@@ -10,7 +10,12 @@ documents together (stdlib json only):
   exact     integers and booleans — deterministic simulation counts
             (design points, metric counters, per-phase call counts).
             Any difference is a regression or an intentional change
-            that must come with a baseline update.
+            that must come with a baseline update. Keys named in
+            EXACT_KEYS are pinned to this class whatever their type
+            or suffix — recovery-drill outcomes (quarantined points,
+            worker crash counts) must never be loosened into a
+            ratio or skipped by a rename that picks up an ignored
+            suffix.
 
   ratio     floats named "speedup" or ending in "_rate" — quality
             ratios that are meaningful across machines. Checked
@@ -37,14 +42,33 @@ IGNORED_KEYS = ("hardware_concurrency", "note")
 IGNORED_SUFFIXES = ("_seconds", "_ms", "_us")
 RATIO_SUFFIXES = ("_rate",)
 RATIO_KEYS = ("speedup",)
+# Fields that must match the baseline exactly no matter what their
+# type or name suffix suggests: the supervisor recovery drill's
+# outcome counts are correctness claims, not performance numbers.
+EXACT_KEYS = (
+    "quarantined_points",
+    "worker_launches",
+    "worker_crashes",
+    "shards_resolved",
+    "shard_retries",
+    "shard_bisections",
+    "points_priced",
+    "healthy_points_identical",
+)
+
+
+def is_exact(key):
+    return key in EXACT_KEYS
 
 
 def is_ignored(key):
-    return key in IGNORED_KEYS or key.endswith(IGNORED_SUFFIXES)
+    return not is_exact(key) and (key in IGNORED_KEYS or
+                                  key.endswith(IGNORED_SUFFIXES))
 
 
 def is_ratio(key):
-    return key in RATIO_KEYS or key.endswith(RATIO_SUFFIXES)
+    return not is_exact(key) and (key in RATIO_KEYS or
+                                  key.endswith(RATIO_SUFFIXES))
 
 
 def compare(base, fresh, tolerance, path, failures, counts):
@@ -86,7 +110,12 @@ def compare(base, fresh, tolerance, path, failures, counts):
             failures.append(f"{path}: {fresh} != baseline {base} "
                             f"({fresh - base:+d})")
     elif isinstance(base, (int, float)) and isinstance(fresh, (int, float)):
-        if not is_ratio(key):
+        if is_exact(key):
+            counts["exact"] += 1
+            if base != fresh:
+                failures.append(f"{path}: {fresh} != baseline {base} "
+                                "(exact-match field)")
+        elif not is_ratio(key):
             # A float that is neither a ratio nor wall-clock: compare
             # symmetrically so schema drift does not slip through.
             counts["exact"] += 1

@@ -6,7 +6,10 @@
 #
 # Usage:
 #   tools/check.sh                  # full: every tier below, in order
-#   tools/check.sh --tier=fast      # configure + build + ctest
+#   tools/check.sh --tier=fast      # configure + build + ctest, then
+#                                   # the supervised-sweep recovery
+#                                   # drills (crash/hang/kill/resume
+#                                   # differentials)
 #   tools/check.sh --tier=asan      # robustness suites under ASan+UBSan
 #   tools/check.sh --tier=tsan      # parallel suites under TSan
 #   tools/check.sh --tier=smoke     # bench/example smoke runs, the
@@ -68,6 +71,84 @@ run_fast() {
     echo "== tier fast: configure + build + ctest =="
     build_main
     ctest --test-dir build --output-on-failure
+    run_recovery
+}
+
+run_recovery() {
+    # Recovery drills for the fault-isolated sweep supervisor. Every
+    # drill is a differential against the plain in-process sweep: the
+    # supervisor's whole contract is "same bytes out, whatever the
+    # workers do", so any divergence — including a fault that was
+    # supposed to be absorbed by retry — fails the tier.
+    echo "== recovery drills: supervised sweep differentials =="
+    rec_dir=$(mktemp -d)
+    build/examples/design_explorer --refs=50000 --quiet \
+        > "$rec_dir/inproc.txt"
+
+    # Fault-free isolation must be invisible in the output.
+    build/examples/design_explorer --refs=50000 --quiet \
+        --isolate=process > "$rec_dir/isolate.txt"
+    cmp "$rec_dir/inproc.txt" "$rec_dir/isolate.txt" || {
+        echo "isolated sweep output differs from in-process" >&2
+        exit 1
+    }
+
+    # A worker that crashes once is retried; the sweep self-heals.
+    build/examples/design_explorer --refs=50000 --quiet \
+        --isolate=process --inject-crash-at=12 --inject-times=1 \
+        > "$rec_dir/crash.txt"
+    cmp "$rec_dir/inproc.txt" "$rec_dir/crash.txt" || {
+        echo "transient worker crash leaked into sweep output" >&2
+        exit 1
+    }
+
+    # A worker that hangs once (ignoring SIGTERM) is killed by the
+    # watchdog and retried; the sweep self-heals.
+    build/examples/design_explorer --refs=50000 --quiet \
+        --isolate=process --inject-hang-at=12 --inject-times=1 \
+        --shard-timeout=2 > "$rec_dir/hang.txt"
+    cmp "$rec_dir/inproc.txt" "$rec_dir/hang.txt" || {
+        echo "transient worker hang leaked into sweep output" >&2
+        exit 1
+    }
+
+    # SIGKILL the supervisor mid-sweep, then --resume against the
+    # store the workers were appending to: the finished run must be
+    # byte-identical. (If the first run wins the race and completes,
+    # the resume differential still has to hold.)
+    build/examples/design_explorer --refs=50000 --quiet \
+        --isolate=process --result-store="$rec_dir/sweep.tlrs" \
+        > /dev/null 2>&1 &
+    victim=$!
+    sleep 1
+    kill -KILL "$victim" 2>/dev/null || true
+    wait "$victim" 2>/dev/null || true
+    sleep 1   # let any orphaned worker drain its final append
+    build/examples/design_explorer --refs=50000 --quiet \
+        --isolate=process --result-store="$rec_dir/sweep.tlrs" \
+        --resume > "$rec_dir/resumed.txt"
+    cmp "$rec_dir/inproc.txt" "$rec_dir/resumed.txt" || {
+        echo "--resume after SIGKILLed supervisor diverged" >&2
+        exit 1
+    }
+
+    # The deterministic misbehaviour modes the drills above rely on:
+    # --mode=crash must die by signal, --mode=hang must survive
+    # SIGTERM and only yield to SIGKILL (rc 137 from timeout -s KILL).
+    rc=0
+    build/tools/trace_fuzz --mode=crash --at=5 >/dev/null 2>&1 || rc=$?
+    [ "$rc" -ge 128 ] || {
+        echo "trace_fuzz --mode=crash exited $rc, expected a signal" >&2
+        exit 1
+    }
+    rc=0
+    timeout -s KILL 2 build/tools/trace_fuzz --mode=hang --at=5 \
+        >/dev/null 2>&1 || rc=$?
+    [ "$rc" -eq 137 ] || {
+        echo "trace_fuzz --mode=hang exited $rc, expected 137" >&2
+        exit 1
+    }
+    rm -rf "$rec_dir"
 }
 
 run_asan() {
@@ -156,12 +237,14 @@ run_smoke() {
         "$batch_json"
     rm -f "$batch_json"
 
-    # The benchmark regression gate: regenerate the three checked-in
+    # The benchmark regression gate: regenerate the four checked-in
     # BENCH_*.json documents at their reference settings and compare
-    # against the committed baselines. Counts must match exactly;
-    # ratios (speedup, hit rates) may not regress past the tolerance;
-    # absolute seconds are machine-dependent and ignored. One worker
-    # keeps the cache-memo counters deterministic.
+    # against the committed baselines. Counts must match exactly
+    # (the recovery drill's quarantine/retry/bisection counts are
+    # pinned exact by name in bench_compare.py); ratios (speedup, hit
+    # rates) may not regress past the tolerance; absolute seconds are
+    # machine-dependent and ignored. One worker keeps the cache-memo
+    # counters deterministic.
     echo "== benchmark regression gate (bench_compare.py) =="
     gate_dir=$(mktemp -d)
     TLC_THREADS=1 build/bench/bench_sweep_timing \
@@ -170,12 +253,16 @@ run_smoke() {
         > "$gate_dir/batch.json"
     TLC_THREADS=1 build/bench/bench_observability_snapshot \
         > "$gate_dir/observability.json"
+    TLC_THREADS=1 build/bench/bench_supervisor_recovery \
+        > "$gate_dir/recovery.json" 2>/dev/null
     python3 tools/bench_compare.py BENCH_sweep.json \
         "$gate_dir/sweep.json"
     python3 tools/bench_compare.py BENCH_batch.json \
         "$gate_dir/batch.json"
     python3 tools/bench_compare.py BENCH_observability.json \
         "$gate_dir/observability.json"
+    python3 tools/bench_compare.py BENCH_recovery.json \
+        "$gate_dir/recovery.json"
     rm -rf "$gate_dir"
 }
 

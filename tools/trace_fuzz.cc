@@ -17,14 +17,26 @@
  * Exit status 0 means every invariant held; any violation prints
  * the offending (format, seed) pair so it can be replayed.
  *
+ * Deterministic misbehaviour modes (for drilling the process
+ * supervisor and any watchdog/timeout tooling around this binary):
+ *
+ *   --mode=crash --at=N   raise SIGSEGV right before processing
+ *                         record N of the first trace
+ *   --mode=hang  --at=N   ignore SIGTERM and sleep forever at
+ *                         record N (only SIGKILL ends it)
+ *
  * Usage:
- *   trace_fuzz [--rounds=200] [--refs=2000] [--rate=0.001] [--seed=1]
+ *   trace_fuzz [--mode=fuzz|crash|hang] [--at=N]
+ *              [--rounds=200] [--refs=2000] [--rate=0.001] [--seed=1]
  */
 
 #include <algorithm>
 #include <cstdio>
 #include <sstream>
 #include <string>
+
+#include <signal.h>
+#include <unistd.h>
 
 #include "trace/io.hh"
 #include "trace/workload.hh"
@@ -128,6 +140,45 @@ checkSample(const std::string &image, Format f, std::uint64_t seed,
     }
 }
 
+/**
+ * Walk the first trace record by record and misbehave exactly at
+ * record @p at: deterministic, so a supervising harness can assert
+ * on "crashes while processing record N" rather than "crashes
+ * sometimes". Never returns once the fault fires.
+ */
+int
+runInjectionMode(const std::string &mode, std::uint64_t refs,
+                 std::uint64_t at)
+{
+    TraceBuffer trace = Workloads::generate(Workloads::all()[0], refs, 0);
+    std::uint64_t n = 0;
+    for (const auto &ref : trace) {
+        (void)ref;
+        if (n++ < at)
+            continue;
+        if (mode == "crash") {
+            std::fprintf(stderr,
+                         "trace_fuzz: injecting SIGSEGV at record "
+                         "%llu\n",
+                         static_cast<unsigned long long>(at));
+            raise(SIGSEGV);
+        }
+        std::fprintf(stderr,
+                     "trace_fuzz: hanging at record %llu (SIGTERM "
+                     "ignored; SIGKILL to end)\n",
+                     static_cast<unsigned long long>(at));
+        signal(SIGTERM, SIG_IGN);
+        for (;;)
+            pause();
+    }
+    std::fprintf(stderr,
+                 "trace_fuzz: --at=%llu beyond the trace's %llu "
+                 "records; fault never fired\n",
+                 static_cast<unsigned long long>(at),
+                 static_cast<unsigned long long>(n));
+    return 2;
+}
+
 } // namespace
 
 int
@@ -135,6 +186,15 @@ main(int argc, char **argv)
 {
     ArgParser args(argc, argv);
     applyStandardFlags(args);
+    const std::string mode = args.getString("mode", "fuzz");
+    if (mode == "crash" || mode == "hang") {
+        return runInjectionMode(
+            mode, static_cast<std::uint64_t>(args.getInt("refs", 2000)),
+            static_cast<std::uint64_t>(args.getInt("at", 0)));
+    }
+    if (mode != "fuzz")
+        fatal("--mode must be fuzz, crash or hang (got '%s')",
+              mode.c_str());
     const std::uint64_t rounds =
         static_cast<std::uint64_t>(args.getInt("rounds", 200));
     const std::uint64_t refs =
