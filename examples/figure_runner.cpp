@@ -8,6 +8,7 @@
  *   figure_runner --list
  *   figure_runner --figure=fig05 [--refs=2000000] [--csv]
  *                 [--threads=N] [--quiet|--verbose] [--profile]
+ *                 [--backend=exact|analytic|analytic-prune]
  *                 [--progress] [--trace-out=FILE] [--manifest=FILE]
  *                 [--result-store=FILE] [--resume]
  *                 [--isolate=process] [--shard-points=N]
@@ -85,12 +86,14 @@ listCatalog()
 
 int
 runScatter(const FigureSpec &f, std::uint64_t refs, bool csv,
-           bool progress, std::shared_ptr<SweepCache> store,
+           bool progress, MissBackend backend,
+           std::shared_ptr<SweepCache> store,
            const SupervisorOptions *sopts, std::size_t *points_priced)
 {
     EvaluatorOptions evopts;
     evopts.traceRefs = refs;
     evopts.resultStore = std::move(store);
+    evopts.backend = backend;
     MissRateEvaluator ev(evopts);
     Explorer ex(ev);
     // The supervisor is inherently fail-soft, so the isolated path
@@ -174,8 +177,19 @@ main(int argc, char **argv)
         static_cast<std::uint64_t>(args.getInt("refs", 1000000));
     bool csv = args.getBool("csv", false);
     bool progress = args.getBool("progress", false);
+    MissBackend backend = MissBackend::Exact;
+    std::string backendName = args.getString("backend", "exact");
+    if (!missBackendFromName(backendName, backend))
+        fatal("--backend=%s: unknown backend (exact, analytic, "
+              "analytic-prune)", backendName.c_str());
     SupervisorOptions sopts;
     const bool isolate = supervisorOptionsFromArgs(args, &sopts);
+    if (isolate && backend == MissBackend::AnalyticPrune) {
+        // Supervised shards price points out of process and never
+        // enter Explorer::evaluateAll's pruning path.
+        warn("--isolate=process ignores --backend=analytic-prune's "
+             "pruning; shards simulate every point exactly");
+    }
     std::string storePath = args.getString("result-store");
     bool resume = args.getBool("resume", false);
     if (resume && storePath.empty())
@@ -214,7 +228,7 @@ main(int argc, char **argv)
     int rc = 0;
     switch (f.kind) {
       case ExhibitKind::TpiScatter:
-        rc = runScatter(f, refs, csv, progress, store,
+        rc = runScatter(f, refs, csv, progress, backend, store,
                         isolate ? &sopts : nullptr, &pointsPriced);
         break;
       case ExhibitKind::Table:

@@ -1,0 +1,607 @@
+/**
+ * @file
+ * Reuse-distance profiler implementation.
+ */
+
+#include "reuse_profile.hh"
+
+#include <algorithm>
+#include <cmath>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "util/logging.hh"
+#include "util/metrics.hh"
+#include "util/profiler.hh"
+#include "util/random.hh"
+
+namespace tlc {
+
+namespace {
+
+/** Analytic-path metrics, registered once and shared by all sites. */
+struct AnalyticMetrics
+{
+    MetricCounter &profiles;
+    MetricCounter &profileRecords;
+
+    static AnalyticMetrics &get()
+    {
+        static AnalyticMetrics m{
+            MetricsRegistry::global().counter(
+                "explore.analytic.profiles"),
+            MetricsRegistry::global().counter(
+                "explore.analytic.profile_records"),
+        };
+        return m;
+    }
+};
+
+/**
+ * Stack-distance engine for one reference stream: each line's most
+ * recent access occupies a marked time slot; the reuse distance of
+ * an access is the number of marked slots AFTER the line's previous
+ * slot (= distinct other lines touched since), counted with a
+ * Fenwick tree in O(log n).
+ */
+class StackDistanceEngine
+{
+  public:
+    explicit StackDistanceEngine(std::size_t max_refs)
+        : tree_(max_refs + 1, 0),
+          size_(std::min<std::size_t>(max_refs, kMinEpoch))
+    {
+        last_.reserve(1u << 16);
+    }
+
+    /** Distance of this access, or ReuseHistogram::kColdDistance. */
+    std::uint64_t access(std::uint64_t line)
+    {
+        // Same line as the previous access: distance 0 by
+        // definition, and skipping the tree update is invisible —
+        // the line's mark stays on its old slot, which sits after
+        // every other line's mark just the same (sequential
+        // instruction fetches make this the common case).
+        if (line == lastLine_)
+            return 0;
+        lastLine_ = line;
+        if (clock_ >= size_)
+            compact();
+        ++clock_;
+        tlc_assert(clock_ <= size_,
+                   "stack-distance engine sized for %zu refs saw more",
+                   tree_.size() - 1);
+        std::uint64_t distance = ReuseHistogram::kColdDistance;
+        auto [it, inserted] = last_.try_emplace(line, clock_);
+        if (!inserted) {
+            distance = marked_ - prefixSum(it->second);
+            add(it->second, -1);
+            --marked_;
+            it->second = clock_;
+        }
+        add(clock_, +1);
+        ++marked_;
+        return distance;
+    }
+
+  private:
+    void add(std::size_t i, std::int64_t delta)
+    {
+        // Unsigned wraparound is fine: every partial sum a -1 lands
+        // on was previously incremented, so values stay non-negative.
+        for (; i <= size_; i += i & (~i + 1))
+            tree_[i] += static_cast<std::uint32_t>(delta);
+    }
+
+    std::uint64_t prefixSum(std::size_t i) const
+    {
+        std::uint64_t s = 0;
+        for (; i > 0; i -= i & (~i + 1))
+            s += tree_[i];
+        return s;
+    }
+
+    /**
+     * Remap the live marks onto slots 1..marked_, preserving their
+     * order — every "marked slots after X" count, and therefore
+     * every future distance, is unchanged. A naive tree spans one
+     * slot per reference, so updates walk a trace-length index range
+     * even when only the working set is marked. Compacting whenever
+     * dead slots outnumber live ones bounds the tree's EFFECTIVE
+     * size (size_, the update loop's ceiling) at ~2x the working
+     * set, which keeps the whole touched region CPU-cache-resident
+     * at O(log live) amortized extra cost per access: a compaction
+     * costs O(live log live) and buys at least `live` accesses
+     * before the next one.
+     */
+    void compact()
+    {
+        std::vector<std::pair<std::size_t, std::uint64_t>> live;
+        live.reserve(last_.size());
+        for (const auto &[line, slot] : last_)
+            live.emplace_back(slot, line);
+        std::sort(live.begin(), live.end());
+        clock_ = live.size();
+        for (std::size_t i = 0; i < live.size(); ++i)
+            last_[live[i].second] = i + 1;
+        size_ = std::min(
+            tree_.size() - 1,
+            std::max<std::size_t>(2 * live.size(), kMinEpoch));
+        // Rebuild every node up to the new size_ in closed form:
+        // slots 1..clock_ each hold one mark, so node i (covering
+        // (i - lowbit(i), i]) holds the part of its span that lies
+        // within 1..clock_. Nodes ABOVE clock_ need this too — a
+        // later add(slot, -1) climbs through them. Anything beyond
+        // size_ is dead until a future compact rewrites it.
+        for (std::size_t i = 1; i <= size_; ++i) {
+            std::size_t lo = i - (i & (~i + 1));
+            tree_[i] = static_cast<std::uint32_t>(
+                std::min(i, clock_) - std::min(lo, clock_));
+        }
+    }
+
+    /// Smallest effective tree size — below this, compaction churn
+    /// would outweigh the locality it buys.
+    static constexpr std::size_t kMinEpoch = 4096;
+
+    std::vector<std::uint32_t> tree_; ///< 1-based Fenwick over slots
+    std::unordered_map<std::uint64_t, std::size_t> last_;
+    std::size_t clock_ = 0; ///< slots consumed this epoch
+    std::size_t size_;      ///< effective tree size; compact() above
+    std::uint64_t marked_ = 0;  ///< distinct lines seen so far
+    std::uint64_t lastLine_ = ~std::uint64_t{0}; ///< previous access
+};
+
+/**
+ * The exact direct-mapped ladder of one stream: one tag array per
+ * power-of-two set count, all probed on every reference, so the pass
+ * SIMULATES every direct-mapped geometry at once. Indexing matches
+ * Cache exactly (set = line & (sets - 1); full line address as tag).
+ * The tag arrays are scratch — only the per-level miss counts
+ * survive into the histogram.
+ */
+class DmLadder
+{
+  public:
+    explicit DmLadder(std::uint32_t levels)
+        : levels_(levels), misses_(levels, 0),
+          tags_((std::size_t{1} << levels) - 1, kEmpty)
+    {
+    }
+
+    /**
+     * Probe and fill all levels; count misses only when counted.
+     * @return the miss bitmask (bit k set = level k missed), which
+     * is exactly "would a direct-mapped L1 of 2^k sets forward this
+     * reference to the L2" for the hierarchy ladder.
+     */
+    std::uint32_t access(std::uint64_t line, bool counted)
+    {
+        // The previous access left this line resident at EVERY
+        // level, so a consecutive repeat hits everywhere and
+        // changes nothing (no stamps direct-mapped).
+        if (line == lastLine_)
+            return 0;
+        lastLine_ = line;
+        std::uint32_t missMask = 0;
+        std::size_t base = 0;
+        for (std::uint32_t k = 0; k < levels_; ++k) {
+            const std::uint64_t sets = std::uint64_t{1} << k;
+            std::uint64_t &tag = tags_[base + (line & (sets - 1))];
+            if (tag != line) {
+                tag = line;
+                misses_[k] += counted;
+                missMask |= std::uint32_t{1} << k;
+            }
+            base += sets;
+        }
+        return missMask;
+    }
+
+    std::vector<std::uint64_t> takeMisses()
+    {
+        return std::move(misses_);
+    }
+
+  private:
+    static constexpr std::uint64_t kEmpty = ~std::uint64_t{0};
+
+    std::uint32_t levels_;
+    std::vector<std::uint64_t> misses_;
+    std::vector<std::uint64_t> tags_; ///< level k at offset 2^k - 1
+    std::uint64_t lastLine_ = kEmpty; ///< previous access
+};
+
+/**
+ * A bit-exact replica of one in-hierarchy L2 Cache: same set
+ * indexing (set = line & (sets - 1)), same victim choice (first
+ * invalid way, else Pcg32 nextBounded for Random / smallest stamp
+ * for LRU and FIFO), and the same Pcg32 seed and stream the
+ * simulator gives an L2 under the default hierarchy seed
+ * (Cache(l2_params, seed + 2) with seed == 1). Fed the exact
+ * L1-miss stream of one DM-ladder level, its miss count equals the
+ * mostly-inclusive TwoLevelHierarchy's l2Misses bit for bit: L2
+ * hits change no state that affects placement (dirty bits and LRU
+ * stamps on loads only), and every fill consumes the replacement
+ * stream exactly like the real Cache.
+ */
+class L2Replica
+{
+  public:
+    L2Replica(std::uint64_t sets, std::uint32_t ways, ReplPolicy repl)
+        : sets_(sets), ways_(ways), repl_(repl),
+          entries_(sets * ways, Entry{kEmpty, 0}),
+          rng_(kHierarchySeed + 2, 0xcac4e)
+    {
+    }
+
+    void access(std::uint64_t line, bool counted)
+    {
+        // The previous access (hit or fill) left this line resident
+        // with the newest stamp, so a consecutive repeat is a hit
+        // that changes nothing observable: no miss, no fill, no
+        // replacement draw, and re-stamping the already-newest way
+        // cannot change any future smallest-stamp victim choice.
+        if (line == lastLine_)
+            return;
+        lastLine_ = line;
+        const std::size_t base = (line & (sets_ - 1)) * ways_;
+        const std::uint32_t tag = static_cast<std::uint32_t>(line);
+        Entry *set = entries_.data() + base;
+        for (std::uint32_t w = 0; w < ways_; ++w) {
+            if (set[w].tag == tag) {
+                if (repl_ == ReplPolicy::LRU)
+                    set[w].stamp = ++tick_;
+                return;
+            }
+        }
+        misses_ += counted;
+        std::uint32_t victim = ways_;
+        for (std::uint32_t w = 0; w < ways_; ++w) {
+            if (set[w].tag == kEmpty) {
+                victim = w;
+                break;
+            }
+        }
+        if (victim == ways_) {
+            if (repl_ == ReplPolicy::Random) {
+                victim = rng_.nextBounded(ways_);
+            } else {
+                victim = 0;
+                for (std::uint32_t w = 1; w < ways_; ++w)
+                    if (set[w].stamp < set[victim].stamp)
+                        victim = w;
+            }
+        }
+        set[victim].tag = tag;
+        set[victim].stamp = ++tick_;
+    }
+
+    std::uint64_t misses() const { return misses_; }
+
+  private:
+    /**
+     * One way, packed so a 4-way set spans 32 bytes (half a cache
+     * line) instead of two separate 32-byte tag/stamp regions. The
+     * 32-bit tag holds the full line address: addresses are 32-bit
+     * and profile() requires line_bytes >= 2 for the hierarchy
+     * ladder, so lines fit 31 bits and never collide with kEmpty.
+     * The 32-bit stamp orders LRU/FIFO ways; ticks are per-cell
+     * accesses, so 4 billion of them outlasts any realistic trace.
+     */
+    struct Entry
+    {
+        std::uint32_t tag;
+        std::uint32_t stamp;
+    };
+    static constexpr std::uint32_t kEmpty = ~std::uint32_t{0};
+    /** The default Hierarchy replacement seed (see makeHierarchy). */
+    static constexpr std::uint64_t kHierarchySeed = 1;
+
+    std::uint64_t sets_;
+    std::uint32_t ways_;
+    ReplPolicy repl_;
+    std::vector<Entry> entries_;
+    std::uint32_t tick_ = 0;
+    std::uint64_t misses_ = 0;
+    std::uint64_t lastLine_ = ~std::uint64_t{0};
+    Pcg32 rng_;
+};
+
+/** llround clamped into [0, limit] for stats-count determinism. */
+std::uint64_t
+roundCount(double x, std::uint64_t limit)
+{
+    if (!(x > 0.0))
+        return 0;
+    auto v = static_cast<std::uint64_t>(std::llround(x));
+    return v < limit ? v : limit;
+}
+
+} // namespace
+
+// ---------------------------------------------------------------------
+// ReuseHistogram
+// ---------------------------------------------------------------------
+
+void
+ReuseHistogram::record(std::uint64_t distance)
+{
+    ++refs_;
+    if (distance == kColdDistance) {
+        ++cold_;
+        return;
+    }
+    if (distance >= counts_.size())
+        counts_.resize(distance + 1, 0);
+    ++counts_[distance];
+}
+
+void
+ReuseHistogram::finalize()
+{
+    tail_.assign(counts_.size() + 1, 0);
+    for (std::size_t d = counts_.size(); d-- > 0;)
+        tail_[d] = tail_[d + 1] + counts_[d];
+}
+
+double
+ReuseHistogram::expectedMisses(std::uint64_t sets,
+                               std::uint32_t ways) const
+{
+    tlc_assert(sets >= 1 && ways >= 1,
+               "degenerate geometry %llu sets x %u ways",
+               static_cast<unsigned long long>(sets), ways);
+    if (sets == 1)
+        return static_cast<double>(missesAtCapacity(ways));
+
+    const double p = 1.0 / static_cast<double>(sets);
+    const double q = 1.0 - p;
+    const double ratio = p / q;
+    double hits = 0.0;
+    double qd = 1.0; // q^d, advanced with d
+    for (std::size_t d = 0; d < counts_.size(); ++d, qd *= q) {
+        if (!counts_[d])
+            continue;
+        // P_hit(d) = sum_{j<ways} C(d,j) p^j q^(d-j), built by the
+        // term recurrence t_j = t_{j-1} * (d-j+1)/j * (p/q); the
+        // j > d tail multiplies by zero and drops out on its own.
+        double term = qd;
+        double ph = term;
+        const std::uint32_t jmax =
+            d < ways ? static_cast<std::uint32_t>(d) : ways - 1;
+        for (std::uint32_t j = 1; j <= jmax; ++j) {
+            term *= static_cast<double>(d - j + 1) / j * ratio;
+            ph += term;
+        }
+        if (ph > 1.0)
+            ph = 1.0;
+        hits += static_cast<double>(counts_[d]) * ph;
+    }
+    return static_cast<double>(refs_) - hits;
+}
+
+double
+ReuseHistogram::expectedMisses(std::uint64_t sets, std::uint32_t ways,
+                               ReplPolicy repl) const
+{
+    tlc_assert(sets >= 1 && ways >= 1,
+               "degenerate geometry %llu sets x %u ways",
+               static_cast<unsigned long long>(sets), ways);
+    if (ways == 1) {
+        // Direct-mapped: the replacement policy is irrelevant and
+        // the ladder simulated the geometry exactly.
+        if (auto exact = directMappedMisses(sets))
+            return static_cast<double>(*exact);
+    }
+    if (repl == ReplPolicy::LRU)
+        return expectedMisses(sets, ways);
+
+    // Random (and FIFO, approximated the same way): each of the d
+    // intervening distinct lines evicts ours with probability
+    // 1/(sets*ways), so P_hit(d) = (1 - 1/lines)^d. Also the
+    // out-of-range direct-mapped fallback (ways == 1 reduces the
+    // binomial to exactly this form).
+    const double lines =
+        static_cast<double>(sets) * static_cast<double>(ways);
+    const double q = 1.0 - 1.0 / lines;
+    double hits = 0.0;
+    double qd = 1.0; // q^d, advanced with d
+    for (std::size_t d = 0; d < counts_.size(); ++d, qd *= q)
+        if (counts_[d])
+            hits += static_cast<double>(counts_[d]) * qd;
+    return static_cast<double>(refs_) - hits;
+}
+
+// ---------------------------------------------------------------------
+// ReuseProfile
+// ---------------------------------------------------------------------
+
+ReuseProfile
+ReuseProfile::profile(const TraceBuffer &trace, std::uint32_t line_bytes,
+                      std::uint64_t warmup_refs, std::uint32_t l2_ways,
+                      ReplPolicy l2_repl)
+{
+    tlc_assert(line_bytes > 0 && (line_bytes & (line_bytes - 1)) == 0,
+               "line size %u is not a power of two", line_bytes);
+    tlc_assert(l2_ways >= 1, "hierarchy ladder with zero-way L2");
+    ScopedTimer timer(phase::kAnalyticProfile);
+
+    std::uint32_t shift = 0;
+    while ((1u << shift) < line_bytes)
+        ++shift;
+
+    ReuseProfile out;
+    out.lineBytes_ = line_bytes;
+    out.warmupRefs_ = warmup_refs;
+    out.hierL2Ways_ = l2_ways;
+    out.hierL2Repl_ = l2_repl;
+
+    StackDistanceEngine instr(trace.instrRefs());
+    StackDistanceEngine data(trace.dataRefs());
+    StackDistanceEngine unified(trace.size());
+    DmLadder instrDm(ReuseHistogram::kDmLadderLevels);
+    DmLadder dataDm(ReuseHistogram::kDmLadderLevels);
+    DmLadder unifiedDm(ReuseHistogram::kDmLadderLevels);
+
+    // One L2 replica per (L1 sets, L2 sets) hierarchy-ladder cell.
+    // The L2 axis stops where a replica would model more than
+    // kHierMaxL2Bytes of L2 — such cells are pure cache-footprint
+    // cost during the pass and nothing in range queries them. The
+    // ladder also needs lines to fit the replicas' packed 32-bit
+    // tags, which line_bytes >= 2 guarantees for 32-bit addresses
+    // (line_bytes == 1 just skips the ladder; every query falls
+    // back to the standalone model).
+    constexpr std::uint32_t nL1 =
+        kHierL1MaxLog2 - kHierL1MinLog2 + 1;
+    std::uint32_t nL2 = 0;
+    if (line_bytes >= 2) {
+        while (nL2 < kHierL2MaxLog2 - kHierL2MinLog2 + 1 &&
+               (std::uint64_t{1} << (kHierL2MinLog2 + nL2)) * l2_ways *
+                       line_bytes <=
+                   kHierMaxL2Bytes)
+            ++nL2;
+    }
+    std::vector<std::vector<L2Replica>> hier;
+    hier.reserve(nL1);
+    for (std::uint32_t i = 0; i < nL1; ++i) {
+        hier.emplace_back();
+        hier.back().reserve(nL2);
+        for (std::uint32_t j = 0; j < nL2; ++j)
+            hier.back().emplace_back(
+                std::uint64_t{1} << (kHierL2MinLog2 + j), l2_ways,
+                l2_repl);
+    }
+
+    std::uint64_t index = 0;
+    for (const TraceRecord &rec : trace) {
+        const std::uint64_t line = rec.addr >> shift;
+        const bool dataRef = isData(rec.type);
+        const bool counted = index >= warmup_refs;
+        const std::uint64_t dSplit =
+            (dataRef ? data : instr).access(line);
+        const std::uint64_t dUnified = unified.access(line);
+        const std::uint32_t missMask =
+            (dataRef ? dataDm : instrDm).access(line, counted);
+        unifiedDm.access(line, counted);
+        // Forward the reference to each ladder cell whose L1 level
+        // missed: exactly the accesses the real L2 would see.
+        for (std::uint32_t i = 0; i < nL1; ++i) {
+            if (missMask & (std::uint32_t{1} << (kHierL1MinLog2 + i)))
+                for (auto &cell : hier[i])
+                    cell.access(line, counted);
+        }
+        if (counted) {
+            (dataRef ? out.data_ : out.instr_).record(dSplit);
+            out.unified_.record(dUnified);
+        }
+        ++index;
+    }
+    out.instr_.finalize();
+    out.data_.finalize();
+    out.unified_.finalize();
+    out.instr_.dm_ = instrDm.takeMisses();
+    out.data_.dm_ = dataDm.takeMisses();
+    out.unified_.dm_ = unifiedDm.takeMisses();
+    out.hier_.assign(nL1, std::vector<std::uint64_t>(nL2, 0));
+    for (std::uint32_t i = 0; i < nL1; ++i)
+        for (std::uint32_t j = 0; j < nL2; ++j)
+            out.hier_[i][j] = hier[i][j].misses();
+
+    AnalyticMetrics::get().profiles.inc();
+    AnalyticMetrics::get().profileRecords.inc(trace.size());
+    return out;
+}
+
+std::optional<std::uint64_t>
+ReuseProfile::hierarchyGlobalMisses(std::uint64_t l1_sets,
+                                    std::uint64_t l2_sets,
+                                    std::uint32_t l2_ways,
+                                    ReplPolicy l2_repl) const
+{
+    if (l2_ways != hierL2Ways_ || l2_repl != hierL2Repl_)
+        return std::nullopt;
+    if (l1_sets == 0 || (l1_sets & (l1_sets - 1)) != 0 ||
+        l2_sets == 0 || (l2_sets & (l2_sets - 1)) != 0) {
+        return std::nullopt;
+    }
+    std::uint32_t k1 = 0, k2 = 0;
+    while ((std::uint64_t{1} << k1) < l1_sets)
+        ++k1;
+    while ((std::uint64_t{1} << k2) < l2_sets)
+        ++k2;
+    if (k1 < kHierL1MinLog2 || k1 > kHierL1MaxLog2 ||
+        k2 < kHierL2MinLog2) {
+        return std::nullopt;
+    }
+    // The L2 axis may be shorter than kHierL2MaxLog2 allows: cells
+    // past the kHierMaxL2Bytes cap (or the whole ladder, at 1-byte
+    // lines) were never simulated.
+    const auto &row = hier_[k1 - kHierL1MinLog2];
+    if (k2 - kHierL2MinLog2 >= row.size())
+        return std::nullopt;
+    return row[k2 - kHierL2MinLog2];
+}
+
+HierarchyStats
+ReuseProfile::statsFor(const SystemConfig &config) const
+{
+    tlc_assert(config.assume.lineBytes == lineBytes_,
+               "profile at %u-byte lines asked about a %u-byte config",
+               lineBytes_, config.assume.lineBytes);
+
+    HierarchyStats s;
+    s.instrRefs = instr_.refs();
+    s.dataRefs = data_.refs();
+
+    const ReplPolicy l1Repl = config.l1Params().repl;
+    const std::uint32_t l1Ways = config.assume.l1Assoc;
+    const std::uint64_t l1Lines = config.l1Bytes / lineBytes_;
+    tlc_assert(l1Ways >= 1 && l1Lines >= l1Ways,
+               "config %s: degenerate L1 geometry",
+               config.label().c_str());
+    const std::uint64_t l1Sets = l1Lines / l1Ways;
+    s.l1iMisses =
+        roundCount(instr_.expectedMisses(l1Sets, l1Ways, l1Repl),
+                   instr_.refs());
+    s.l1dMisses =
+        roundCount(data_.expectedMisses(l1Sets, l1Ways, l1Repl),
+                   data_.refs());
+    const std::uint64_t l1m = s.l1iMisses + s.l1dMisses;
+
+    if (config.hasL2()) {
+        const ReplPolicy l2Repl = config.l2Params().repl;
+        const std::uint32_t l2Ways = config.assume.l2Assoc;
+        const std::uint64_t l2Lines = config.l2Bytes / lineBytes_;
+        tlc_assert(l2Ways >= 1 && l2Lines >= l2Ways,
+                   "config %s: degenerate L2 geometry",
+                   config.label().c_str());
+        const std::uint64_t l2Sets = l2Lines / l2Ways;
+        std::optional<std::uint64_t> exact;
+        if (config.assume.policy == TwoLevelPolicy::Inclusive &&
+            l1Ways == 1) {
+            exact = hierarchyGlobalMisses(l1Sets, l2Sets, l2Ways,
+                                          l2Repl);
+        }
+        // Off-ladder fallback: the hierarchy's off-chip misses are
+        // modeled as the misses of a standalone L2-sized cache over
+        // the unified stream, clamped so the derived l2Hits never
+        // underflows.
+        std::uint64_t global =
+            exact ? *exact
+                  : roundCount(
+                        unified_.expectedMisses(l2Sets, l2Ways, l2Repl),
+                        unified_.refs());
+        if (global > l1m)
+            global = l1m;
+        s.l2Misses = global;
+        s.l2Hits = l1m - global;
+    } else {
+        s.l2Misses = l1m;
+        s.l2Hits = 0;
+    }
+    return s;
+}
+
+} // namespace tlc

@@ -1,0 +1,323 @@
+/**
+ * @file
+ * One-pass LRU reuse-distance (stack-distance) profiling: the
+ * analytic fast path behind MissRateEvaluator's Analytic and
+ * AnalyticPrune backends.
+ *
+ * The paper's design-space figures sweep cache size across dozens of
+ * points per benchmark, and even with SimGroup batching every
+ * (size, assoc) point pays for the full trace once. A single
+ * profiling pass sidesteps the size axis entirely: for an LRU cache,
+ * a reference hits iff the number of DISTINCT lines touched since
+ * its previous access — its reuse distance d — is smaller than the
+ * capacity in lines. One pass that records the histogram of reuse
+ * distances therefore answers "how many misses at capacity C?" for
+ * EVERY capacity in O(1) per query (a suffix sum over the
+ * histogram), the inclusion-property trick of Mattson et al. that
+ * Ling et al. (arXiv:1907.05068) build their L2 reuse-model on.
+ *
+ * Distances are counted with a Fenwick tree over time slots (each
+ * line's most recent access is a marked slot; a reuse distance is
+ * the count of marked slots after the previous access), O(log n) per
+ * reference — one pass costs about one exact simulation of a single
+ * configuration, and prices the whole size axis.
+ *
+ * Three geometry models ride on the pass, selected per cache level
+ * by its replacement policy (expectedMisses(sets, ways, repl)):
+ *
+ *  - DIRECT-MAPPED (ways == 1): an exact "ladder". The profiling
+ *    pass carries, per stream, one tag array for every power-of-two
+ *    set count up to 2^(kDmLadderLevels-1) and probes each on every
+ *    reference, so the miss count of every direct-mapped geometry in
+ *    that range is SIMULATED, not modeled — bit-exact against Cache
+ *    with the same line indexing (set = line & (sets-1)). This
+ *    matters because the paper's L1s are direct-mapped and the
+ *    random-mapping approximation below misprices real modulo
+ *    indexing by whole percentage points on some workloads.
+ *
+ *  - LRU set-associative: the standard binomial correction (Smith's
+ *    model). Under random set indexing a reference with reuse
+ *    distance d hits an S-set, A-way LRU cache with probability
+ *
+ *        P_hit(d) = sum_{j=0}^{A-1} C(d, j) (1/S)^j (1 - 1/S)^(d-j)
+ *
+ *    — the probability that fewer than A of the d intervening
+ *    distinct lines landed in the same set. S == 1 recovers the
+ *    exact fully-associative suffix-sum path (no floating point),
+ *    which is what lets tests pin EXACT equality against a simulated
+ *    fully-associative LRU cache.
+ *
+ *  - Random/FIFO set-associative: the geometric model. Each of the
+ *    d intervening distinct lines falls in our set with probability
+ *    1/S and then evicts our line with probability 1/A, so
+ *
+ *        P_hit(d) = (1 - 1/(S*A))^d
+ *
+ *    — a function of total lines only, matching the classical
+ *    random-replacement independence approximation.
+ *
+ * Three streams are profiled side by side in the same pass —
+ * instruction, data, and unified — so a profile prices the paper's
+ * whole hierarchy shape: the split L1s read the instruction and data
+ * histograms, and the L2 is priced by the HIERARCHY LADDER when the
+ * configuration is in range, falling back to a standalone model of
+ * the L2's geometry over the unified stream otherwise (an
+ * approximation measured and pinned by
+ * tests/test_analytic_differential.cc — see docs/analytic_model.md
+ * for the error model and bounds).
+ *
+ * The hierarchy ladder makes two-level statistics EXACT for the
+ * paper's design space, not modeled. With direct-mapped L1s the DM
+ * ladder reproduces each L1's contents bit-for-bit, so the pass
+ * knows, per L1 set count, exactly which references miss L1 and feed
+ * the L2 — and it runs a full W-way replica of the L2 (same set
+ * indexing, same replacement bookkeeping, same Pcg32 replacement
+ * stream as an in-hierarchy Cache under the default simulation seed)
+ * over that filtered stream for every power-of-two L2 set count.
+ * One (L1 sets, L2 sets) cell therefore reports the same l2Misses
+ * the real mostly-inclusive TwoLevelHierarchy counts, and l2Hits =
+ * l1Misses - l2Misses closes the books exactly.
+ *
+ * Warmup follows Hierarchy::simulate's contract: distances are
+ * computed over the FULL history (warmup references populate the
+ * reuse stacks and the ladder tag arrays), but only references at
+ * index >= warmup_refs accumulate into the histograms and ladder
+ * miss counters.
+ *
+ * Determinism: profiling is a single sequential pass and every query
+ * is a fixed-order reduction, so analytic statistics are
+ * byte-identical run to run and whatever the worker-team width.
+ */
+
+#ifndef TLC_CORE_REUSE_PROFILE_HH
+#define TLC_CORE_REUSE_PROFILE_HH
+
+#include <cstdint>
+#include <limits>
+#include <optional>
+#include <vector>
+
+#include "cache/hierarchy.hh"
+#include "cache/params.hh"
+#include "core/system_config.hh"
+#include "trace/buffer.hh"
+
+namespace tlc {
+
+/**
+ * The reuse-distance histogram of one reference stream, with O(1)
+ * exact fully-associative LRU miss queries, an exact direct-mapped
+ * ladder, and the binomial/geometric set-associative approximations.
+ */
+class ReuseHistogram
+{
+  public:
+    /** Distance of a first touch (no previous access). */
+    static constexpr std::uint64_t kColdDistance =
+        std::numeric_limits<std::uint64_t>::max();
+
+    /**
+     * Direct-mapped ladder depth: set counts 2^0 .. 2^(levels-1) are
+     * simulated exactly during the profiling pass. 15 levels cover
+     * every direct-mapped cache up to 256 KiB at 16-byte lines — the
+     * paper's whole design space — in ~0.25 MiB of tag-array scratch
+     * per stream. (The depth is a speed knob, not a correctness one:
+     * deeper ladders answer bigger caches exactly but their tag
+     * arrays overflow the CPU cache and every reference probes every
+     * level; off-ladder sizes fall back to the models.)
+     */
+    static constexpr std::uint32_t kDmLadderLevels = 15;
+
+    /** References counted into the histogram (post-warmup). */
+    std::uint64_t refs() const { return refs_; }
+
+    /** Counted references with no previous access (compulsory
+     *  misses at any capacity). */
+    std::uint64_t coldMisses() const { return cold_; }
+
+    /** Counted references with a finite reuse distance. */
+    std::uint64_t finiteRefs() const { return refs_ - cold_; }
+
+    /** Largest finite distance observed (0 when none were). */
+    std::uint64_t maxDistance() const
+    {
+        return counts_.empty() ? 0 : counts_.size() - 1;
+    }
+
+    /** Number of counted references with finite distance @p d. */
+    std::uint64_t countAt(std::uint64_t d) const
+    {
+        return d < counts_.size() ? counts_[d] : 0;
+    }
+
+    /**
+     * EXACT misses of a fully-associative LRU cache of @p lines
+     * lines over the counted references: the cold misses plus every
+     * reference whose distance is >= @p lines. O(1).
+     */
+    std::uint64_t missesAtCapacity(std::uint64_t lines) const
+    {
+        return cold_ + (lines < tail_.size() ? tail_[lines] : 0);
+    }
+
+    /**
+     * EXACT misses of a direct-mapped cache of @p sets sets, from
+     * the ladder simulated during the profiling pass; nullopt when
+     * @p sets is not a power of two in ladder range.
+     */
+    std::optional<std::uint64_t>
+    directMappedMisses(std::uint64_t sets) const
+    {
+        if (sets == 0 || (sets & (sets - 1)) != 0)
+            return std::nullopt;
+        std::uint32_t k = 0;
+        while ((std::uint64_t{1} << k) < sets)
+            ++k;
+        if (k >= dm_.size())
+            return std::nullopt;
+        return dm_[k];
+    }
+
+    /**
+     * Expected misses of an LRU cache of @p sets sets x @p ways ways
+     * under the binomial set-conflict model. sets == 1 is the exact
+     * missesAtCapacity(ways) path (integral, no floating point), so
+     * fully-associative queries stay exact through this entry point
+     * too.
+     */
+    double expectedMisses(std::uint64_t sets, std::uint32_t ways) const;
+
+    /**
+     * Expected misses of a @p sets x @p ways cache under @p repl,
+     * selecting the model: the exact ladder for direct-mapped
+     * geometries in range, the binomial model for LRU (exact at
+     * sets == 1), and the geometric model for Random and FIFO.
+     */
+    double expectedMisses(std::uint64_t sets, std::uint32_t ways,
+                          ReplPolicy repl) const;
+
+  private:
+    friend class ReuseProfile;
+
+    void record(std::uint64_t distance);
+    /** Build the suffix-sum table; called once after the pass. */
+    void finalize();
+
+    std::vector<std::uint64_t> counts_; ///< counts_[d] = refs at distance d
+    std::vector<std::uint64_t> tail_;   ///< tail_[c] = refs with d >= c
+    std::vector<std::uint64_t> dm_;     ///< dm_[k] = DM misses at 2^k sets
+    std::uint64_t refs_ = 0;
+    std::uint64_t cold_ = 0;
+};
+
+/**
+ * The reuse-distance profile of one benchmark trace at one line
+ * size: instruction, data and unified histograms from a single pass,
+ * plus the mapping from a SystemConfig to analytic HierarchyStats.
+ * Immutable once built; safe to share across sweep workers.
+ */
+class ReuseProfile
+{
+  public:
+    /**
+     * Hierarchy-ladder coverage: exact two-level cells are simulated
+     * for L1 set counts 2^kHierL1MinLog2 .. 2^kHierL1MaxLog2 (per
+     * side, direct-mapped) crossed with L2 set counts
+     * 2^kHierL2MinLog2 .. 2^kHierL2MaxLog2, capped so no replica
+     * exceeds kHierMaxL2Bytes of modeled L2 capacity. [64 .. 16K] L1
+     * sets x L2s of at least 32 sets, up to 256 KiB, blankets the
+     * paper's 1K-256K design space (the smallest enumerated L1 is
+     * 1 KiB = 64 sets at 16-byte lines, the smallest L2 twice that);
+     * configurations outside fall back to the standalone model. The
+     * floors matter for speed as much as the cap: a 16-set L1 row
+     * misses on nearly every reference, and every such miss fans out
+     * across the whole row of L2 replicas, so ladder rows below the
+     * design space would dominate the profiling pass while answering
+     * no query. The byte cap keeps the ladder's working set small
+     * enough to stay CPU-cache-resident whatever the L2
+     * associativity (a 4-way 2^14-set cell alone would be a 4 MiB
+     * L2 nothing in range ever queries). Cells also require
+     * line_bytes >= 2, which keeps line addresses inside the
+     * replicas' packed 32-bit tags.
+     */
+    static constexpr std::uint32_t kHierL1MinLog2 = 6;
+    static constexpr std::uint32_t kHierL1MaxLog2 = 14;
+    static constexpr std::uint32_t kHierL2MinLog2 = 5;
+    static constexpr std::uint32_t kHierL2MaxLog2 = 14;
+    static constexpr std::uint64_t kHierMaxL2Bytes = 256 * 1024;
+
+    /**
+     * Profile @p trace at @p line_bytes (power of two). The first
+     * @p warmup_refs records populate the reuse stacks but are not
+     * counted, mirroring Hierarchy::simulate. The hierarchy ladder
+     * replicates an L2 of @p l2_ways ways under @p l2_repl (the
+     * defaults are the paper's assumptions); profiles built for a
+     * different L2 shape simply don't answer hierarchy queries for
+     * this one. Runs under the "analytic.profile" profiler phase and
+     * ticks explore.analytic.profiles.
+     */
+    static ReuseProfile profile(const TraceBuffer &trace,
+                                std::uint32_t line_bytes,
+                                std::uint64_t warmup_refs,
+                                std::uint32_t l2_ways = 4,
+                                ReplPolicy l2_repl = ReplPolicy::Random);
+
+    std::uint32_t lineBytes() const { return lineBytes_; }
+    std::uint64_t warmupRefs() const { return warmupRefs_; }
+    std::uint32_t hierL2Ways() const { return hierL2Ways_; }
+    ReplPolicy hierL2Repl() const { return hierL2Repl_; }
+
+    const ReuseHistogram &instr() const { return instr_; }
+    const ReuseHistogram &data() const { return data_; }
+    const ReuseHistogram &unified() const { return unified_; }
+
+    /**
+     * EXACT global (off-chip) misses of the mostly-inclusive
+     * two-level hierarchy with direct-mapped split L1s of
+     * @p l1_sets sets each and an L2 of @p l2_sets sets x
+     * @p l2_ways ways under @p l2_repl, from the hierarchy ladder;
+     * nullopt when the geometry is off-ladder (non-power-of-two or
+     * out-of-range set counts, or an L2 shape other than the one
+     * this profile replicated).
+     */
+    std::optional<std::uint64_t>
+    hierarchyGlobalMisses(std::uint64_t l1_sets, std::uint64_t l2_sets,
+                          std::uint32_t l2_ways,
+                          ReplPolicy l2_repl) const;
+
+    /**
+     * Analytic miss statistics of @p config (whose line size must
+     * match the profile's): split L1 misses from the instruction and
+     * data histograms at the L1 geometry; off-chip misses from the
+     * exact hierarchy ladder when the configuration is a
+     * mostly-inclusive two-level system with direct-mapped L1s in
+     * ladder range, else from the standalone model of the L2's
+     * geometry over the unified histogram (clamped so l2Hits =
+     * l1Misses - l2Misses never underflows); and the single-level
+     * convention of HierarchyStats (every L1 miss goes off-chip)
+     * when config has no L2. Each level's model follows its
+     * replacement policy (config.l1Params()/l2Params()) — see
+     * ReuseHistogram::expectedMisses. swaps and offchipWritebacks
+     * are not modeled and stay 0. Rounding is llround, so results
+     * are integral and deterministic.
+     */
+    HierarchyStats statsFor(const SystemConfig &config) const;
+
+  private:
+    ReuseProfile() = default;
+
+    std::uint32_t lineBytes_ = 16;
+    std::uint64_t warmupRefs_ = 0;
+    std::uint32_t hierL2Ways_ = 4;
+    ReplPolicy hierL2Repl_ = ReplPolicy::Random;
+    ReuseHistogram instr_;
+    ReuseHistogram data_;
+    ReuseHistogram unified_;
+    /** hier_[k1 - kHierL1MinLog2][k2 - kHierL2MinLog2] = exact
+     *  global misses at 2^k1 L1 sets x 2^k2 L2 sets. */
+    std::vector<std::vector<std::uint64_t>> hier_;
+};
+
+} // namespace tlc
+
+#endif // TLC_CORE_REUSE_PROFILE_HH

@@ -1,0 +1,358 @@
+/**
+ * @file
+ * Property and invariant tests of the reuse-distance profiler
+ * (core/reuse_profile.hh): histogram mass bookkeeping, miss-count
+ * monotonicity, cold-miss accounting, warmup semantics, determinism,
+ * and the exactness guarantees — fully-associative LRU queries,
+ * direct-mapped ladder levels, and hierarchy-ladder cells must match
+ * real Cache / TwoLevelHierarchy simulations bit for bit.
+ */
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "cache/cache.hh"
+#include "cache/two_level.hh"
+#include "core/evaluator.hh"
+#include "core/reuse_profile.hh"
+#include "trace/workload.hh"
+#include "util/random.hh"
+
+using namespace tlc;
+
+namespace {
+
+/**
+ * A small mixed instruction/data trace with enough reuse to populate
+ * every histogram bucket class: sequential instruction fetches over
+ * a loop, data references over a Zipf-ish working set.
+ */
+TraceBuffer
+craftedTrace(std::size_t n, std::uint32_t seed = 7)
+{
+    Pcg32 rng(seed, 0x51);
+    TraceBuffer t;
+    t.reserve(n);
+    std::uint32_t pc = 0x1000;
+    for (std::size_t i = 0; i < n; ++i) {
+        if (i % 3 != 2) {
+            // Instruction fetch walking a 512-entry loop.
+            t.append(0x1000 + (pc % 2048), RefType::Instr);
+            pc += 4;
+        } else {
+            std::uint32_t addr = 0x80000 + 16 * rng.nextBounded(512);
+            t.append(addr, rng.nextBounded(4) == 0 ? RefType::Store
+                                                   : RefType::Load);
+        }
+    }
+    return t;
+}
+
+/**
+ * Misses of one standalone Cache over one stream of @p trace
+ * (Instr => instruction refs, Data => loads+stores, All => every
+ * record), counted after @p warmup_refs whole-trace records.
+ */
+enum class Stream { Instr, Data, All };
+
+std::uint64_t
+simulateStandalone(const TraceBuffer &trace, const CacheParams &params,
+                   Stream stream, std::uint64_t warmup_refs = 0)
+{
+    Cache cache(params);
+    std::uint64_t misses = 0, index = 0;
+    for (const TraceRecord &rec : trace) {
+        const bool data = isData(rec.type);
+        const bool mine = stream == Stream::All ||
+                          (stream == Stream::Data) == data;
+        if (mine && !cache.lookupAndTouch(rec.addr)) {
+            cache.fill(rec.addr);
+            if (index >= warmup_refs)
+                ++misses;
+        }
+        ++index;
+    }
+    return misses;
+}
+
+} // namespace
+
+// ---------------------------------------------------------------------
+// Histogram invariants.
+// ---------------------------------------------------------------------
+
+TEST(ReuseHistogram, MassEqualsReferenceCount)
+{
+    TraceBuffer t = craftedTrace(6000);
+    ReuseProfile p = ReuseProfile::profile(t, 16, 0);
+
+    EXPECT_EQ(p.instr().refs(), t.instrRefs());
+    EXPECT_EQ(p.data().refs(), t.dataRefs());
+    EXPECT_EQ(p.unified().refs(), t.totalRefs());
+
+    for (const ReuseHistogram *h :
+         {&p.instr(), &p.data(), &p.unified()}) {
+        std::uint64_t mass = h->coldMisses();
+        for (std::uint64_t d = 0; d <= h->maxDistance(); ++d)
+            mass += h->countAt(d);
+        EXPECT_EQ(mass, h->refs());
+        EXPECT_EQ(h->refs() - h->coldMisses(), h->finiteRefs());
+    }
+}
+
+TEST(ReuseHistogram, MissesMonotoneNonIncreasingInCapacity)
+{
+    TraceBuffer t = craftedTrace(6000);
+    ReuseProfile p = ReuseProfile::profile(t, 16, 0);
+
+    for (const ReuseHistogram *h :
+         {&p.instr(), &p.data(), &p.unified()}) {
+        std::uint64_t prev = h->missesAtCapacity(1);
+        EXPECT_LE(prev, h->refs());
+        for (std::uint64_t c = 2; c <= h->maxDistance() + 2; ++c) {
+            std::uint64_t m = h->missesAtCapacity(c);
+            EXPECT_LE(m, prev) << "capacity " << c;
+            EXPECT_GE(m, h->coldMisses());
+            prev = m;
+        }
+        // Beyond the largest finite distance only cold misses remain.
+        EXPECT_EQ(h->missesAtCapacity(h->maxDistance() + 1),
+                  h->coldMisses());
+    }
+}
+
+TEST(ReuseHistogram, ColdBucketEqualsDistinctLines)
+{
+    TraceBuffer t = craftedTrace(6000);
+    ReuseProfile p = ReuseProfile::profile(t, 16, 0);
+
+    std::set<std::uint64_t> instrLines, dataLines, allLines;
+    for (const TraceRecord &rec : t) {
+        std::uint64_t line = rec.addr >> 4;
+        (isData(rec.type) ? dataLines : instrLines).insert(line);
+        allLines.insert(line);
+    }
+    EXPECT_EQ(p.instr().coldMisses(), instrLines.size());
+    EXPECT_EQ(p.data().coldMisses(), dataLines.size());
+    EXPECT_EQ(p.unified().coldMisses(), allLines.size());
+}
+
+// ---------------------------------------------------------------------
+// Exactness against real simulations.
+// ---------------------------------------------------------------------
+
+TEST(ReuseProfile, FullyAssociativeLruMatchesCacheExactly)
+{
+    TraceBuffer t = craftedTrace(4000);
+    ReuseProfile p = ReuseProfile::profile(t, 16, 0);
+
+    for (std::uint32_t capacity : {1u, 2u, 4u, 8u, 32u, 128u}) {
+        CacheParams fa;
+        fa.sizeBytes = std::uint64_t{16} * capacity;
+        fa.lineBytes = 16;
+        fa.assoc = capacity;
+        fa.repl = ReplPolicy::LRU;
+        EXPECT_EQ(p.unified().missesAtCapacity(capacity),
+                  simulateStandalone(t, fa, Stream::All))
+            << "capacity " << capacity << " lines";
+        EXPECT_EQ(p.instr().missesAtCapacity(capacity),
+                  simulateStandalone(t, fa, Stream::Instr))
+            << "capacity " << capacity << " lines (instr)";
+        // The sets==1 entry points agree with the integer path.
+        EXPECT_EQ(p.unified().expectedMisses(1, capacity),
+                  static_cast<double>(
+                      p.unified().missesAtCapacity(capacity)));
+        EXPECT_EQ(p.unified().expectedMisses(1, capacity,
+                                             ReplPolicy::LRU),
+                  static_cast<double>(
+                      p.unified().missesAtCapacity(capacity)));
+    }
+}
+
+TEST(ReuseProfile, DirectMappedLadderMatchesCacheExactly)
+{
+    TraceBuffer t = craftedTrace(4000);
+    ReuseProfile p = ReuseProfile::profile(t, 16, 0);
+
+    for (std::uint64_t sets : {1u, 4u, 16u, 64u, 256u}) {
+        CacheParams dm;
+        dm.sizeBytes = 16 * sets;
+        dm.lineBytes = 16;
+        dm.assoc = 1;
+        dm.repl = ReplPolicy::Random; // irrelevant direct-mapped
+        auto ladder = p.unified().directMappedMisses(sets);
+        ASSERT_TRUE(ladder.has_value()) << sets << " sets";
+        EXPECT_EQ(*ladder, simulateStandalone(t, dm, Stream::All))
+            << sets << " sets";
+        // The policy-dispatching entry point uses the same ladder.
+        EXPECT_EQ(p.unified().expectedMisses(sets, 1,
+                                             ReplPolicy::Random),
+                  static_cast<double>(*ladder));
+        auto instrLadder = p.instr().directMappedMisses(sets);
+        ASSERT_TRUE(instrLadder.has_value());
+        EXPECT_EQ(*instrLadder,
+                  simulateStandalone(t, dm, Stream::Instr));
+    }
+
+    // Off-ladder queries decline instead of answering wrongly.
+    EXPECT_FALSE(p.unified().directMappedMisses(3).has_value());
+    EXPECT_FALSE(p.unified()
+                     .directMappedMisses(std::uint64_t{1} << 40)
+                     .has_value());
+}
+
+TEST(ReuseProfile, HierarchyLadderMatchesTwoLevelSimExactly)
+{
+    TraceBuffer t = craftedTrace(8000);
+    const std::uint64_t warmup = 800;
+    ReuseProfile p = ReuseProfile::profile(t, 16, warmup);
+
+    SystemConfig config;
+    config.l1Bytes = 1024;  // 64 sets, direct-mapped
+    config.l2Bytes = 8192;  // 128 sets x 4 ways
+    ASSERT_TRUE(config.check().ok());
+
+    TwoLevelHierarchy hier(config.l1Params(), config.l2Params(),
+                           config.assume.policy);
+    hier.simulate(t, warmup);
+
+    HierarchyStats analytic = p.statsFor(config);
+    const HierarchyStats &exact = hier.stats();
+    EXPECT_EQ(analytic.instrRefs, exact.instrRefs);
+    EXPECT_EQ(analytic.dataRefs, exact.dataRefs);
+    EXPECT_EQ(analytic.l1iMisses, exact.l1iMisses);
+    EXPECT_EQ(analytic.l1dMisses, exact.l1dMisses);
+    EXPECT_EQ(analytic.l2Misses, exact.l2Misses);
+    EXPECT_EQ(analytic.l2Hits, exact.l2Hits);
+}
+
+TEST(ReuseProfile, SingleLevelStatsMatchSimExactly)
+{
+    TraceBuffer t = craftedTrace(8000);
+    ReuseProfile p = ReuseProfile::profile(t, 16, 0);
+
+    SystemConfig config;
+    config.l1Bytes = 2048;
+    config.l2Bytes = 0;
+    HierarchyStats analytic = p.statsFor(config);
+
+    EXPECT_EQ(analytic.l1iMisses,
+              simulateStandalone(t, config.l1Params(), Stream::Instr));
+    EXPECT_EQ(analytic.l1dMisses,
+              simulateStandalone(t, config.l1Params(), Stream::Data));
+    // Single-level convention: every L1 miss goes off-chip.
+    EXPECT_EQ(analytic.l2Misses, analytic.l1Misses());
+    EXPECT_EQ(analytic.l2Hits, 0u);
+    EXPECT_EQ(analytic.swaps, 0u);
+    EXPECT_EQ(analytic.offchipWritebacks, 0u);
+}
+
+// ---------------------------------------------------------------------
+// Warmup semantics and determinism.
+// ---------------------------------------------------------------------
+
+TEST(ReuseProfile, WarmupPopulatesStacksWithoutCounting)
+{
+    // A B A with warmup 1: only B and the second A are counted, and
+    // the second A must see a finite distance (1), proving the
+    // warmup reference entered the reuse stack.
+    TraceBuffer t;
+    t.append(0x1000, RefType::Load);
+    t.append(0x2000, RefType::Load);
+    t.append(0x1000, RefType::Load);
+    ReuseProfile p = ReuseProfile::profile(t, 16, 1);
+
+    EXPECT_EQ(p.data().refs(), 2u);
+    EXPECT_EQ(p.data().coldMisses(), 1u); // B only
+    EXPECT_EQ(p.data().countAt(1), 1u);   // the re-touched A
+    // A 2-line fully-associative cache holds both: only B misses.
+    EXPECT_EQ(p.data().missesAtCapacity(2), 1u);
+    // A 1-line cache also misses the second A.
+    EXPECT_EQ(p.data().missesAtCapacity(1), 2u);
+}
+
+TEST(ReuseProfile, WarmupMatchesHierarchyContract)
+{
+    TraceBuffer t = craftedTrace(5000, 11);
+    const std::uint64_t warmup = 500;
+    ReuseProfile p = ReuseProfile::profile(t, 16, warmup);
+
+    SystemConfig config;
+    config.l1Bytes = 1024;
+    config.l2Bytes = 4096;
+    TwoLevelHierarchy hier(config.l1Params(), config.l2Params(),
+                           config.assume.policy);
+    hier.simulate(t, warmup);
+    HierarchyStats analytic = p.statsFor(config);
+    EXPECT_EQ(analytic.instrRefs, hier.stats().instrRefs);
+    EXPECT_EQ(analytic.dataRefs, hier.stats().dataRefs);
+    EXPECT_EQ(analytic.l1iMisses, hier.stats().l1iMisses);
+    EXPECT_EQ(analytic.l1dMisses, hier.stats().l1dMisses);
+    EXPECT_EQ(analytic.l2Misses, hier.stats().l2Misses);
+}
+
+TEST(ReuseProfile, ProfilesAreDeterministic)
+{
+    MissRateEvaluator ev(20000);
+    auto trace = ev.tryTrace(Benchmark::Espresso);
+    ASSERT_TRUE(trace.ok());
+
+    ReuseProfile a = ReuseProfile::profile(*trace.value(), 16, 2000);
+    ReuseProfile b = ReuseProfile::profile(*trace.value(), 16, 2000);
+
+    ASSERT_EQ(a.unified().maxDistance(), b.unified().maxDistance());
+    for (std::uint64_t d = 0; d <= a.unified().maxDistance(); ++d)
+        ASSERT_EQ(a.unified().countAt(d), b.unified().countAt(d));
+
+    for (const SystemConfig &c :
+         DesignSpace::enumerate(SystemAssumptions{})) {
+        HierarchyStats sa = a.statsFor(c);
+        HierarchyStats sb = b.statsFor(c);
+        ASSERT_EQ(sa.l1iMisses, sb.l1iMisses) << c.label();
+        ASSERT_EQ(sa.l1dMisses, sb.l1dMisses) << c.label();
+        ASSERT_EQ(sa.l2Misses, sb.l2Misses) << c.label();
+        ASSERT_EQ(sa.l2Hits, sb.l2Hits) << c.label();
+    }
+}
+
+// ---------------------------------------------------------------------
+// Evaluator plumbing.
+// ---------------------------------------------------------------------
+
+TEST(ReuseProfile, EvaluatorSharesOneProfilePerShape)
+{
+    EvaluatorOptions opts;
+    opts.traceRefs = 20000;
+    opts.backend = MissBackend::Analytic;
+    MissRateEvaluator ev(opts);
+
+    auto p1 = ev.tryProfile(Benchmark::Gcc1, 16);
+    auto p2 = ev.tryProfile(Benchmark::Gcc1, 16);
+    ASSERT_TRUE(p1.ok());
+    ASSERT_TRUE(p2.ok());
+    EXPECT_EQ(p1.value(), p2.value()); // same immutable instance
+
+    // A different L2 ladder shape is a different profile.
+    auto p3 = ev.tryProfile(Benchmark::Gcc1, 16, 2, ReplPolicy::LRU);
+    ASSERT_TRUE(p3.ok());
+    EXPECT_NE(p1.value(), p3.value());
+}
+
+TEST(ReuseProfile, AnalyticBackendRoutesMissStats)
+{
+    EvaluatorOptions opts;
+    opts.traceRefs = 20000;
+    opts.backend = MissBackend::Analytic;
+    MissRateEvaluator ev(opts);
+
+    SystemConfig config;
+    config.l1Bytes = 4096;
+    config.l2Bytes = 32768;
+    auto viaBackend = ev.tryMissStats(Benchmark::Li, config);
+    auto direct = ev.tryAnalyticStats(Benchmark::Li, config);
+    ASSERT_TRUE(viaBackend.ok());
+    ASSERT_TRUE(direct.ok());
+    EXPECT_EQ(viaBackend.value().l1iMisses, direct.value().l1iMisses);
+    EXPECT_EQ(viaBackend.value().l2Misses, direct.value().l2Misses);
+}

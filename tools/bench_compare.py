@@ -44,7 +44,12 @@ RATIO_SUFFIXES = ("_rate",)
 RATIO_KEYS = ("speedup",)
 # Fields that must match the baseline exactly no matter what their
 # type or name suffix suggests: the supervisor recovery drill's
-# outcome counts are correctness claims, not performance numbers.
+# outcome counts and the analytic-prune sweep's point accounting are
+# correctness claims, not performance numbers. In particular
+# "prune_rate" would otherwise be loosened into a one-sided ratio by
+# its suffix, but it is pruned_points/design_points — a deterministic
+# consequence of the analytic ranking that must never drift without
+# a baseline update.
 EXACT_KEYS = (
     "quarantined_points",
     "worker_launches",
@@ -54,6 +59,11 @@ EXACT_KEYS = (
     "shard_bisections",
     "points_priced",
     "healthy_points_identical",
+    "design_points",
+    "exact_simulated",
+    "pruned_points",
+    "prune_rate",
+    "envelopes_identical",
 )
 
 

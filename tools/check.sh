@@ -237,7 +237,18 @@ run_smoke() {
         "$batch_json"
     rm -f "$batch_json"
 
-    # The benchmark regression gate: regenerate the four checked-in
+    # The analytic backend's accuracy contract, re-proven on the
+    # smoke machine: the differential suite pins the analytic
+    # reuse-distance model bit-exact against the simulator on the
+    # paper's reference space and within per-workload error bounds
+    # off it, and exercises the corrupt-corpus fail-soft parity
+    # (same tlc::Status codes and FailureReport entries from either
+    # backend). See docs/analytic_model.md for the bounds.
+    echo "== smoke-running analytic differential bounds =="
+    build/tests/test_analytic \
+        --gtest_filter='AnalyticDifferential.*' > /dev/null
+
+    # The benchmark regression gate: regenerate the five checked-in
     # BENCH_*.json documents at their reference settings and compare
     # against the committed baselines. Counts must match exactly
     # (the recovery drill's quarantine/retry/bisection counts are
@@ -255,6 +266,8 @@ run_smoke() {
         > "$gate_dir/observability.json"
     TLC_THREADS=1 build/bench/bench_supervisor_recovery \
         > "$gate_dir/recovery.json" 2>/dev/null
+    TLC_THREADS=1 build/bench/bench_analytic_sweep \
+        > "$gate_dir/analytic.json"
     python3 tools/bench_compare.py BENCH_sweep.json \
         "$gate_dir/sweep.json"
     python3 tools/bench_compare.py BENCH_batch.json \
@@ -263,6 +276,8 @@ run_smoke() {
         "$gate_dir/observability.json"
     python3 tools/bench_compare.py BENCH_recovery.json \
         "$gate_dir/recovery.json"
+    python3 tools/bench_compare.py BENCH_analytic.json \
+        "$gate_dir/analytic.json"
     rm -rf "$gate_dir"
 }
 
