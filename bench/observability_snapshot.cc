@@ -12,12 +12,56 @@
  * Usage: bench_observability_snapshot [--refs=N] [--threads=N]
  */
 
+#include <map>
+
 #include "bench_common.hh"
+#include "core/shard_runner.hh"
 #include "util/json.hh"
 #include "util/metrics.hh"
+#include "util/parallel.hh"
 #include "util/profiler.hh"
+#include "util/units.hh"
 
 using namespace tlc;
+
+namespace {
+
+/** The 64-point reference grid bench_batch_sweep_timing sweeps. */
+std::vector<SystemConfig>
+referenceGrid()
+{
+    std::vector<SystemConfig> configs;
+    for (std::uint64_t l1 = 1_KiB; l1 <= 128_KiB; l1 *= 2) {
+        SystemConfig c;
+        c.l1Bytes = l1;
+        c.l2Bytes = 0;
+        configs.push_back(c);
+        for (std::uint64_t ratio = 2; ratio <= 128; ratio *= 2) {
+            c.l2Bytes = l1 * ratio;
+            configs.push_back(c);
+        }
+    }
+    return configs;
+}
+
+/** Counters a supervised run must roll up identically to the
+ *  in-process engine: the simulation- and sweep-level namespaces.
+ *  trace.* is excluded because each worker subprocess loads the
+ *  trace again (see tests/test_telemetry.cc). */
+std::map<std::string, std::uint64_t>
+comparableCounters()
+{
+    std::map<std::string, std::uint64_t> out;
+    for (const auto &[name, value] :
+         MetricsRegistry::global().counterValues()) {
+        if (name.rfind("cache.", 0) == 0 ||
+            name.rfind("explore.", 0) == 0)
+            out[name] = value;
+    }
+    return out;
+}
+
+} // namespace
 
 int
 main(int argc, char **argv)
@@ -59,6 +103,61 @@ main(int argc, char **argv)
         return out;
     };
 
+    // Capture the in-process sweep's document pieces before the
+    // supervised section below resets the registry.
+    const std::string timingRate = jsonNumber(
+        rate("explore.timing_cache.hits", "explore.timing_cache.misses"));
+    const std::string missrateRate = jsonNumber(
+        rate("explore.missrate_cache.hits",
+             "explore.missrate_cache.misses"));
+    const std::string metricsJson = reindent(m.toJson());
+    const std::string phasesJson =
+        reindent(Profiler::global().toJson());
+
+    // Cross-process telemetry snapshot (docs/observability.md): run
+    // the 64-point reference grid once in-process and once under the
+    // shard supervisor and check the streamed metric rollups are
+    // identical. One worker thread makes the in-process engine split
+    // the grid into the same 32-point batches the shards use, so
+    // every comparable counter must agree exactly.
+    setParallelWorkerCount(1);
+    const std::vector<SystemConfig> grid = referenceGrid();
+    SupervisorOptions sopts;
+    sopts.pointsPerShard = 32;
+    sopts.evaluator.traceRefs = refs;
+
+    m.resetAll();
+    {
+        MissRateEvaluator gev(refs);
+        Explorer gex(gev);
+        FailureReport greport;
+        gex.evaluateAll(Benchmark::Gcc1, grid, &greport);
+    }
+    const std::map<std::string, std::uint64_t> reference =
+        comparableCounters();
+
+    m.resetAll();
+    SupervisionStats sup;
+    std::size_t supervisedPoints = 0;
+    {
+        MissRateEvaluator gev(refs);
+        Explorer gex(gev);
+        FailureReport greport;
+        SupervisedSweep sw =
+            supervisedEvaluateAll(gex, Benchmark::Gcc1, grid,
+                                  &greport, sopts);
+        sup = sw.stats;
+        supervisedPoints = sw.points.size();
+    }
+    const bool rollupsMatch = comparableCounters() == reference;
+    std::size_t workerNamespaced = 0;
+    for (const auto &[name, value] : m.counterValues()) {
+        (void)value;
+        if (name.rfind("worker.", 0) == 0)
+            ++workerNamespaced;
+    }
+    setParallelWorkerCount(0);
+
     std::printf(
         "{\n"
         "  \"benchmark\": \"observability snapshot of the reference "
@@ -69,18 +168,28 @@ main(int argc, char **argv)
         "  \"trace_refs\": %llu,\n"
         "  \"timing_cache_hit_rate\": %s,\n"
         "  \"missrate_cache_hit_rate\": %s,\n"
+        "  \"supervised_points\": %zu,\n"
+        "  \"supervised_shards\": %llu,\n"
+        "  \"supervised_worker_launches\": %llu,\n"
+        "  \"telemetry_metric_frames\": %llu,\n"
+        "  \"telemetry_phase_frames\": %llu,\n"
+        "  \"telemetry_flight_frames\": %llu,\n"
+        "  \"worker_namespace_counters\": %zu,\n"
+        "  \"rollup_counters_compared\": %zu,\n"
+        "  \"rollups_match_inprocess\": %s,\n"
         "  \"metrics\": %s,\n"
         "  \"phases\": %s\n"
         "}\n",
         Workloads::all().size(), points, report.size(),
-        static_cast<unsigned long long>(refs),
-        jsonNumber(rate("explore.timing_cache.hits",
-                        "explore.timing_cache.misses"))
-            .c_str(),
-        jsonNumber(rate("explore.missrate_cache.hits",
-                        "explore.missrate_cache.misses"))
-            .c_str(),
-        reindent(m.toJson()).c_str(),
-        reindent(Profiler::global().toJson()).c_str());
+        static_cast<unsigned long long>(refs), timingRate.c_str(),
+        missrateRate.c_str(), supervisedPoints,
+        static_cast<unsigned long long>(sup.shards),
+        static_cast<unsigned long long>(sup.attempts),
+        static_cast<unsigned long long>(sup.metricFrames),
+        static_cast<unsigned long long>(sup.phaseFrames),
+        static_cast<unsigned long long>(sup.flightFrames),
+        workerNamespaced, reference.size(),
+        rollupsMatch ? "true" : "false", metricsJson.c_str(),
+        phasesJson.c_str());
     return 0;
 }

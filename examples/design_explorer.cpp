@@ -11,6 +11,7 @@
  *                   [--backend=exact|analytic|analytic-prune]
  *                   [--quiet|--verbose] [--profile] [--progress]
  *                   [--trace-out=FILE] [--manifest=FILE]
+ *                   [--metrics-out=FILE]
  *                   [--result-store=FILE] [--resume]
  *                   [--isolate=process] [--shard-points=N]
  *                   [--shard-timeout=SECS] [--max-retries=N]
@@ -44,11 +45,17 @@
  *                      see supervisorOptionsFromArgs().
  *
  * Observability (docs/observability.md):
- *   --progress        live per-sweep progress lines on stderr
+ *   --progress        live per-sweep progress lines on stderr (in
+ *                     isolate mode, streamed as worker results
+ *                     arrive, not just per resolved shard)
  *   --trace-out=FILE  chrome://tracing / Perfetto timeline of the
- *                     worker team (one track per worker)
+ *                     worker team (one track per worker; in isolate
+ *                     mode, one pid track per worker attempt)
  *   --manifest=FILE   JSON run manifest: command, thread count,
- *                     metrics dump, per-phase wall-clock
+ *                     metrics dump, per-phase wall-clock, and in
+ *                     isolate mode the per-shard attempt timelines
+ *   --metrics-out=FILE  JSON dump of the metrics registry (includes
+ *                     the worker.<id>.* namespaces in isolate mode)
  *   --profile         per-phase wall-clock table on stderr at exit
  */
 
@@ -63,6 +70,7 @@
 #include "core/sweep_cache.hh"
 #include "util/args.hh"
 #include "util/logging.hh"
+#include "util/metrics.hh"
 #include "util/parallel.hh"
 #include "util/profiler.hh"
 #include "util/run_manifest.hh"
@@ -168,6 +176,8 @@ main(int argc, char **argv)
 
     auto runStart = std::chrono::steady_clock::now();
     std::size_t pointsPriced = 0;
+    SupervisionStats supStats;
+    std::vector<ShardTimeline> supTimeline;
     FailureReport report;
     Table t({"scenario", "best_config", "area_rbe", "l1_cycle_ns",
              "tpi_ns"});
@@ -180,9 +190,14 @@ main(int argc, char **argv)
         a.policy = sc.policy;
         std::vector<DesignPoint> points;
         if (isolate) {
-            points = supervisedSweepSpace(ex, bench, a, true,
-                                          sc.two_level, &report, sopts)
-                         .points;
+            SupervisedSweep sw = supervisedSweepSpace(
+                ex, bench, a, true, sc.two_level, &report, sopts);
+            supStats.accumulate(sw.stats);
+            supTimeline.insert(
+                supTimeline.end(),
+                std::make_move_iterator(sw.timeline.begin()),
+                std::make_move_iterator(sw.timeline.end()));
+            points = std::move(sw.points);
         } else {
             points = ex.sweep(bench, a, true, sc.two_level, &report);
         }
@@ -241,11 +256,22 @@ main(int argc, char **argv)
         m.pointsPriced = pointsPriced;
         m.failures = report.size();
         m.wallSeconds = wall;
+        if (isolate)
+            m.supervisorJson =
+                supervisorTimelinesJson(supStats, supTimeline);
         Status s = m.writeFile(manifestPath);
         if (!s.ok())
             warn("%s", s.message().c_str());
         else
             inform("wrote run manifest to '%s'", manifestPath.c_str());
+    }
+    std::string metricsOut = args.getString("metrics-out");
+    if (!metricsOut.empty()) {
+        Status s = writeMetricsFile(metricsOut);
+        if (!s.ok())
+            warn("%s", s.message().c_str());
+        else
+            inform("wrote metrics dump to '%s'", metricsOut.c_str());
     }
     return 0; // --profile dumps via applyStandardFlags's exit hook
 }

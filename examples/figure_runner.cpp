@@ -10,6 +10,7 @@
  *                 [--threads=N] [--quiet|--verbose] [--profile]
  *                 [--backend=exact|analytic|analytic-prune]
  *                 [--progress] [--trace-out=FILE] [--manifest=FILE]
+ *                 [--metrics-out=FILE]
  *                 [--result-store=FILE] [--resume]
  *                 [--isolate=process] [--shard-points=N]
  *                 [--shard-timeout=SECS] [--max-retries=N]
@@ -26,10 +27,13 @@
  * quarantined instead of killing the figure run.
  *
  * Observability (docs/observability.md): --progress prints live
- * sweep progress to stderr, --trace-out writes a chrome://tracing
- * timeline of the worker team, --manifest writes a JSON run manifest
- * (metrics dump + per-phase times), --profile prints the phase table
- * at exit.
+ * sweep progress to stderr (streamed per worker result under
+ * --isolate=process), --trace-out writes a chrome://tracing
+ * timeline of the worker team (one pid track per worker attempt in
+ * isolate mode), --manifest writes a JSON run manifest (metrics dump
+ * + per-phase times + supervisor attempt timelines in isolate mode),
+ * --metrics-out dumps the metrics registry as JSON, --profile prints
+ * the phase table at exit.
  */
 
 #include <chrono>
@@ -44,6 +48,7 @@
 #include "core/sweep_cache.hh"
 #include "util/args.hh"
 #include "util/logging.hh"
+#include "util/metrics.hh"
 #include "util/parallel.hh"
 #include "util/plot.hh"
 #include "util/profiler.hh"
@@ -88,7 +93,9 @@ int
 runScatter(const FigureSpec &f, std::uint64_t refs, bool csv,
            bool progress, MissBackend backend,
            std::shared_ptr<SweepCache> store,
-           const SupervisorOptions *sopts, std::size_t *points_priced)
+           const SupervisorOptions *sopts, std::size_t *points_priced,
+           SupervisionStats *sup_stats,
+           std::vector<ShardTimeline> *sup_timeline)
 {
     EvaluatorOptions evopts;
     evopts.traceRefs = refs;
@@ -111,9 +118,14 @@ runScatter(const FigureSpec &f, std::uint64_t refs, bool csv,
             so.progress = stderrProgressPrinter(
                 f.id + " " + Workloads::info(b).name);
         }
-        return supervisedSweepSpace(ex, b, f.assume, true, two_level,
-                                    &report, so)
-            .points;
+        SupervisedSweep sw = supervisedSweepSpace(
+            ex, b, f.assume, true, two_level, &report, so);
+        sup_stats->accumulate(sw.stats);
+        sup_timeline->insert(
+            sup_timeline->end(),
+            std::make_move_iterator(sw.timeline.begin()),
+            std::make_move_iterator(sw.timeline.end()));
+        return std::move(sw.points);
     };
 
     for (Benchmark b : f.workloads) {
@@ -225,11 +237,14 @@ main(int argc, char **argv)
 
     auto runStart = std::chrono::steady_clock::now();
     std::size_t pointsPriced = 0;
+    SupervisionStats supStats;
+    std::vector<ShardTimeline> supTimeline;
     int rc = 0;
     switch (f.kind) {
       case ExhibitKind::TpiScatter:
         rc = runScatter(f, refs, csv, progress, backend, store,
-                        isolate ? &sopts : nullptr, &pointsPriced);
+                        isolate ? &sopts : nullptr, &pointsPriced,
+                        &supStats, &supTimeline);
         break;
       case ExhibitKind::Table:
       case ExhibitKind::TimingCurve:
@@ -259,11 +274,22 @@ main(int argc, char **argv)
         m.traceRefs = refs;
         m.pointsPriced = pointsPriced;
         m.wallSeconds = wall;
+        if (isolate)
+            m.supervisorJson =
+                supervisorTimelinesJson(supStats, supTimeline);
         Status s = m.writeFile(manifestPath);
         if (!s.ok())
             warn("%s", s.message().c_str());
         else
             inform("wrote run manifest to '%s'", manifestPath.c_str());
+    }
+    std::string metricsOut = args.getString("metrics-out");
+    if (!metricsOut.empty()) {
+        Status s = writeMetricsFile(metricsOut);
+        if (!s.ok())
+            warn("%s", s.message().c_str());
+        else
+            inform("wrote metrics dump to '%s'", metricsOut.c_str());
     }
     return rc; // --profile dumps via applyStandardFlags's exit hook
 }

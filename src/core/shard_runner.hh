@@ -45,6 +45,22 @@
  * sweeps tick supervisor.{sweeps,shards,retries,bisections,
  * quarantined,backoff_waits} next to the per-worker
  * supervisor.worker.* counters.
+ *
+ * Cross-process telemetry (docs/observability.md): before its Done
+ * frame a worker streams its metrics-registry deltas, profiler phase
+ * stats and trace-event slices back over the same frame pipe. The
+ * parent folds counters into the global registry twice — once under
+ * the worker's own "worker.<id>." namespace and once into the plain
+ * name as an aggregated rollup — merges phases into the global
+ * profiler, and imports trace slices under a per-attempt pid so the
+ * chrome://tracing export shows one named track per worker attempt.
+ * Every worker also keeps a crash flight recorder
+ * (util/flight_recorder.hh): a bounded ring of recent events
+ * (current design point, phase, notes) flushed as a final frame on
+ * clean exit or from a signal handler on crash/SIGTERM, so
+ * quarantine entries in the FailureReport say *what the worker was
+ * doing* when it died, and the per-shard attempt timeline
+ * (ShardTimeline) records it for the run manifest.
  */
 
 #ifndef TLC_CORE_SHARD_RUNNER_HH
@@ -74,10 +90,10 @@ struct ShardFault
 {
     enum class Kind {
         None,
-        Crash,        ///< raise SIGSEGV on entry
-        Hang,         ///< ignore SIGTERM and pause forever
+        Crash,        ///< raise SIGSEGV when reporting point atIndex
+        Hang,         ///< ignore SIGTERM and pause at point atIndex
         PartialWrite, ///< report indices < atIndex, tear, then die
-        ExitEarly     ///< _exit(3) without reporting
+        ExitEarly     ///< _exit(3) on entry, without reporting
     };
 
     Kind kind = Kind::None;
@@ -112,8 +128,11 @@ struct SupervisorOptions
     bool storeFsync = false;
     /** Deterministic fault injection (tests and recovery drills). */
     ShardFaultPlan faults;
-    /** Progress callback; fires after each shard resolves. */
+    /** Progress callback; fires (throttled) as worker results
+     *  stream in, and unthrottled when a shard resolves. */
     std::function<void(const SweepProgress &)> progress;
+    /** Minimum seconds between streamed progress updates. */
+    double progressIntervalSeconds = 0.25;
 };
 
 /** What it took to finish one supervised sweep. */
@@ -130,6 +149,42 @@ struct SupervisionStats
     std::uint64_t quarantined = 0; ///< points given up on
     std::uint64_t backoffWaits = 0;
     double backoffSeconds = 0.0;   ///< total time asleep in backoff
+    std::uint64_t metricFrames = 0; ///< worker metric deltas merged
+    std::uint64_t phaseFrames = 0;  ///< worker phase stats merged
+    std::uint64_t eventFrames = 0;  ///< worker trace-slice frames
+    std::uint64_t flightFrames = 0; ///< flight-recorder frames
+
+    /** Fold another sweep's stats in (drivers aggregate scenarios). */
+    void accumulate(const SupervisionStats &other);
+};
+
+/**
+ * One worker launch in a shard's timeline: who ran, how it ended,
+ * when, and what its flight recorder last saw. "worker" here is the
+ * sweep-unique serial the telemetry namespace (worker.<id>.*) and
+ * the trace export's pid tracks use for the same attempt.
+ */
+struct ShardAttempt
+{
+    std::uint32_t workerId = 0;
+    std::string outcome;          ///< workerOutcomeKindName()
+    std::string detail;           ///< human phrase of the outcome
+    double startSeconds = 0.0;    ///< offset from sweep start
+    double durationSeconds = 0.0;
+    std::uint32_t resultsDelivered = 0; ///< intact result frames
+    double backoffSeconds = 0.0;  ///< sleep after this attempt (0 if none)
+    std::string flightReason;     ///< "clean", "signal", "hang", ...
+    std::string flightPoint;      ///< last design point seen working
+    std::string flightPhase;      ///< last phase seen working
+};
+
+/** Every attempt it took to resolve one shard (or sub-shard). */
+struct ShardTimeline
+{
+    std::uint32_t firstIndex = 0; ///< lowest design-point index
+    std::uint32_t count = 0;      ///< points in this (sub-)shard
+    std::string resolution;       ///< "ok", "bisected", "quarantined"
+    std::vector<ShardAttempt> attempts;
 };
 
 /** A supervised sweep's priced points plus its war story. */
@@ -137,7 +192,20 @@ struct SupervisedSweep
 {
     std::vector<DesignPoint> points;
     SupervisionStats stats;
+    /** Per-shard attempt history, in resolution order (a bisected
+     *  shard appears before its halves). */
+    std::vector<ShardTimeline> timeline;
 };
+
+/**
+ * Render supervision stats plus per-shard attempt timelines as the
+ * JSON object the run manifest embeds under "supervisor"
+ * (RunManifest::supervisorJson; schema documented in
+ * docs/observability.md).
+ */
+std::string
+supervisorTimelinesJson(const SupervisionStats &stats,
+                        const std::vector<ShardTimeline> &timeline);
 
 /**
  * Price @p configs on @p b like Explorer::evaluateAll, but simulate

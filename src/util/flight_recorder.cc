@@ -1,0 +1,300 @@
+/**
+ * @file
+ * Flight-recorder implementation: bounded note ring, the armed-fd
+ * signal handlers, and the frame payload codec.
+ */
+
+#include "flight_recorder.hh"
+
+#include <cstdarg>
+#include <cstdio>
+#include <cstring>
+
+#include <signal.h>
+#include <unistd.h>
+
+#include "util/crc32.hh"
+#include "util/supervisor.hh"
+
+namespace tlc {
+
+namespace {
+
+/**
+ * Emergency-path state, file-scope so the handlers can reach it
+ * without captures. fd < 0 means disarmed; the buffer leaves 8 bytes
+ * of headroom so writeFrameRaw can assemble its header in place.
+ */
+std::atomic<int> gArmedFd{-1};
+std::atomic<std::uint8_t> gFrameTag{0};
+char gEmergencyBuf[4096];
+
+constexpr int kFatalSignals[] = {SIGSEGV, SIGBUS, SIGFPE, SIGILL,
+                                 SIGABRT};
+
+extern "C" void
+emergencyHandler(int sig)
+{
+    const int fd = gArmedFd.load(std::memory_order_acquire);
+    if (fd >= 0) {
+        const std::size_t n = FlightRecorder::global().serializePayload(
+            gEmergencyBuf + 8, sizeof gEmergencyBuf - 8,
+            gFrameTag.load(std::memory_order_acquire),
+            FlightRecorder::kReasonSignal, sig);
+        if (n > 0) {
+            writeFrameRaw(fd, gEmergencyBuf + 8, n, gEmergencyBuf,
+                          sizeof gEmergencyBuf);
+        }
+    }
+    if (sig == SIGTERM) {
+        // The watchdog's polite kill: frame is out, leave quietly
+        // with a status the supervisor can tell apart from worker
+        // bugs.
+        _exit(FlightRecorder::kSigtermExit);
+    }
+    // Fatal signal: die by it for real so the parent's WIFSIGNALED
+    // classification still sees the original cause of death.
+    signal(sig, SIG_DFL);
+    raise(sig);
+}
+
+void
+copyLabel(char *dst, std::size_t cap, const char *src)
+{
+    std::size_t i = 0;
+    for (; src != nullptr && src[i] != '\0' && i + 1 < cap; ++i)
+        dst[i] = src[i];
+    dst[i] = '\0';
+    // NUL-pad the tail so a handler interrupting this copy never
+    // reads stale bytes past the new terminator.
+    for (++i; i < cap; ++i)
+        dst[i] = '\0';
+}
+
+/** Bounds-checked byte append used by serializePayload. */
+bool
+putByte(char *buf, std::size_t cap, std::size_t &off, std::uint8_t v)
+{
+    if (off >= cap)
+        return false;
+    buf[off++] = static_cast<char>(v);
+    return true;
+}
+
+bool
+putLenPrefixed(char *buf, std::size_t cap, std::size_t &off,
+               const char *s, std::size_t max_len)
+{
+    const std::size_t len = strnlen(s, max_len);
+    if (len > 255 || !putByte(buf, cap, off,
+                              static_cast<std::uint8_t>(len)))
+        return false;
+    if (off + len > cap)
+        return false;
+    std::memcpy(buf + off, s, len);
+    off += len;
+    return true;
+}
+
+} // namespace
+
+FlightRecorder &
+FlightRecorder::global()
+{
+    static FlightRecorder recorder;
+    return recorder;
+}
+
+void
+FlightRecorder::reset()
+{
+    seq_.store(0, std::memory_order_relaxed);
+    std::memset(point_, 0, sizeof point_);
+    std::memset(phase_, 0, sizeof phase_);
+    for (Slot &s : ring_)
+        std::memset(s.text, 0, sizeof s.text);
+}
+
+void
+FlightRecorder::setPoint(const char *label)
+{
+    copyLabel(point_, sizeof point_, label);
+}
+
+void
+FlightRecorder::setPhase(const char *phase)
+{
+    copyLabel(phase_, sizeof phase_, phase);
+}
+
+void
+FlightRecorder::note(const char *fmt, ...)
+{
+    char text[kNoteBytes];
+    va_list ap;
+    va_start(ap, fmt);
+    std::vsnprintf(text, sizeof text, fmt, ap);
+    va_end(ap);
+
+    const std::uint32_t seq = seq_.load(std::memory_order_relaxed);
+    Slot &slot = ring_[seq % kRingEntries];
+    copyLabel(slot.text, sizeof slot.text, text);
+    seq_.store(seq + 1, std::memory_order_release);
+}
+
+void
+FlightRecorder::armEmergency(int fd, std::uint8_t frame_tag)
+{
+    // Warm the CRC lookup table now: its first-use initialization is
+    // a guarded magic static, which must not happen inside a signal
+    // handler.
+    (void)crc32("", 0);
+
+    gFrameTag.store(frame_tag, std::memory_order_release);
+    gArmedFd.store(fd, std::memory_order_release);
+
+    struct sigaction sa;
+    std::memset(&sa, 0, sizeof sa);
+    sa.sa_handler = emergencyHandler;
+    sigemptyset(&sa.sa_mask);
+    for (int sig : kFatalSignals)
+        sigaction(sig, &sa, nullptr);
+    sigaction(SIGTERM, &sa, nullptr);
+}
+
+void
+FlightRecorder::disarm()
+{
+    gArmedFd.store(-1, std::memory_order_release);
+}
+
+bool
+FlightRecorder::armed() const
+{
+    return gArmedFd.load(std::memory_order_acquire) >= 0;
+}
+
+std::size_t
+FlightRecorder::serializePayload(char *buf, std::size_t cap,
+                                 std::uint8_t frame_tag,
+                                 std::uint8_t reason, int signo) const
+{
+    std::size_t off = 0;
+    if (!putByte(buf, cap, off, frame_tag) ||
+        !putByte(buf, cap, off, reason))
+        return 0;
+    const auto sig = static_cast<std::uint32_t>(signo);
+    for (int i = 0; i < 4; ++i) {
+        if (!putByte(buf, cap, off,
+                     static_cast<std::uint8_t>((sig >> (8 * i)) & 0xff)))
+            return 0;
+    }
+    if (!putLenPrefixed(buf, cap, off, point_, sizeof point_ - 1) ||
+        !putLenPrefixed(buf, cap, off, phase_, sizeof phase_ - 1))
+        return 0;
+
+    const std::uint32_t seq = seq_.load(std::memory_order_acquire);
+    const std::uint32_t count =
+        seq < kRingEntries ? seq
+                           : static_cast<std::uint32_t>(kRingEntries);
+    if (!putByte(buf, cap, off, static_cast<std::uint8_t>(count)))
+        return 0;
+    for (std::uint32_t i = 0; i < count; ++i) {
+        // Oldest first: the ring index of note (seq - count + i).
+        const Slot &slot = ring_[(seq - count + i) % kRingEntries];
+        if (!putLenPrefixed(buf, cap, off, slot.text,
+                            sizeof slot.text - 1))
+            return 0;
+    }
+    return off;
+}
+
+bool
+FlightRecorder::flush(int fd, std::uint8_t frame_tag,
+                      std::uint8_t reason)
+{
+    char buf[4096];
+    const std::size_t n = serializePayload(
+        buf + 8, sizeof buf - 8, frame_tag, reason, 0);
+    if (n == 0)
+        return false;
+    return writeFrameRaw(fd, buf + 8, n, buf, sizeof buf);
+}
+
+void
+FlightRecorder::flushIfArmed(std::uint8_t reason)
+{
+    const int fd = gArmedFd.load(std::memory_order_acquire);
+    if (fd >= 0)
+        flush(fd, gFrameTag.load(std::memory_order_acquire), reason);
+}
+
+bool
+FlightRecorder::decodePayload(std::string_view payload,
+                              std::uint8_t frame_tag, FlightInfo &out)
+{
+    std::size_t off = 0;
+    auto byteAt = [&payload, &off](std::uint8_t &v) {
+        if (off >= payload.size())
+            return false;
+        v = static_cast<std::uint8_t>(payload[off++]);
+        return true;
+    };
+    auto lenPrefixed = [&payload, &off, &byteAt](std::string &s) {
+        std::uint8_t len = 0;
+        if (!byteAt(len) || off + len > payload.size())
+            return false;
+        s.assign(payload.data() + off, len);
+        off += len;
+        return true;
+    };
+
+    std::uint8_t tag = 0;
+    std::uint8_t reason = 0;
+    if (!byteAt(tag) || tag != frame_tag || !byteAt(reason))
+        return false;
+    std::uint32_t sig = 0;
+    for (int i = 0; i < 4; ++i) {
+        std::uint8_t b = 0;
+        if (!byteAt(b))
+            return false;
+        sig |= static_cast<std::uint32_t>(b) << (8 * i);
+    }
+    FlightInfo info;
+    info.reason = reason;
+    info.signo = static_cast<int>(sig);
+    if (!lenPrefixed(info.point) || !lenPrefixed(info.phase))
+        return false;
+    std::uint8_t count = 0;
+    if (!byteAt(count) || count > kRingEntries)
+        return false;
+    info.notes.reserve(count);
+    for (std::uint8_t i = 0; i < count; ++i) {
+        std::string note;
+        if (!lenPrefixed(note))
+            return false;
+        info.notes.push_back(std::move(note));
+    }
+    if (off != payload.size())
+        return false;
+    out = std::move(info);
+    return true;
+}
+
+const char *
+FlightRecorder::reasonName(std::uint8_t reason)
+{
+    switch (reason) {
+    case kReasonClean:
+        return "clean";
+    case kReasonSignal:
+        return "signal";
+    case kReasonHang:
+        return "hang";
+    case kReasonException:
+        return "exception";
+    }
+    return "unknown";
+}
+
+} // namespace tlc

@@ -1,0 +1,141 @@
+/**
+ * @file
+ * Crash flight recorder for supervised sweep workers: a bounded,
+ * allocation-free ring of recent structured events (current design
+ * point, current phase, free-form notes) that a forked worker keeps
+ * up to date as it simulates, and flushes to the supervisor as one
+ * final CRC frame — on clean exit through the normal writeFrame
+ * path, or from inside a signal handler through the async-signal-
+ * safe emergency path when the worker crashes or is killed by the
+ * watchdog's SIGTERM.
+ *
+ * The point: when the retry/bisect machinery quarantines a design
+ * point, the FailureReport entry can say *why* — "last seen
+ * reporting point l1=8K/l2=64K during sim.batch" — instead of only
+ * which worker died (docs/observability.md, flight-recorder
+ * contract).
+ *
+ * Signal-safety: the emergency path does byte copies, table-driven
+ * CRC and raw write() only. note()/setPoint()/setPhase() are for
+ * normal code (they snprintf); every slot is fixed-size and
+ * NUL-padded so a handler that interrupts a half-written note reads
+ * a truncated string, never out of bounds. After the emergency
+ * flush the handler restores the default disposition and re-raises,
+ * so the parent still sees the real death signal (WIFSIGNALED
+ * classification is preserved); SIGTERM flushes and _exit()s.
+ *
+ * One recorder per process (global()); the worker arms it with the
+ * pipe fd right after fork. The parent never arms, so the handlers
+ * are installed only in children.
+ */
+
+#ifndef TLC_UTIL_FLIGHT_RECORDER_HH
+#define TLC_UTIL_FLIGHT_RECORDER_HH
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace tlc {
+
+/** A decoded flight-recorder frame, parent side. */
+struct FlightInfo
+{
+    std::uint8_t reason = 0; ///< FlightRecorder::kReason*
+    int signo = 0;           ///< delivering signal (kReasonSignal)
+    std::string point;       ///< last design point label
+    std::string phase;       ///< last phase ("sim.batch", "report")
+    std::vector<std::string> notes; ///< ring contents, oldest first
+};
+
+class FlightRecorder
+{
+  public:
+    static constexpr std::size_t kRingEntries = 16;
+    static constexpr std::size_t kNoteBytes = 96;
+    static constexpr std::size_t kLabelBytes = 64;
+
+    /** Why a flight frame was emitted. */
+    static constexpr std::uint8_t kReasonClean = 0;     ///< normal exit
+    static constexpr std::uint8_t kReasonSignal = 1;    ///< crash/SIGTERM
+    static constexpr std::uint8_t kReasonHang = 2;      ///< injected hang
+    static constexpr std::uint8_t kReasonException = 3; ///< thrown C++
+
+    /** Exit status of a worker that honored the watchdog's SIGTERM
+     *  by flushing its flight frame and leaving. */
+    static constexpr int kSigtermExit = 5;
+
+    static FlightRecorder &global();
+
+    FlightRecorder() = default;
+    FlightRecorder(const FlightRecorder &) = delete;
+    FlightRecorder &operator=(const FlightRecorder &) = delete;
+
+    /** Clear point/phase/ring (a fresh worker starts clean). */
+    void reset();
+
+    /** Record the design point currently being worked (truncates). */
+    void setPoint(const char *label);
+
+    /** Record the current phase (truncates). */
+    void setPhase(const char *phase);
+
+    /** Append one printf-formatted note to the ring (normal path
+     *  only — not async-signal-safe). */
+    void note(const char *fmt, ...)
+        __attribute__((format(printf, 2, 3)));
+
+    /**
+     * Arm the emergency path: install handlers for the fatal
+     * signals (SIGSEGV, SIGBUS, SIGFPE, SIGILL, SIGABRT) and
+     * SIGTERM that serialize this recorder into one frame tagged
+     * @p frame_tag and write it to @p fd before dying/exiting.
+     */
+    void armEmergency(int fd, std::uint8_t frame_tag);
+
+    /** Forget the armed fd (handlers stay installed but do nothing). */
+    void disarm();
+
+    bool armed() const;
+
+    /**
+     * Serialize into @p buf as a frame payload: u8 tag, u8 reason,
+     * u32le signo, then length-prefixed (u8) point, phase and ring
+     * notes (u8 count first). Returns bytes written; signal-safe.
+     */
+    std::size_t serializePayload(char *buf, std::size_t cap,
+                                 std::uint8_t frame_tag,
+                                 std::uint8_t reason, int signo) const;
+
+    /** writeFrame a payload for @p reason to @p fd (normal path:
+     *  clean exits and the injected-hang drill). */
+    bool flush(int fd, std::uint8_t frame_tag, std::uint8_t reason);
+
+    /** flush() to the armed fd, if armed (used by the supervisor's
+     *  catch-all exception exit); no-op otherwise. */
+    void flushIfArmed(std::uint8_t reason);
+
+    /** Parse a flight payload; false on malformed layout. */
+    static bool decodePayload(std::string_view payload,
+                              std::uint8_t frame_tag, FlightInfo &out);
+
+    /** Stable name of a kReason* value ("clean", "signal", ...). */
+    static const char *reasonName(std::uint8_t reason);
+
+  private:
+    struct Slot
+    {
+        char text[kNoteBytes] = {};
+    };
+
+    char point_[kLabelBytes] = {};
+    char phase_[kLabelBytes] = {};
+    Slot ring_[kRingEntries];
+    std::atomic<std::uint32_t> seq_{0};
+};
+
+} // namespace tlc
+
+#endif // TLC_UTIL_FLIGHT_RECORDER_HH

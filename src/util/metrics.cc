@@ -6,6 +6,7 @@
 #include "metrics.hh"
 
 #include <algorithm>
+#include <fstream>
 #include <sstream>
 
 #include "util/json.hh"
@@ -94,6 +95,40 @@ MetricsRegistry::has(const std::string &name) const
 {
     std::lock_guard<std::mutex> lock(mu_);
     return entries_.count(name) != 0;
+}
+
+std::optional<MetricKind>
+MetricsRegistry::kindOf(const std::string &name) const
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = entries_.find(name);
+    if (it == entries_.end())
+        return std::nullopt;
+    return it->second.kind;
+}
+
+std::vector<std::pair<std::string, std::uint64_t>>
+MetricsRegistry::counterValues() const
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    std::vector<std::pair<std::string, std::uint64_t>> out;
+    for (const auto &[name, e] : entries_) {
+        if (e.kind == Kind::Counter)
+            out.emplace_back(name, e.counter->value());
+    }
+    return out;
+}
+
+std::vector<std::pair<std::string, double>>
+MetricsRegistry::gaugeValues() const
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    std::vector<std::pair<std::string, double>> out;
+    for (const auto &[name, e] : entries_) {
+        if (e.kind == Kind::Gauge)
+            out.emplace_back(name, e.gauge->value());
+    }
+    return out;
 }
 
 std::size_t
@@ -200,6 +235,24 @@ MetricsRegistry::resetAll()
             break;
         }
     }
+}
+
+Status
+writeMetricsFile(const std::string &path)
+{
+    std::ofstream os(path);
+    if (!os) {
+        return statusf(StatusCode::IoError,
+                       "cannot open metrics file '%s' for writing",
+                       path.c_str());
+    }
+    os << MetricsRegistry::global().toJson() << "\n";
+    if (!os.good()) {
+        return statusf(StatusCode::IoError,
+                       "write to metrics file '%s' failed",
+                       path.c_str());
+    }
+    return Status();
 }
 
 } // namespace tlc

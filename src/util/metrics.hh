@@ -35,12 +35,18 @@
 #include <map>
 #include <memory>
 #include <mutex>
+#include <optional>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "util/stats.hh"
+#include "util/status.hh"
 
 namespace tlc {
+
+/** What lives under a registered metric name. */
+enum class MetricKind { Counter, Gauge, Histogram };
 
 /** Monotonic event counter (lock-free). */
 class MetricCounter
@@ -142,6 +148,24 @@ class MetricsRegistry
     /** True when a metric of any kind is registered under @p name. */
     bool has(const std::string &name) const;
 
+    /**
+     * The kind registered under @p name, or nullopt when absent.
+     * Lets cross-process mergers (core/shard_runner.cc) skip a name
+     * whose kind differs instead of tripping the create-or-get
+     * mismatch panic on wire data.
+     */
+    std::optional<MetricKind> kindOf(const std::string &name) const;
+
+    /**
+     * Snapshot of every counter as (name, value), sorted by name —
+     * the worker side of the telemetry frames serializes this.
+     */
+    std::vector<std::pair<std::string, std::uint64_t>>
+    counterValues() const;
+
+    /** Snapshot of every gauge as (name, value), sorted by name. */
+    std::vector<std::pair<std::string, double>> gaugeValues() const;
+
     /** Number of registered metrics. */
     std::size_t size() const;
 
@@ -166,7 +190,7 @@ class MetricsRegistry
     void resetAll();
 
   private:
-    enum class Kind { Counter, Gauge, Histogram };
+    using Kind = MetricKind;
 
     struct Entry
     {
@@ -179,6 +203,12 @@ class MetricsRegistry
     mutable std::mutex mu_;
     std::map<std::string, Entry> entries_;
 };
+
+/**
+ * Write the global registry's JSON dump to @p path (the sweep
+ * drivers' --metrics-out=FILE). IoError Status on failure.
+ */
+Status writeMetricsFile(const std::string &path);
 
 } // namespace tlc
 

@@ -48,6 +48,16 @@ Profiler::record(const char *phase, std::uint64_t ns)
     s.maxNs = std::max(s.maxNs, ns);
 }
 
+void
+Profiler::merge(const std::string &phase, const PhaseStats &stats)
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    PhaseStats &s = phases_[phase];
+    s.calls += stats.calls;
+    s.totalNs += stats.totalNs;
+    s.maxNs = std::max(s.maxNs, stats.maxNs);
+}
+
 std::map<std::string, PhaseStats>
 Profiler::snapshot() const
 {

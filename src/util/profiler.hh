@@ -90,6 +90,14 @@ class Profiler
     /** Merge one timed interval into @p phase (thread-safe). */
     void record(const char *phase, std::uint64_t ns);
 
+    /**
+     * Fold a whole foreign aggregate into @p phase: calls and total
+     * time add, max takes the larger. This is how the shard
+     * supervisor rolls a worker subprocess's streamed phase stats
+     * into the parent profiler (docs/observability.md).
+     */
+    void merge(const std::string &phase, const PhaseStats &stats);
+
     /** Consistent copy of every phase aggregate, sorted by name. */
     std::map<std::string, PhaseStats> snapshot() const;
 

@@ -64,8 +64,10 @@ RunManifest::toJson() const
        << "  \"hardware_concurrency\": " << hardwareConcurrency << ",\n"
        << "  \"points_priced\": " << pointsPriced << ",\n"
        << "  \"failures\": " << failures << ",\n"
-       << "  \"wall_seconds\": " << jsonNumber(wallSeconds) << ",\n"
-       << "  \"metrics\": "
+       << "  \"wall_seconds\": " << jsonNumber(wallSeconds) << ",\n";
+    if (!supervisorJson.empty())
+        os << "  \"supervisor\": " << reindent(supervisorJson) << ",\n";
+    os << "  \"metrics\": "
        << reindent(MetricsRegistry::global().toJson()) << ",\n"
        << "  \"phases\": " << reindent(Profiler::global().toJson())
        << "\n}\n";

@@ -33,6 +33,13 @@ struct RunManifest
     std::uint64_t pointsPriced = 0;
     std::uint64_t failures = 0;   ///< fail-soft skips
     double wallSeconds = 0.0;
+    /**
+     * Supervision summary of an --isolate=process run: the JSON
+     * object supervisorTimelinesJson (core/shard_runner.hh) renders,
+     * with per-shard attempt/retry/backoff/outcome timelines. Empty
+     * (and omitted from the output) for in-process runs.
+     */
+    std::string supervisorJson;
 
     /**
      * Fill tool/commandLine from argv and threads /

@@ -18,6 +18,7 @@
 #include <unistd.h>
 
 #include "util/crc32.hh"
+#include "util/flight_recorder.hh"
 #include "util/logging.hh"
 #include "util/metrics.hh"
 #include "util/random.hh"
@@ -169,6 +170,36 @@ writeFrame(int fd, std::string_view payload)
     return Status{};
 }
 
+bool
+writeFrameRaw(int fd, const char *payload, std::size_t len,
+              char *scratch, std::size_t scratch_cap)
+{
+    if (len > kMaxFrameBytes || scratch_cap < 8 + len)
+        return false;
+    const std::uint32_t crc = crc32(payload, len);
+    for (int i = 0; i < 4; ++i) {
+        scratch[i] =
+            static_cast<char>((static_cast<std::uint32_t>(len) >>
+                               (8 * i)) & 0xff);
+        scratch[4 + i] = static_cast<char>((crc >> (8 * i)) & 0xff);
+    }
+    // payload may already live inside scratch (the flight recorder
+    // serializes directly at scratch + 8); memmove keeps that legal.
+    std::memmove(scratch + 8, payload, len);
+    std::size_t off = 0;
+    const std::size_t total = 8 + len;
+    while (off < total) {
+        ssize_t n = ::write(fd, scratch + off, total - off);
+        if (n < 0) {
+            if (errno == EINTR)
+                continue;
+            return false;
+        }
+        off += static_cast<std::size_t>(n);
+    }
+    return true;
+}
+
 Status
 WorkerOutcome::toStatus(const std::string &context) const
 {
@@ -230,6 +261,10 @@ superviseWorker(const std::function<void(int write_fd)> &worker,
         try {
             worker(fds[1]);
         } catch (...) {
+            // A worker that armed the flight recorder still gets its
+            // last-known-state frame out before the reserved exit.
+            FlightRecorder::global().flushIfArmed(
+                FlightRecorder::kReasonException);
             _exit(kWorkerExceptionExit);
         }
         close(fds[1]);
@@ -249,9 +284,44 @@ superviseWorker(const std::function<void(int write_fd)> &worker,
         double waitSeconds =
             armed ? deadline - nowSeconds() : 0.25;
         if (armed && waitSeconds <= 0) {
-            // Watchdog expired: politely, then firmly.
+            // Watchdog expired: politely, then firmly — but keep
+            // draining the pipe through the grace window, because a
+            // worker with an armed flight recorder answers SIGTERM
+            // with one last frame of crash context, and dropping it
+            // here would blind the quarantine log.
+            kill(pid, SIGTERM);
+            const double graceDeadline =
+                nowSeconds() + watchdog.killGraceSeconds;
+            for (;;) {
+                const double left = graceDeadline - nowSeconds();
+                if (left <= 0)
+                    break;
+                struct pollfd gfd = {rfd, POLLIN, 0};
+                int gr = poll(&gfd, 1,
+                              static_cast<int>(left * 1000) + 1);
+                if (gr < 0) {
+                    if (errno == EINTR)
+                        continue;
+                    break;
+                }
+                if (gr == 0)
+                    continue;
+                char chunk[4096];
+                ssize_t n = ::read(rfd, chunk, sizeof chunk);
+                if (n <= 0)
+                    break; // EOF or error: nothing more to salvage
+                buf.append(chunk, static_cast<std::size_t>(n));
+                if (!drainFrames(buf, on_frame))
+                    break; // torn mid-death frame; keep what we have
+            }
             close(rfd);
-            killAndReap(pid, watchdog.killGraceSeconds);
+            int wstatus = 0;
+            if (!reapWithGrace(pid, 0.05, &wstatus)) {
+                kill(pid, SIGKILL);
+                while (waitpid(pid, &wstatus, 0) < 0 &&
+                       errno == EINTR) {
+                }
+            }
             out.kind = WorkerOutcome::Kind::Timeout;
             char msg[96];
             std::snprintf(msg, sizeof msg,

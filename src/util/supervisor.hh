@@ -57,6 +57,17 @@ constexpr int kWorkerExceptionExit = 113;
  */
 Status writeFrame(int fd, std::string_view payload);
 
+/**
+ * Async-signal-safe writeFrame: @p scratch must have room for
+ * 8 + @p len bytes and is used to assemble the header + payload
+ * before one raw write() loop — no allocation, no stdio, table-only
+ * CRC. This is the emergency path the crash flight recorder
+ * (util/flight_recorder.hh) uses from inside a signal handler;
+ * returns false when the frame could not be fully written.
+ */
+bool writeFrameRaw(int fd, const char *payload, std::size_t len,
+                   char *scratch, std::size_t scratch_cap);
+
 /** Watchdog budget of one worker run. */
 struct WatchdogSpec
 {

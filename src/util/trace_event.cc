@@ -9,6 +9,7 @@
 #include <fstream>
 #include <ostream>
 #include <set>
+#include <utility>
 
 #include "util/json.hh"
 
@@ -21,6 +22,11 @@ std::atomic<TraceEventRecorder *> gActive{nullptr};
 } // namespace
 
 TraceEventRecorder::TraceEventRecorder() : t0_(Clock::now())
+{
+}
+
+TraceEventRecorder::TraceEventRecorder(Clock::time_point epoch)
+    : t0_(epoch)
 {
 }
 
@@ -48,17 +54,38 @@ TraceEventRecorder::complete(std::string name, std::string category,
         return d.count() < 0 ? std::uint64_t{0}
                              : static_cast<std::uint64_t>(d.count());
     };
-    Event e;
+    TraceEvent e;
     e.name = std::move(name);
     e.category = std::move(category);
     e.argsJson = std::move(args_json);
     e.tsUs = us(begin);
     std::uint64_t endUs = us(end);
     e.durUs = endUs > e.tsUs ? endUs - e.tsUs : 0;
+    e.pid = 1;
     e.tid = tid;
 
     std::lock_guard<std::mutex> lock(mu_);
     events_.push_back(std::move(e));
+}
+
+std::vector<TraceEvent>
+TraceEventRecorder::snapshot() const
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    return events_;
+}
+
+void
+TraceEventRecorder::import(const std::vector<TraceEvent> &events,
+                           std::uint32_t pid,
+                           const std::string &process_name)
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    processNames_[pid] = process_name;
+    for (TraceEvent e : events) {
+        e.pid = pid;
+        events_.push_back(std::move(e));
+    }
 }
 
 std::size_t
@@ -71,36 +98,49 @@ TraceEventRecorder::size() const
 void
 TraceEventRecorder::write(std::ostream &os) const
 {
-    std::vector<Event> events;
+    std::vector<TraceEvent> events;
+    std::map<std::uint32_t, std::string> processNames;
     {
         std::lock_guard<std::mutex> lock(mu_);
         events = events_;
+        processNames = processNames_;
     }
     // Stable output: viewers don't care about event order, but a
     // deterministic file is diffable and testable.
     std::stable_sort(events.begin(), events.end(),
-                     [](const Event &a, const Event &b) {
+                     [](const TraceEvent &a, const TraceEvent &b) {
+                         if (a.pid != b.pid)
+                             return a.pid < b.pid;
                          return a.tid != b.tid ? a.tid < b.tid
                                                : a.tsUs < b.tsUs;
                      });
 
-    std::set<std::uint32_t> tids;
-    for (const Event &e : events)
-        tids.insert(e.tid);
+    std::set<std::pair<std::uint32_t, std::uint32_t>> tracks;
+    for (const TraceEvent &e : events)
+        tracks.insert({e.pid, e.tid});
 
     os << "{\n  \"displayTimeUnit\": \"ms\",\n  \"traceEvents\": [";
     bool first = true;
-    for (std::uint32_t tid : tids) {
+    for (const auto &[pid, name] : processNames) {
         os << (first ? "\n" : ",\n")
-           << "    {\"ph\": \"M\", \"pid\": 1, \"tid\": " << tid
+           << "    {\"ph\": \"M\", \"pid\": " << pid
+           << ", \"tid\": 0, \"name\": \"process_name\", "
+           << "\"args\": {\"name\": " << jsonQuote(name) << "}}";
+        first = false;
+    }
+    for (const auto &[pid, tid] : tracks) {
+        os << (first ? "\n" : ",\n")
+           << "    {\"ph\": \"M\", \"pid\": " << pid
+           << ", \"tid\": " << tid
            << ", \"name\": \"thread_name\", \"args\": {\"name\": "
            << jsonQuote("worker-" + std::to_string(tid)) << "}}";
         first = false;
     }
-    for (const Event &e : events) {
+    for (const TraceEvent &e : events) {
         os << (first ? "\n" : ",\n")
-           << "    {\"ph\": \"X\", \"pid\": 1, \"tid\": " << e.tid
-           << ", \"ts\": " << e.tsUs << ", \"dur\": " << e.durUs
+           << "    {\"ph\": \"X\", \"pid\": " << e.pid
+           << ", \"tid\": " << e.tid << ", \"ts\": " << e.tsUs
+           << ", \"dur\": " << e.durUs
            << ", \"name\": " << jsonQuote(e.name)
            << ", \"cat\": " << jsonQuote(e.category);
         if (!e.argsJson.empty())

@@ -9,6 +9,15 @@
  * gives the first real view into parallel-sweep load balance: open
  * the file and see which worker did what, when, and for how long.
  *
+ * Since the cross-process telemetry work the timeline is also
+ * multi-process: the shard supervisor imports the slices a forked
+ * worker subprocess streamed back over the frame pipe, each under
+ * its own pid (the supervisor itself is pid 1), so an isolated sweep
+ * renders as one named track per worker attempt next to the
+ * supervisor's own shard slices. Worker-side recorders are built
+ * with the parent's epoch — steady_clock is system-wide on Linux, so
+ * child timestamps land directly on the parent timeline.
+ *
  * Recording is opt-in: nothing is recorded unless a recorder has
  * been installed with setActive() (the sweep drivers do this when
  * --trace-out=FILE is given). Instrumentation sites check active()
@@ -28,6 +37,7 @@
 #include <chrono>
 #include <cstdint>
 #include <iosfwd>
+#include <map>
 #include <mutex>
 #include <string>
 #include <vector>
@@ -35,6 +45,22 @@
 #include "util/status.hh"
 
 namespace tlc {
+
+/**
+ * One complete ("ph":"X") slice. Public so the shard supervisor can
+ * snapshot a worker recorder, ship the events over the frame pipe,
+ * and import them into the parent recorder under the worker's pid.
+ */
+struct TraceEvent
+{
+    std::string name;
+    std::string category;
+    std::string argsJson;
+    std::uint64_t tsUs = 0;
+    std::uint64_t durUs = 0;
+    std::uint32_t pid = 1;
+    std::uint32_t tid = 0;
+};
 
 /** Collects trace events; write them out once the run completes. */
 class TraceEventRecorder
@@ -44,8 +70,19 @@ class TraceEventRecorder
 
     /** Timestamps are recorded relative to construction time. */
     TraceEventRecorder();
+
+    /**
+     * Timestamps relative to @p epoch: how a forked worker keeps its
+     * slices on the supervisor's timeline (pass the parent
+     * recorder's epoch() across fork).
+     */
+    explicit TraceEventRecorder(Clock::time_point epoch);
+
     TraceEventRecorder(const TraceEventRecorder &) = delete;
     TraceEventRecorder &operator=(const TraceEventRecorder &) = delete;
+
+    /** The zero point every tsUs is measured from. */
+    Clock::time_point epoch() const { return t0_; }
 
     /**
      * The currently installed recorder, or nullptr when recording
@@ -70,12 +107,25 @@ class TraceEventRecorder
                   Clock::time_point begin, Clock::time_point end,
                   std::uint32_t tid, std::string args_json = "");
 
+    /** A consistent copy of every recorded slice. */
+    std::vector<TraceEvent> snapshot() const;
+
+    /**
+     * Append foreign slices under process id @p pid, naming that
+     * pid's track @p process_name in the output ("worker 3: shard
+     * [32..64) attempt 1"). The events' own pid fields are
+     * overwritten with @p pid.
+     */
+    void import(const std::vector<TraceEvent> &events,
+                std::uint32_t pid, const std::string &process_name);
+
     /** Number of slices recorded so far. */
     std::size_t size() const;
 
     /**
      * Write the JSON document: a {"traceEvents": [...]} object
-     * holding one thread_name metadata event per track plus every
+     * holding one thread_name metadata event per track (plus one
+     * process_name metadata event per imported worker pid) and every
      * recorded slice.
      */
     void write(std::ostream &os) const;
@@ -84,19 +134,10 @@ class TraceEventRecorder
     Status writeFile(const std::string &path) const;
 
   private:
-    struct Event
-    {
-        std::string name;
-        std::string category;
-        std::string argsJson;
-        std::uint64_t tsUs;
-        std::uint64_t durUs;
-        std::uint32_t tid;
-    };
-
     Clock::time_point t0_;
     mutable std::mutex mu_;
-    std::vector<Event> events_;
+    std::vector<TraceEvent> events_;
+    std::map<std::uint32_t, std::string> processNames_;
 };
 
 } // namespace tlc

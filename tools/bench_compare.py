@@ -64,6 +64,19 @@ EXACT_KEYS = (
     "pruned_points",
     "prune_rate",
     "envelopes_identical",
+    # The cross-process telemetry snapshot: supervised shard/frame
+    # accounting and the rollup-parity verdict are correctness
+    # claims ("every worker counter streamed back and merged once"),
+    # so they may never be loosened or silently dropped.
+    "supervised_points",
+    "supervised_shards",
+    "supervised_worker_launches",
+    "telemetry_metric_frames",
+    "telemetry_phase_frames",
+    "telemetry_flight_frames",
+    "worker_namespace_counters",
+    "rollup_counters_compared",
+    "rollups_match_inprocess",
 )
 
 

@@ -204,6 +204,48 @@ run_smoke() {
     python3 tools/validate_trace.py --manifest "$obs_dir/manifest.json"
     rm -rf "$obs_dir"
 
+    # Cross-process telemetry end to end: the same sweep under
+    # --isolate=process must stream worker metrics back (worker.<id>.*
+    # namespaces in the --metrics-out dump), merge trace slices into
+    # per-attempt pid tracks, and embed the per-shard attempt
+    # timelines in the manifest's "supervisor" object — all validated
+    # structurally (docs/observability.md).
+    echo "== smoke-running isolated-mode telemetry surface =="
+    iso_dir=$(mktemp -d)
+    build/examples/design_explorer --refs=20000 --budget=500000 \
+        --isolate=process --shard-points=16 --progress \
+        --trace-out="$iso_dir/trace.json" \
+        --manifest="$iso_dir/manifest.json" \
+        --metrics-out="$iso_dir/metrics.json" \
+        > /dev/null 2> "$iso_dir/stderr.txt"
+    grep -q "^progress: " "$iso_dir/stderr.txt" || {
+        echo "no streamed progress lines under --isolate=process" >&2
+        exit 1
+    }
+    python3 tools/validate_trace.py --trace "$iso_dir/trace.json"
+    python3 tools/validate_trace.py --manifest "$iso_dir/manifest.json"
+    grep -q '"supervisor"' "$iso_dir/manifest.json" || {
+        echo "isolated manifest lacks the supervisor timelines" >&2
+        exit 1
+    }
+    python3 -c "import json, sys; json.load(open(sys.argv[1]))" \
+        "$iso_dir/metrics.json"
+    grep -q '"worker\.' "$iso_dir/metrics.json" || {
+        echo "metrics dump lacks worker.<id>.* namespaces" >&2
+        exit 1
+    }
+    rm -rf "$iso_dir"
+
+    # The simulation-trace container round trip: trace_tool writes
+    # the version-3 delta/zigzag format with a CRC-32 footer over the
+    # decoded records, and the validator re-decodes it independently.
+    echo "== smoke-running sim-trace container round trip =="
+    sim_dir=$(mktemp -d)
+    build/examples/trace_tool generate --bench=gcc1 --refs=30000 \
+        --out="$sim_dir/gcc1.trace" > /dev/null
+    python3 tools/validate_trace.py --sim-trace "$sim_dir/gcc1.trace"
+    rm -rf "$sim_dir"
+
     # The persistent result store end to end: a cold sweep fills the
     # store, the warm --resume rerun must print byte-identical output,
     # and --resume against a store that does not exist must refuse.
