@@ -1,0 +1,168 @@
+/**
+ * @file
+ * Service throughput: drills the whole tlcd stack in one process —
+ * a SweepService with a persistent store behind a SweepDaemon on a
+ * temporary Unix socket — with one cold request, one warm re-request
+ * and then N concurrent clients, and emits the JSON document behind
+ * the checked-in BENCH_service.json. The pinned facts are the
+ * service's contract, not its speed: every response byte-identical
+ * to the first, the warm re-sweep resolving every point from the
+ * shared result store (store_hits == points, store_misses == 0),
+ * and the warm/cold speedup staying a ratio > 1.
+ *
+ * Usage: bench_service_throughput [--refs=N] [--clients=N]
+ *                                 [--threads=N]
+ */
+
+#include <chrono>
+#include <cstdlib>
+#include <thread>
+#include <unistd.h>
+#include <vector>
+
+#include "bench_common.hh"
+#include "service/client.hh"
+#include "service/daemon.hh"
+#include "service/sweep_codec.hh"
+#include "service/sweep_service.hh"
+#include "util/json.hh"
+
+using namespace tlc;
+
+namespace {
+
+double
+seconds(std::chrono::steady_clock::time_point t0)
+{
+    return std::chrono::duration<double>(
+               std::chrono::steady_clock::now() - t0)
+        .count();
+}
+
+/** One accounting field out of a "tlc-sweep-stats-v1" document. */
+std::uint64_t
+statsField(const std::string &stats, const char *key)
+{
+    Expected<JsonValue> parsed = jsonParse(stats);
+    if (!parsed.ok())
+        fatal("stats document: %s", parsed.status().message().c_str());
+    const JsonValue *v = parsed.value().find(key);
+    if (!v)
+        fatal("stats document has no \"%s\"", key);
+    Expected<std::uint64_t> n = v->asU64();
+    if (!n.ok())
+        fatal("stats \"%s\": %s", key, n.status().message().c_str());
+    return n.value();
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    ArgParser args = bench::parseDriverArgs(argc, argv);
+    std::uint64_t refs = static_cast<std::uint64_t>(
+        args.getInt("refs",
+                    static_cast<std::int64_t>(
+                        Workloads::defaultTraceLength() / 8)));
+    std::size_t clients =
+        static_cast<std::size_t>(args.getInt("clients", 3));
+
+    char dirTemplate[] = "/tmp/tlc_bench_service_XXXXXX";
+    const char *dir = mkdtemp(dirTemplate);
+    if (!dir)
+        fatal("mkdtemp failed");
+    const std::string socketPath = std::string(dir) + "/tlcd.sock";
+    const std::string storePath = std::string(dir) + "/store.tlcr";
+
+    service::SweepServiceOptions sopts;
+    sopts.resultStorePath = storePath;
+    service::SweepService svc(sopts);
+    Status s = svc.init();
+    if (!s.ok())
+        fatal("store: %s", s.message().c_str());
+    service::SweepDaemon daemon(svc, socketPath);
+    s = daemon.start();
+    if (!s.ok())
+        fatal("daemon: %s", s.message().c_str());
+
+    service::SweepRequestSpec spec;
+    spec.tag = "bench-service-throughput";
+    spec.benchmarks = {Benchmark::Gcc1};
+    spec.traceRefs = refs;
+    const std::string request = service::sweepRequestToJson(spec);
+    const std::size_t points = spec.materializeConfigs().size();
+
+    auto submit = [&]() {
+        Expected<service::ServiceReply> r =
+            service::submitSweepRequest(socketPath, request);
+        if (!r.ok())
+            fatal("submit: %s", r.status().toString().c_str());
+        return std::move(r.value());
+    };
+
+    auto t0 = std::chrono::steady_clock::now();
+    service::ServiceReply cold = submit();
+    const double coldSeconds = seconds(t0);
+
+    t0 = std::chrono::steady_clock::now();
+    service::ServiceReply warm = submit();
+    const double warmSeconds = seconds(t0);
+
+    // N clients race the same request against the shared store.
+    std::vector<service::ServiceReply> racing(clients);
+    t0 = std::chrono::steady_clock::now();
+    {
+        std::vector<std::thread> team;
+        for (std::size_t i = 0; i < clients; ++i)
+            team.emplace_back([&, i] { racing[i] = submit(); });
+        for (auto &th : team)
+            th.join();
+    }
+    const double concurrentSeconds = seconds(t0);
+
+    daemon.stop();
+
+    bool identical = warm.responseJson == cold.responseJson;
+    for (const auto &r : racing)
+        identical = identical && r.responseJson == cold.responseJson;
+
+    const std::uint64_t warmHits =
+        statsField(warm.statsJson, "store_hits");
+    const std::uint64_t warmMisses =
+        statsField(warm.statsJson, "store_misses");
+    const std::uint64_t coldAppends =
+        statsField(cold.statsJson, "store_appends");
+
+    ::unlink(socketPath.c_str());
+    ::unlink(storePath.c_str());
+    ::rmdir(dir);
+
+    std::printf(
+        "{\n"
+        "  \"benchmark\": \"sweep service: cold, warm, and %zu "
+        "concurrent clients of one daemon\",\n"
+        "  \"requests\": %zu,\n"
+        "  \"points_per_response\": %zu,\n"
+        "  \"trace_refs\": %llu,\n"
+        "  \"responses_identical\": %d,\n"
+        "  \"cold_store_appends\": %llu,\n"
+        "  \"warm_store_hits\": %llu,\n"
+        "  \"warm_store_misses\": %llu,\n"
+        "  \"cold_seconds\": %s,\n"
+        "  \"warm_seconds\": %s,\n"
+        "  \"concurrent_seconds\": %s,\n"
+        "  \"warm_speedup\": %s\n"
+        "}\n",
+        clients, clients + 2, points,
+        static_cast<unsigned long long>(refs), identical ? 1 : 0,
+        static_cast<unsigned long long>(coldAppends),
+        static_cast<unsigned long long>(warmHits),
+        static_cast<unsigned long long>(warmMisses),
+        jsonNumber(coldSeconds).c_str(),
+        jsonNumber(warmSeconds).c_str(),
+        jsonNumber(concurrentSeconds).c_str(),
+        jsonNumber(warmSeconds > 0 ? coldSeconds / warmSeconds : 0)
+            .c_str());
+    return 0;
+}

@@ -16,6 +16,7 @@
  *                   [--isolate=process] [--shard-points=N]
  *                   [--shard-timeout=SECS] [--max-retries=N]
  *                   [--store-fsync]
+ *   design_explorer --request=FILE [--stats-out=FILE]
  *
  * Backends (docs/analytic_model.md):
  *   --backend=exact           simulate every point (default)
@@ -57,25 +58,28 @@
  *   --metrics-out=FILE  JSON dump of the metrics registry (includes
  *                     the worker.<id>.* namespaces in isolate mode)
  *   --profile         per-phase wall-clock table on stderr at exit
+ *
+ * Service mode (docs/service.md):
+ *   --request=FILE    run a canonical "tlc-sweep-request-v1"
+ *                     document and print the canonical response to
+ *                     stdout — the same schema (and the same bytes)
+ *                     the tlcd daemon serves; --stats-out=FILE
+ *                     writes the run's cache-hit accounting
  */
 
 #include <chrono>
 #include <cstdio>
-#include <filesystem>
 #include <iostream>
 #include <memory>
 
 #include "core/explorer.hh"
 #include "core/shard_runner.hh"
 #include "core/sweep_cache.hh"
+#include "service/sweep_service.hh"
 #include "util/args.hh"
 #include "util/logging.hh"
-#include "util/metrics.hh"
 #include "util/parallel.hh"
-#include "util/profiler.hh"
-#include "util/run_manifest.hh"
 #include "util/table.hh"
-#include "util/trace_event.hh"
 
 using namespace tlc;
 
@@ -84,53 +88,38 @@ main(int argc, char **argv)
 {
     ArgParser args(argc, argv);
     applyStandardFlags(args);
+    cli::SweepFlags flags = cli::sweepFlagsFromArgs(args, 2000000);
+    // Service mode: the whole run is described by the request
+    // document; none of the classic flags below apply.
+    if (!flags.requestFile.empty())
+        return service::runRequestCli(flags);
+
     double budget = args.getDouble("budget", 1000000.0);
     Benchmark bench = Workloads::byName(args.getString("bench", "gcc1"));
     double offchip = args.getDouble("offchip", 50.0);
-    std::uint64_t refs =
-        static_cast<std::uint64_t>(args.getInt("refs", 2000000));
-
-    bool progress = args.getBool("progress", false);
-    std::string traceOut = args.getString("trace-out");
-    std::string manifestPath = args.getString("manifest");
-    // Phase times belong in the manifest, so a manifest request
-    // implies profiling.
-    if (!manifestPath.empty())
-        Profiler::global().setEnabled(true);
-    TraceEventRecorder recorder;
-    if (!traceOut.empty())
-        TraceEventRecorder::setActive(&recorder);
+    std::uint64_t refs = flags.refs;
+    bool progress = flags.progress;
+    cli::TelemetrySession telemetry(flags);
 
     SupervisorOptions sopts;
     const bool isolate = supervisorOptionsFromArgs(args, &sopts);
 
-    std::string storePath = args.getString("result-store");
-    bool resume = args.getBool("resume", false);
-    if (resume && storePath.empty())
-        fatal("--resume requires --result-store=FILE");
     std::shared_ptr<SweepCache> store;
-    if (!storePath.empty()) {
-        if (resume && !std::filesystem::exists(storePath)) {
-            fatal("--resume: result store '%s' does not exist "
-                  "(nothing to resume)", storePath.c_str());
-        }
+    if (!flags.resultStore.empty() && !isolate) {
         // In isolate mode the worker subprocesses own the store —
         // the parent must not hold a second write handle on it.
-        if (!isolate) {
-            store = std::make_shared<SweepCache>();
-            Status s = store->open(storePath);
-            if (!s.ok())
-                fatal("result store: %s", s.message().c_str());
-        }
+        store = std::make_shared<SweepCache>();
+        Status s = store->open(flags.resultStore);
+        if (!s.ok())
+            fatal("result store: %s", s.message().c_str());
     }
 
     EvaluatorOptions evopts;
     evopts.traceRefs = refs;
     evopts.resultStore = store;
-    std::string backendName = args.getString("backend", "exact");
-    if (!missBackendFromName(backendName, evopts.backend))
+    if (!missBackendFromName(flags.backend, evopts.backend))
         fatal("--backend=%s: unknown backend (exact, analytic, "
-              "analytic-prune)", backendName.c_str());
+              "analytic-prune)", flags.backend.c_str());
     if (isolate && evopts.backend == MissBackend::AnalyticPrune) {
         // Supervised shards price points out of process and never
         // enter Explorer::evaluateAll's pruning path; run pruning
@@ -146,7 +135,7 @@ main(int argc, char **argv)
     if (isolate) {
         sopts.evaluator = evopts;
         sopts.evaluator.resultStore.reset();
-        sopts.resultStorePath = storePath;
+        sopts.resultStorePath = flags.resultStore;
         if (progress) {
             sopts.progress =
                 stderrProgressPrinter(Workloads::info(bench).name);
@@ -239,39 +228,15 @@ main(int argc, char **argv)
                       std::chrono::steady_clock::now() - runStart)
                       .count();
 
-    if (!traceOut.empty()) {
-        TraceEventRecorder::setActive(nullptr);
-        Status s = recorder.writeFile(traceOut);
-        if (!s.ok())
-            warn("%s", s.message().c_str());
-        else
-            inform("wrote worker timeline to '%s' (open in "
-                   "chrome://tracing or ui.perfetto.dev)",
-                   traceOut.c_str());
-    }
-    if (!manifestPath.empty()) {
-        RunManifest m = RunManifest::fromCommandLine(argc, argv);
-        m.workload = Workloads::info(bench).name;
-        m.traceRefs = refs;
-        m.pointsPriced = pointsPriced;
-        m.failures = report.size();
-        m.wallSeconds = wall;
-        if (isolate)
-            m.supervisorJson =
-                supervisorTimelinesJson(supStats, supTimeline);
-        Status s = m.writeFile(manifestPath);
-        if (!s.ok())
-            warn("%s", s.message().c_str());
-        else
-            inform("wrote run manifest to '%s'", manifestPath.c_str());
-    }
-    std::string metricsOut = args.getString("metrics-out");
-    if (!metricsOut.empty()) {
-        Status s = writeMetricsFile(metricsOut);
-        if (!s.ok())
-            warn("%s", s.message().c_str());
-        else
-            inform("wrote metrics dump to '%s'", metricsOut.c_str());
-    }
+    cli::TelemetrySession::RunSummary summary;
+    summary.workload = Workloads::info(bench).name;
+    summary.traceRefs = refs;
+    summary.pointsPriced = pointsPriced;
+    summary.failures = report.size();
+    summary.wallSeconds = wall;
+    if (isolate)
+        summary.supervisorJson =
+            supervisorTimelinesJson(supStats, supTimeline);
+    telemetry.finish(argc, argv, summary);
     return 0; // --profile dumps via applyStandardFlags's exit hook
 }

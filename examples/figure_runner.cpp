@@ -15,6 +15,7 @@
  *                 [--isolate=process] [--shard-points=N]
  *                 [--shard-timeout=SECS] [--max-retries=N]
  *                 [--store-fsync]
+ *   figure_runner --request=FILE [--stats-out=FILE]
  *
  * Persistence (docs/parallelism.md): --result-store=FILE keeps every
  * simulated point in FILE and serves repeated points from it, so a
@@ -34,11 +35,15 @@
  * + per-phase times + supervisor attempt timelines in isolate mode),
  * --metrics-out dumps the metrics registry as JSON, --profile prints
  * the phase table at exit.
+ *
+ * Service mode (docs/service.md): --request=FILE runs a canonical
+ * "tlc-sweep-request-v1" document and prints the canonical response
+ * to stdout — the same schema (and the same bytes) the tlcd daemon
+ * serves; --stats-out=FILE writes the run's cache-hit accounting.
  */
 
 #include <chrono>
 #include <cstdio>
-#include <filesystem>
 #include <iostream>
 #include <memory>
 
@@ -46,15 +51,12 @@
 #include "core/figures.hh"
 #include "core/shard_runner.hh"
 #include "core/sweep_cache.hh"
+#include "service/sweep_service.hh"
 #include "util/args.hh"
 #include "util/logging.hh"
-#include "util/metrics.hh"
 #include "util/parallel.hh"
 #include "util/plot.hh"
-#include "util/profiler.hh"
-#include "util/run_manifest.hh"
 #include "util/table.hh"
-#include "util/trace_event.hh"
 
 using namespace tlc;
 
@@ -180,20 +182,24 @@ main(int argc, char **argv)
 {
     ArgParser args(argc, argv);
     applyStandardFlags(args);
+    cli::SweepFlags flags = cli::sweepFlagsFromArgs(args, 1000000);
+    // Service mode: the whole run is described by the request
+    // document; the figure catalog does not apply.
+    if (!flags.requestFile.empty())
+        return service::runRequestCli(flags);
+
     if (args.has("list") || !args.has("figure")) {
         listCatalog();
         return args.has("list") ? 0 : 2;
     }
     const FigureSpec &f = figureById(args.getString("figure"));
-    std::uint64_t refs =
-        static_cast<std::uint64_t>(args.getInt("refs", 1000000));
+    std::uint64_t refs = flags.refs;
     bool csv = args.getBool("csv", false);
-    bool progress = args.getBool("progress", false);
+    bool progress = flags.progress;
     MissBackend backend = MissBackend::Exact;
-    std::string backendName = args.getString("backend", "exact");
-    if (!missBackendFromName(backendName, backend))
+    if (!missBackendFromName(flags.backend, backend))
         fatal("--backend=%s: unknown backend (exact, analytic, "
-              "analytic-prune)", backendName.c_str());
+              "analytic-prune)", flags.backend.c_str());
     SupervisorOptions sopts;
     const bool isolate = supervisorOptionsFromArgs(args, &sopts);
     if (isolate && backend == MissBackend::AnalyticPrune) {
@@ -202,38 +208,22 @@ main(int argc, char **argv)
         warn("--isolate=process ignores --backend=analytic-prune's "
              "pruning; shards simulate every point exactly");
     }
-    std::string storePath = args.getString("result-store");
-    bool resume = args.getBool("resume", false);
-    if (resume && storePath.empty())
-        fatal("--resume requires --result-store=FILE");
     std::shared_ptr<SweepCache> store;
-    if (!storePath.empty()) {
-        if (resume && !std::filesystem::exists(storePath)) {
-            fatal("--resume: result store '%s' does not exist "
-                  "(nothing to resume)", storePath.c_str());
-        }
+    if (!flags.resultStore.empty() && !isolate) {
         // In isolate mode the worker subprocesses own the store —
         // the parent must not hold a second write handle on it.
-        if (!isolate) {
-            store = std::make_shared<SweepCache>();
-            Status s = store->open(storePath);
-            if (!s.ok())
-                fatal("result store: %s", s.message().c_str());
-        }
+        store = std::make_shared<SweepCache>();
+        Status s = store->open(flags.resultStore);
+        if (!s.ok())
+            fatal("result store: %s", s.message().c_str());
     }
     if (isolate) {
         EvaluatorOptions evopts;
         evopts.traceRefs = refs;
         sopts.evaluator = evopts;
-        sopts.resultStorePath = storePath;
+        sopts.resultStorePath = flags.resultStore;
     }
-    std::string traceOut = args.getString("trace-out");
-    std::string manifestPath = args.getString("manifest");
-    if (!manifestPath.empty())
-        Profiler::global().setEnabled(true);
-    TraceEventRecorder recorder;
-    if (!traceOut.empty())
-        TraceEventRecorder::setActive(&recorder);
+    cli::TelemetrySession telemetry(flags);
 
     auto runStart = std::chrono::steady_clock::now();
     std::size_t pointsPriced = 0;
@@ -258,38 +248,14 @@ main(int argc, char **argv)
     double wall = std::chrono::duration<double>(
                       std::chrono::steady_clock::now() - runStart)
                       .count();
-    if (!traceOut.empty()) {
-        TraceEventRecorder::setActive(nullptr);
-        Status s = recorder.writeFile(traceOut);
-        if (!s.ok())
-            warn("%s", s.message().c_str());
-        else
-            inform("wrote worker timeline to '%s' (open in "
-                   "chrome://tracing or ui.perfetto.dev)",
-                   traceOut.c_str());
-    }
-    if (!manifestPath.empty()) {
-        RunManifest m = RunManifest::fromCommandLine(argc, argv);
-        m.workload = f.id;
-        m.traceRefs = refs;
-        m.pointsPriced = pointsPriced;
-        m.wallSeconds = wall;
-        if (isolate)
-            m.supervisorJson =
-                supervisorTimelinesJson(supStats, supTimeline);
-        Status s = m.writeFile(manifestPath);
-        if (!s.ok())
-            warn("%s", s.message().c_str());
-        else
-            inform("wrote run manifest to '%s'", manifestPath.c_str());
-    }
-    std::string metricsOut = args.getString("metrics-out");
-    if (!metricsOut.empty()) {
-        Status s = writeMetricsFile(metricsOut);
-        if (!s.ok())
-            warn("%s", s.message().c_str());
-        else
-            inform("wrote metrics dump to '%s'", metricsOut.c_str());
-    }
+    cli::TelemetrySession::RunSummary summary;
+    summary.workload = f.id;
+    summary.traceRefs = refs;
+    summary.pointsPriced = pointsPriced;
+    summary.wallSeconds = wall;
+    if (isolate)
+        summary.supervisorJson =
+            supervisorTimelinesJson(supStats, supTimeline);
+    telemetry.finish(argc, argv, summary);
     return rc; // --profile dumps via applyStandardFlags's exit hook
 }

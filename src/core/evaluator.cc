@@ -57,6 +57,33 @@ constexpr const char *kAnalyticStoreTag = "analytic1";
 
 } // namespace
 
+Expected<const TraceBuffer *>
+TracePool::acquire(const std::string &key,
+                   const std::function<Expected<TraceBuffer>()> &loader)
+{
+    // Held across the load on purpose: one load, many readers.
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = traces_.find(key);
+    if (it != traces_.end())
+        return static_cast<const TraceBuffer *>(it->second.get());
+
+    Expected<TraceBuffer> loaded = loader();
+    if (!loaded.ok())
+        return loaded.status();
+    it = traces_
+             .emplace(key, std::make_unique<TraceBuffer>(
+                               std::move(loaded.value())))
+             .first;
+    return static_cast<const TraceBuffer *>(it->second.get());
+}
+
+std::size_t
+TracePool::size() const
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    return traces_.size();
+}
+
 const char *
 missBackendName(MissBackend b)
 {
@@ -101,6 +128,7 @@ MissRateEvaluator::MissRateEvaluator(EvaluatorOptions options)
       backend_(options.backend),
       pruneMargin_(options.pruneMargin),
       store_(std::move(options.resultStore)),
+      pool_(std::move(options.tracePool)),
       traceFiles_(std::move(options.traceFiles))
 {
     tlc_assert(warmupFraction_ >= 0.0 && warmupFraction_ < 1.0,
@@ -129,22 +157,13 @@ MissRateEvaluator::memoSize() const
     return results_.size();
 }
 
-Expected<const TraceBuffer *>
-MissRateEvaluator::tryTrace(Benchmark b)
+Expected<TraceBuffer>
+MissRateEvaluator::loadTrace(Benchmark b, const std::string &trace_file)
 {
-    // The whole load runs under the lock: it happens once per
-    // benchmark (evaluateAll preloads before fanning out), and a
-    // half-inserted TraceBuffer must never be visible to a worker.
-    std::lock_guard<std::mutex> lock(mu_);
-    auto it = traces_.find(b);
-    if (it != traces_.end())
-        return static_cast<const TraceBuffer *>(&it->second);
-
     ScopedTimer timer(phase::kTraceLoad);
-    auto fit = traceFiles_.find(b);
-    if (fit != traceFiles_.end()) {
+    if (!trace_file.empty()) {
         TraceBuffer buf;
-        Status s = loadTraceFile(fit->second, buf);
+        Status s = loadTraceFile(trace_file, buf);
         if (!s.ok()) {
             return s.withContext(std::string("benchmark '") +
                                  Workloads::info(b).name + "'");
@@ -153,15 +172,51 @@ MissRateEvaluator::tryTrace(Benchmark b)
             return statusf(StatusCode::IoError,
                            "benchmark '%s': trace file '%s' holds no "
                            "records", Workloads::info(b).name,
-                           fit->second.c_str());
+                           trace_file.c_str());
         }
-        it = traces_.emplace(b, std::move(buf)).first;
-        return static_cast<const TraceBuffer *>(&it->second);
+        return buf;
     }
 
-    it = traces_.emplace(b, Workloads::generate(b, traceRefs_)).first;
+    TraceBuffer buf = Workloads::generate(b, traceRefs_);
     EvalMetrics::get().tracesGenerated.inc();
-    EvalMetrics::get().syntheticRecords.inc(it->second.size());
+    EvalMetrics::get().syntheticRecords.inc(buf.size());
+    return buf;
+}
+
+Expected<const TraceBuffer *>
+MissRateEvaluator::tryTrace(Benchmark b)
+{
+    std::string traceFile;
+    {
+        std::lock_guard<std::mutex> lock(mu_);
+        auto fit = traceFiles_.find(b);
+        if (fit != traceFiles_.end())
+            traceFile = fit->second;
+    }
+
+    // Pooled path: short-lived evaluators (one per served sweep
+    // request) resolve traces in the shared process-wide pool keyed
+    // by trace identity, so a fresh evaluator never re-generates a
+    // trace a previous request already paid for. The pool's own
+    // mutex serializes loads.
+    if (pool_) {
+        return pool_->acquire(
+            SweepCache::traceIdentity(b, traceRefs_, traceFile),
+            [&] { return loadTrace(b, traceFile); });
+    }
+
+    // The whole load runs under the lock: it happens once per
+    // benchmark (evaluateAll preloads before fanning out), and a
+    // half-inserted TraceBuffer must never be visible to a worker.
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = traces_.find(b);
+    if (it != traces_.end())
+        return static_cast<const TraceBuffer *>(&it->second);
+
+    Expected<TraceBuffer> loaded = loadTrace(b, traceFile);
+    if (!loaded.ok())
+        return loaded.status();
+    it = traces_.emplace(b, std::move(loaded.value())).first;
     return static_cast<const TraceBuffer *>(&it->second);
 }
 

@@ -51,6 +51,7 @@
 #ifndef TLC_CORE_EVALUATOR_HH
 #define TLC_CORE_EVALUATOR_HH
 
+#include <functional>
 #include <map>
 #include <memory>
 #include <mutex>
@@ -94,6 +95,41 @@ const char *missBackendName(MissBackend b);
 bool missBackendFromName(const std::string &name, MissBackend &out);
 
 /**
+ * A process-wide pool of loaded/generated benchmark traces, shared
+ * by several MissRateEvaluators. The sweep-service daemon
+ * (service/sweep_service.hh) builds a FRESH evaluator per request —
+ * so every request's memo misses route through the shared persistent
+ * store, making cache reuse visible per request — but a fresh
+ * evaluator must not re-generate multi-megabyte traces the previous
+ * request already paid for. Keyed by SweepCache::traceIdentity, so
+ * two evaluators with the same benchmark, length and trace-file
+ * routing share one immutable buffer.
+ *
+ * Thread safety: the pool mutex is held across a load, so
+ * concurrent requests for the same trace block until the first load
+ * finishes (one load, many readers). Returned pointers stay valid
+ * for the pool's lifetime.
+ */
+class TracePool
+{
+  public:
+    /**
+     * The trace named by @p key, loading it with @p loader on first
+     * use. A failed load is not cached; the next acquire retries.
+     */
+    Expected<const TraceBuffer *>
+    acquire(const std::string &key,
+            const std::function<Expected<TraceBuffer>()> &loader);
+
+    /** Number of distinct traces resident. */
+    std::size_t size() const;
+
+  private:
+    mutable std::mutex mu_;
+    std::map<std::string, std::unique_ptr<TraceBuffer>> traces_;
+};
+
+/**
  * Construction-time configuration of a MissRateEvaluator. A plain
  * value: build one, adjust fields, hand it to the constructor.
  */
@@ -116,6 +152,12 @@ struct EvaluatorOptions
      *  persistence; a SweepCache that is not open() behaves the
      *  same. */
     std::shared_ptr<SweepCache> resultStore;
+    /** Shared trace pool (see TracePool). With one, the evaluator
+     *  resolves traces there instead of in its private cache, so
+     *  short-lived evaluators (one per served sweep request) reuse
+     *  already-loaded traces. Null (the default) keeps the classic
+     *  per-evaluator trace cache. */
+    std::shared_ptr<TracePool> tracePool;
     /** Miss-statistics backend (see MissBackend). Results from
      *  different backends never alias: the in-memory memo prefixes
      *  analytic keys, and the persistent store appends a backend tag
@@ -233,11 +275,17 @@ class MissRateEvaluator
     static std::unique_ptr<Hierarchy> makeHierarchy(
         const SystemConfig &config);
 
+    /** Load or synthesize the trace of @p b (shared by the private
+     *  cache and the pooled path). */
+    Expected<TraceBuffer> loadTrace(Benchmark b,
+                                    const std::string &trace_file);
+
     std::uint64_t traceRefs_;
     double warmupFraction_;
     MissBackend backend_;
     double pruneMargin_;
     std::shared_ptr<SweepCache> store_;
+    std::shared_ptr<TracePool> pool_;
     mutable std::mutex mu_; ///< guards the five caches below
     std::map<Benchmark, TraceBuffer> traces_;
     std::map<Benchmark, std::string> traceFiles_;

@@ -1,0 +1,234 @@
+/**
+ * @file
+ * Sweep-service client implementation.
+ */
+
+#include "client.hh"
+
+#include <cerrno>
+#include <chrono>
+#include <csignal>
+#include <cstring>
+#include <vector>
+
+#include <poll.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include "util/json.hh"
+#include "util/supervisor.hh"
+
+namespace tlc::service {
+
+namespace {
+
+/** RAII socket close. */
+struct Fd
+{
+    int fd = -1;
+    ~Fd()
+    {
+        if (fd >= 0)
+            ::close(fd);
+    }
+};
+
+/** Reverse of statusCodeName: the daemon's error events carry the
+ *  code by stable name, and the client surfaces the same code. */
+StatusCode
+statusCodeByName(const std::string &name)
+{
+    for (int c = 0; c <= static_cast<int>(StatusCode::WorkerTimeout);
+         ++c) {
+        StatusCode code = static_cast<StatusCode>(c);
+        if (name == statusCodeName(code))
+            return code;
+    }
+    return StatusCode::InternalError;
+}
+
+/** One decoded event frame folded into the reply state. */
+struct EventState
+{
+    std::string response;
+    std::string stats;
+    bool responseDone = false;
+    bool statsDone = false;
+    Status error;
+};
+
+Status
+applyEvent(const std::string &payload, EventState &st,
+           const std::function<void(const SweepProgress &)> &progress)
+{
+    Expected<JsonValue> parsed = jsonParse(payload);
+    if (!parsed.ok())
+        return parsed.status().withContext("daemon event");
+    const JsonValue &ev = parsed.value();
+    if (!ev.isObject() || !ev.find("event") ||
+        !ev.find("event")->isString()) {
+        return statusf(StatusCode::ParseError,
+                       "daemon event frame has no \"event\" string");
+    }
+    const std::string &kind = ev.find("event")->str();
+
+    if (kind == "progress") {
+        if (progress) {
+            SweepProgress p;
+            if (const JsonValue *v = ev.find("done"))
+                p.done = static_cast<std::size_t>(v->number());
+            if (const JsonValue *v = ev.find("total"))
+                p.total = static_cast<std::size_t>(v->number());
+            if (const JsonValue *v = ev.find("failed"))
+                p.failed = static_cast<std::size_t>(v->number());
+            if (const JsonValue *v = ev.find("elapsed_seconds"))
+                p.elapsedSeconds = v->number();
+            if (const JsonValue *v = ev.find("eta_seconds"))
+                p.etaSeconds = v->number();
+            progress(p);
+        }
+        return Status{};
+    }
+    if (kind == "response") {
+        const JsonValue *chunk = ev.find("chunk");
+        const JsonValue *last = ev.find("last");
+        if (!chunk || !chunk->isString() || !last || !last->isBool()) {
+            return statusf(StatusCode::ParseError,
+                           "malformed response event");
+        }
+        st.response += chunk->str();
+        if (last->boolean())
+            st.responseDone = true;
+        return Status{};
+    }
+    if (kind == "stats") {
+        const JsonValue *chunk = ev.find("chunk");
+        if (!chunk || !chunk->isString()) {
+            return statusf(StatusCode::ParseError,
+                           "malformed stats event");
+        }
+        st.stats = chunk->str();
+        st.statsDone = true;
+        return Status{};
+    }
+    if (kind == "error") {
+        std::string code = "internal-error", message = "unknown";
+        if (const JsonValue *v = ev.find("code"))
+            if (v->isString())
+                code = v->str();
+        if (const JsonValue *v = ev.find("message"))
+            if (v->isString())
+                message = v->str();
+        st.error = Status(statusCodeByName(code),
+                          "daemon: " + message);
+        return Status{};
+    }
+    return statusf(StatusCode::ParseError,
+                   "unknown daemon event '%s'", kind.c_str());
+}
+
+} // namespace
+
+Expected<ServiceReply>
+submitSweepRequest(
+    const std::string &socket_path, const std::string &request_json,
+    const std::function<void(const SweepProgress &)> &progress,
+    double timeout_seconds)
+{
+    sockaddr_un addr{};
+    addr.sun_family = AF_UNIX;
+    if (socket_path.size() >= sizeof(addr.sun_path)) {
+        return statusf(StatusCode::InvalidConfig,
+                       "socket path '%s' exceeds the %zu-byte "
+                       "AF_UNIX limit", socket_path.c_str(),
+                       sizeof(addr.sun_path) - 1);
+    }
+    std::memcpy(addr.sun_path, socket_path.c_str(),
+                socket_path.size() + 1);
+
+    // As on the daemon side: a hangup must be an errno, not a
+    // process signal.
+    ::signal(SIGPIPE, SIG_IGN);
+
+    Fd sock;
+    sock.fd = ::socket(AF_UNIX, SOCK_STREAM | SOCK_CLOEXEC, 0);
+    if (sock.fd < 0) {
+        return statusf(StatusCode::IoError, "socket: %s",
+                       std::strerror(errno));
+    }
+    if (::connect(sock.fd, reinterpret_cast<sockaddr *>(&addr),
+                  sizeof(addr)) != 0) {
+        return statusf(StatusCode::IoError, "connect '%s': %s",
+                       socket_path.c_str(), std::strerror(errno));
+    }
+
+    Status ws = writeFrame(sock.fd, request_json);
+    if (!ws.ok())
+        return ws.withContext("sending sweep request");
+
+    FrameReader frames;
+    EventState st;
+    Status eventError;
+    std::vector<std::string> payloads;
+    char buf[64 * 1024];
+    const auto deadline = std::chrono::steady_clock::now() +
+        std::chrono::duration<double>(timeout_seconds);
+
+    while (!st.statsDone && st.error.ok()) {
+        if (std::chrono::steady_clock::now() >= deadline) {
+            return statusf(StatusCode::WorkerTimeout,
+                           "no reply from '%s' within %.0f s",
+                           socket_path.c_str(), timeout_seconds);
+        }
+        pollfd p{sock.fd, POLLIN, 0};
+        int r = ::poll(&p, 1, 200);
+        if (r < 0) {
+            if (errno == EINTR)
+                continue;
+            return statusf(StatusCode::IoError, "poll: %s",
+                           std::strerror(errno));
+        }
+        if (r == 0)
+            continue;
+        ssize_t n = ::read(sock.fd, buf, sizeof(buf));
+        if (n < 0) {
+            if (errno == EINTR)
+                continue;
+            return statusf(StatusCode::IoError, "read: %s",
+                           std::strerror(errno));
+        }
+        if (n == 0) {
+            return statusf(StatusCode::IoError,
+                           "daemon closed the connection before the "
+                           "reply completed");
+        }
+        bool healthy = frames.feed(
+            std::string_view(buf, static_cast<std::size_t>(n)),
+            [&](std::string_view payload) {
+                payloads.emplace_back(payload);
+            });
+        for (const std::string &payload : payloads) {
+            if (eventError.ok())
+                eventError = applyEvent(payload, st, progress);
+        }
+        payloads.clear();
+        if (!eventError.ok())
+            return eventError;
+        if (!healthy) {
+            return statusf(StatusCode::ChecksumMismatch,
+                           "frame protocol violation on the reply "
+                           "stream");
+        }
+    }
+    if (!st.error.ok())
+        return st.error;
+    if (!st.responseDone) {
+        return statusf(StatusCode::Truncated,
+                       "stats event arrived before the response "
+                       "completed");
+    }
+    return ServiceReply{std::move(st.response), std::move(st.stats)};
+}
+
+} // namespace tlc::service

@@ -1,0 +1,44 @@
+/**
+ * @file
+ * Client side of the sweep service: connect to a tlcd socket, submit
+ * one canonical request document, stream the event frames back, and
+ * return the reassembled response + stats documents. Shared by the
+ * tlc_client tool and the concurrency tests, so every consumer
+ * speaks the protocol through one implementation.
+ */
+
+#ifndef TLC_SERVICE_CLIENT_HH
+#define TLC_SERVICE_CLIENT_HH
+
+#include <functional>
+#include <string>
+
+#include "core/explorer.hh"
+#include "util/status.hh"
+
+namespace tlc::service {
+
+/** A served request's two documents, byte-exact as sent. */
+struct ServiceReply
+{
+    std::string responseJson; ///< "tlc-sweep-response-v1" document
+    std::string statsJson;    ///< "tlc-sweep-stats-v1" document
+};
+
+/**
+ * Submit @p request_json over @p socket_path and block until the
+ * stats event (the protocol's end-of-request marker) arrives.
+ * @p progress (optional) receives the daemon's streamed progress
+ * events. An error event from the daemon comes back as a Status
+ * carrying the daemon's code and message; transport problems
+ * (connect failure, timeout, torn frames, daemon hangup) map to
+ * IoError/ChecksumMismatch.
+ */
+Expected<ServiceReply> submitSweepRequest(
+    const std::string &socket_path, const std::string &request_json,
+    const std::function<void(const SweepProgress &)> &progress = {},
+    double timeout_seconds = 600.0);
+
+} // namespace tlc::service
+
+#endif // TLC_SERVICE_CLIENT_HH

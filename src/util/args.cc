@@ -7,10 +7,13 @@
 
 #include <cstdio>
 #include <cstdlib>
+#include <filesystem>
 
 #include "logging.hh"
+#include "metrics.hh"
 #include "parallel.hh"
 #include "profiler.hh"
+#include "run_manifest.hh"
 
 namespace tlc {
 
@@ -123,6 +126,93 @@ applyStandardFlags(const ArgParser &args)
         });
     }
 }
+
+namespace cli {
+
+SweepFlags
+sweepFlagsFromArgs(const ArgParser &args, std::int64_t default_refs)
+{
+    SweepFlags f;
+    f.refs =
+        static_cast<std::uint64_t>(args.getInt("refs", default_refs));
+    f.backend = args.getString("backend", "exact");
+    f.progress = args.getBool("progress", false);
+    f.traceOut = args.getString("trace-out");
+    f.manifestPath = args.getString("manifest");
+    f.metricsOut = args.getString("metrics-out");
+    f.resultStore = args.getString("result-store");
+    f.resume = args.getBool("resume", false);
+    f.storeFsync = args.getBool("store-fsync", false);
+    f.requestFile = args.getString("request");
+    f.statsOut = args.getString("stats-out");
+
+    if (f.resume && f.resultStore.empty())
+        fatal("--resume requires --result-store=FILE");
+    if (f.resume && !std::filesystem::exists(f.resultStore)) {
+        fatal("--resume: result store '%s' does not exist "
+              "(nothing to resume)", f.resultStore.c_str());
+    }
+    return f;
+}
+
+TelemetrySession::TelemetrySession(const SweepFlags &flags)
+    : flags_(flags)
+{
+    // Phase times belong in the manifest, so a manifest request
+    // implies profiling.
+    if (!flags_.manifestPath.empty())
+        Profiler::global().setEnabled(true);
+    if (!flags_.traceOut.empty())
+        TraceEventRecorder::setActive(&recorder_);
+}
+
+TelemetrySession::~TelemetrySession()
+{
+    if (!finished_ && !flags_.traceOut.empty())
+        TraceEventRecorder::setActive(nullptr);
+}
+
+void
+TelemetrySession::finish(int argc, const char *const *argv,
+                         const RunSummary &summary)
+{
+    finished_ = true;
+    if (!flags_.traceOut.empty()) {
+        TraceEventRecorder::setActive(nullptr);
+        Status s = recorder_.writeFile(flags_.traceOut);
+        if (!s.ok())
+            warn("%s", s.message().c_str());
+        else
+            inform("wrote worker timeline to '%s' (open in "
+                   "chrome://tracing or ui.perfetto.dev)",
+                   flags_.traceOut.c_str());
+    }
+    if (!flags_.manifestPath.empty()) {
+        RunManifest m = RunManifest::fromCommandLine(argc, argv);
+        m.workload = summary.workload;
+        m.traceRefs = summary.traceRefs;
+        m.pointsPriced = summary.pointsPriced;
+        m.failures = summary.failures;
+        m.wallSeconds = summary.wallSeconds;
+        m.supervisorJson = summary.supervisorJson;
+        Status s = m.writeFile(flags_.manifestPath);
+        if (!s.ok())
+            warn("%s", s.message().c_str());
+        else
+            inform("wrote run manifest to '%s'",
+                   flags_.manifestPath.c_str());
+    }
+    if (!flags_.metricsOut.empty()) {
+        Status s = writeMetricsFile(flags_.metricsOut);
+        if (!s.ok())
+            warn("%s", s.message().c_str());
+        else
+            inform("wrote metrics dump to '%s'",
+                   flags_.metricsOut.c_str());
+    }
+}
+
+} // namespace cli
 
 std::vector<std::string>
 ArgParser::keys() const

@@ -145,6 +145,21 @@ drainFrames(std::string &buf,
 
 } // namespace
 
+bool
+FrameReader::feed(std::string_view bytes,
+                  const std::function<void(std::string_view payload)>
+                      &on_frame)
+{
+    if (poisoned_)
+        return false;
+    buffer_.append(bytes.data(), bytes.size());
+    if (!drainFrames(buffer_, on_frame)) {
+        poisoned_ = true;
+        return false;
+    }
+    return true;
+}
+
 Status
 writeFrame(int fd, std::string_view payload)
 {
@@ -277,7 +292,7 @@ superviseWorker(const std::function<void(int write_fd)> &worker,
     const int rfd = fds[0];
     const bool armed = watchdog.timeoutSeconds > 0;
     const double deadline = nowSeconds() + watchdog.timeoutSeconds;
-    std::string buf;
+    FrameReader frames;
     bool frameError = false;
 
     for (;;) {
@@ -310,8 +325,9 @@ superviseWorker(const std::function<void(int write_fd)> &worker,
                 ssize_t n = ::read(rfd, chunk, sizeof chunk);
                 if (n <= 0)
                     break; // EOF or error: nothing more to salvage
-                buf.append(chunk, static_cast<std::size_t>(n));
-                if (!drainFrames(buf, on_frame))
+                if (!frames.feed(std::string_view(
+                                     chunk, static_cast<std::size_t>(n)),
+                                 on_frame))
                     break; // torn mid-death frame; keep what we have
             }
             close(rfd);
@@ -359,8 +375,9 @@ superviseWorker(const std::function<void(int write_fd)> &worker,
             n = 0; // treat as EOF; waitpid classifies below
         }
         if (n > 0) {
-            buf.append(chunk, static_cast<std::size_t>(n));
-            if (!drainFrames(buf, on_frame)) {
+            if (!frames.feed(std::string_view(
+                                 chunk, static_cast<std::size_t>(n)),
+                             on_frame)) {
                 frameError = true;
                 close(rfd);
                 killAndReap(pid, watchdog.killGraceSeconds);
@@ -405,7 +422,7 @@ superviseWorker(const std::function<void(int write_fd)> &worker,
             WorkerMetrics::get().exits.inc();
             return out;
         }
-        if (!buf.empty() || frameError) {
+        if (!frames.atFrameBoundary() || frameError) {
             // Clean exit but torn trailing bytes: the worker lied
             // about being done. Never act on a partial frame.
             out.kind = WorkerOutcome::Kind::Protocol;

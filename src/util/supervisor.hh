@@ -58,6 +58,44 @@ constexpr int kWorkerExceptionExit = 113;
 Status writeFrame(int fd, std::string_view payload);
 
 /**
+ * Incremental reader for the frame format writeFrame produces: feed
+ * it raw bytes as they arrive (from a pipe, a socket, a file tail)
+ * and it extracts complete, CRC-valid frames in order. This is the
+ * exact codec the worker supervisor speaks on its result pipes,
+ * factored out so other transports — the sweep-service daemon's
+ * Unix-domain socket (service/daemon.hh) — parse the same bytes the
+ * same way.
+ *
+ * A protocol violation (declared length beyond kMaxFrameBytes, CRC
+ * mismatch) poisons the reader: feed() returns false then and on
+ * every later call, and no further frames are delivered — corrupt
+ * streams are abandoned, never resynchronized.
+ */
+class FrameReader
+{
+  public:
+    /**
+     * Append @p bytes and invoke @p on_frame once per complete
+     * CRC-valid frame now available, in order. Returns false on (or
+     * after) a protocol violation. on_frame must not throw.
+     */
+    bool feed(std::string_view bytes,
+              const std::function<void(std::string_view payload)>
+                  &on_frame);
+
+    /** True when no partial frame is buffered and the stream is
+     *  healthy — i.e. an EOF here is a clean end of stream. */
+    bool atFrameBoundary() const
+    {
+        return buffer_.empty() && !poisoned_;
+    }
+
+  private:
+    std::string buffer_;
+    bool poisoned_ = false;
+};
+
+/**
  * Async-signal-safe writeFrame: @p scratch must have room for
  * 8 + @p len bytes and is used to assemble the header + payload
  * before one raw write() loop — no allocation, no stdio, table-only

@@ -41,7 +41,7 @@ import sys
 IGNORED_KEYS = ("hardware_concurrency", "note")
 IGNORED_SUFFIXES = ("_seconds", "_ms", "_us")
 RATIO_SUFFIXES = ("_rate",)
-RATIO_KEYS = ("speedup",)
+RATIO_KEYS = ("speedup", "warm_speedup")
 # Fields that must match the baseline exactly no matter what their
 # type or name suffix suggests: the supervisor recovery drill's
 # outcome counts and the analytic-prune sweep's point accounting are
@@ -77,6 +77,16 @@ EXACT_KEYS = (
     "worker_namespace_counters",
     "rollup_counters_compared",
     "rollups_match_inprocess",
+    # The sweep-service drill: every response byte-identical and the
+    # warm re-sweep resolving entirely from the shared result store
+    # are the service's contract (docs/service.md), not performance
+    # numbers — pinned so no rename or suffix ever loosens them.
+    "requests",
+    "points_per_response",
+    "responses_identical",
+    "cold_store_appends",
+    "warm_store_hits",
+    "warm_store_misses",
 )
 
 

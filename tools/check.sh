@@ -268,6 +268,60 @@ run_smoke() {
     fi
     rm -rf "$store_dir"
 
+    # The sweep service end to end (docs/service.md): author a
+    # request file with tlc_client --print-request, serve it twice
+    # through a live tlcd (cold then warm), once through the CLI
+    # --request path, and require all three responses byte-identical
+    # — with the warm client's stats proving every point came from
+    # the shared result store. SIGTERM must drain and exit 0.
+    echo "== smoke-running sweep-service daemon drill =="
+    svc_dir=$(mktemp -d)
+    build/tools/tlc_client --print-request --bench=gcc1 \
+        --refs=20000 --tag=drill > "$svc_dir/request.json"
+    build/tools/tlcd --socket="$svc_dir/tlcd.sock" \
+        --result-store="$svc_dir/store.tlcr" \
+        > "$svc_dir/tlcd.log" 2>&1 &
+    svc_pid=$!
+    for _ in $(seq 1 100); do
+        [ -S "$svc_dir/tlcd.sock" ] && break
+        sleep 0.1
+    done
+    [ -S "$svc_dir/tlcd.sock" ] || {
+        echo "tlcd never bound its socket" >&2
+        cat "$svc_dir/tlcd.log" >&2
+        exit 1
+    }
+    build/tools/tlc_client --socket="$svc_dir/tlcd.sock" \
+        --request="$svc_dir/request.json" \
+        --out="$svc_dir/cold.json"
+    build/tools/tlc_client --socket="$svc_dir/tlcd.sock" \
+        --request="$svc_dir/request.json" \
+        --out="$svc_dir/warm.json" \
+        --stats-out="$svc_dir/warm_stats.json"
+    build/examples/design_explorer \
+        --request="$svc_dir/request.json" > "$svc_dir/cli.json"
+    cmp "$svc_dir/cold.json" "$svc_dir/warm.json" || {
+        echo "warm daemon response differs from cold" >&2
+        exit 1
+    }
+    cmp "$svc_dir/cold.json" "$svc_dir/cli.json" || {
+        echo "daemon response differs from --request CLI" >&2
+        exit 1
+    }
+    python3 - "$svc_dir/warm_stats.json" <<'EOF'
+import json, sys
+s = json.load(open(sys.argv[1]))
+assert s["schema"] == "tlc-sweep-stats-v1", s
+assert s["store_hits"] > 0 and s["store_misses"] == 0, s
+EOF
+    kill -TERM "$svc_pid"
+    wait "$svc_pid" || {
+        echo "tlcd did not exit 0 on SIGTERM" >&2
+        cat "$svc_dir/tlcd.log" >&2
+        exit 1
+    }
+    rm -rf "$svc_dir"
+
     # The batched engine's speedup claim is only worth checking in if
     # the equivalence self-check passes (the bench fatals on any
     # counter mismatch) and the JSON it emits is well-formed.
@@ -310,6 +364,8 @@ run_smoke() {
         > "$gate_dir/recovery.json" 2>/dev/null
     TLC_THREADS=1 build/bench/bench_analytic_sweep \
         > "$gate_dir/analytic.json"
+    TLC_THREADS=1 build/bench/bench_service_throughput \
+        > "$gate_dir/service.json" 2>/dev/null
     python3 tools/bench_compare.py BENCH_sweep.json \
         "$gate_dir/sweep.json"
     python3 tools/bench_compare.py BENCH_batch.json \
@@ -320,6 +376,8 @@ run_smoke() {
         "$gate_dir/recovery.json"
     python3 tools/bench_compare.py BENCH_analytic.json \
         "$gate_dir/analytic.json"
+    python3 tools/bench_compare.py BENCH_service.json \
+        "$gate_dir/service.json"
     rm -rf "$gate_dir"
 }
 

@@ -1,0 +1,88 @@
+/**
+ * @file
+ * tlcd: the sweep-as-a-service explorer daemon. Owns a trace pool
+ * and (optionally) a persistent result store, listens on a
+ * Unix-domain socket, and serves canonical "tlc-sweep-request-v1"
+ * documents to any number of clients — tlc_client, the CLI drivers'
+ * request files, tests. See docs/service.md for the protocol.
+ *
+ * Usage:
+ *   tlcd --socket=PATH [--result-store=FILE] [--store-fsync]
+ *        [--metrics-out=FILE] [--threads=N]
+ *        [--quiet|--verbose] [--profile]
+ *
+ * Lifecycle: runs until SIGTERM or SIGINT, then drains — in-flight
+ * requests finish, connection threads join, the socket is unlinked —
+ * and exits 0. --metrics-out writes the registry dump (including
+ * service.* and sweep_cache.*) at shutdown.
+ */
+
+#include <atomic>
+#include <chrono>
+#include <csignal>
+#include <thread>
+
+#include "service/daemon.hh"
+#include "util/args.hh"
+#include "util/logging.hh"
+#include "util/metrics.hh"
+
+using namespace tlc;
+
+namespace {
+
+volatile std::sig_atomic_t g_stop = 0;
+
+void
+onSignal(int)
+{
+    g_stop = 1;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    ArgParser args(argc, argv);
+    applyStandardFlags(args);
+
+    std::string socketPath = args.getString("socket");
+    if (socketPath.empty())
+        fatal("--socket=PATH is required");
+
+    service::SweepServiceOptions sopts;
+    sopts.resultStorePath = args.getString("result-store");
+    sopts.storeFsync = args.getBool("store-fsync", false);
+    service::SweepService svc(sopts);
+    Status s = svc.init();
+    if (!s.ok())
+        fatal("result store: %s", s.message().c_str());
+    if (svc.store()) {
+        inform("tlcd: result store '%s' (%zu cached points)",
+               svc.store()->path().c_str(), svc.store()->entries());
+    }
+
+    service::SweepDaemon daemon(svc, socketPath);
+    s = daemon.start();
+    if (!s.ok())
+        fatal("%s", s.message().c_str());
+
+    std::signal(SIGTERM, onSignal);
+    std::signal(SIGINT, onSignal);
+    while (!g_stop)
+        std::this_thread::sleep_for(std::chrono::milliseconds(100));
+
+    inform("tlcd: shutting down (draining in-flight requests)");
+    daemon.stop();
+
+    std::string metricsOut = args.getString("metrics-out");
+    if (!metricsOut.empty()) {
+        Status ms = writeMetricsFile(metricsOut);
+        if (!ms.ok())
+            warn("%s", ms.message().c_str());
+        else
+            inform("wrote metrics dump to '%s'", metricsOut.c_str());
+    }
+    return 0;
+}
