@@ -1,15 +1,15 @@
 /**
  * @file
- * SimGroup implementation: flat structure-of-arrays lanes for the
- * paper's common hierarchy shapes, generic Hierarchy lanes for the
+ * SimGroup implementation: lane grouping over the data-oriented lane
+ * layouts in cache/simd_lanes.hh, generic Hierarchy lanes for the
  * rest, and the blocked lane-major trace loop.
  */
 
 #include "sim_group.hh"
 
 #include "cache/single_level.hh"
-#include "util/bitutil.hh"
 #include "util/logging.hh"
+#include "util/simd.hh"
 
 namespace tlc {
 
@@ -18,361 +18,54 @@ namespace {
 /**
  * Records per block of the lane-major loop. Large enough to amortize
  * the per-lane dispatch, small enough that a block plus one lane's
- * hot sets stay cache-resident while the block replays.
+ * hot sets stay cache-resident while the block replays — and for
+ * SharedL1Groups, that one block's L1 miss queue fits comfortably in
+ * the host L2 while it is replayed per member.
  */
 constexpr std::size_t kBlockRecords = 4096;
 
 } // namespace
 
-// ---------------------------------------------------------------------
-// DmL1
-// ---------------------------------------------------------------------
-
-SimGroup::DmL1::DmL1(const CacheParams &p)
+lanes::SharedL1Group &
+SimGroup::sharedGroupFor(const CacheParams &l1_params)
 {
-    p.validate();
-    tlc_assert(p.ways() == 1, "DmL1 requires a direct-mapped cache");
-    std::uint64_t sets = p.numSets();
-    lineShift = log2i(p.lineBytes);
-    setMask = static_cast<std::uint32_t>(sets - 1);
-    entries.resize(sets * 2); // zero entries carry no kValid bit
-}
-
-// ---------------------------------------------------------------------
-// FlatCache
-// ---------------------------------------------------------------------
-
-SimGroup::FlatCache::FlatCache(const CacheParams &p, std::uint64_t seed)
-    : rng(seed, 0xcac4e) // Cache's stream id, for identical draws
-{
-    p.validate();
-    lineShift = log2i(p.lineBytes);
-    ways = p.ways();
-    std::uint64_t sets = p.numSets();
-    setMask = static_cast<std::uint32_t>(sets - 1);
-    repl = p.repl;
-    entries.resize(sets * ways);
-    if (repl != ReplPolicy::Random)
-        stamps.resize(sets * ways);
-}
-
-int
-SimGroup::FlatCache::findWay(std::uint32_t set, std::uint32_t line) const
-{
-    std::size_t base = static_cast<std::size_t>(set) * ways;
-    std::uint64_t want =
-        (static_cast<std::uint64_t>(line) << 2) | kValid;
-    for (std::uint32_t w = 0; w < ways; ++w) {
-        if ((entries[base + w] & ~std::uint64_t(kDirty)) == want)
-            return static_cast<int>(w);
+    // A direct-mapped L1's replacement policy and RNG are
+    // unobservable, so the geometry fields are the whole key.
+    for (lanes::SharedL1Group &g : sharedGroups_) {
+        if (g.l1Params.sizeBytes == l1_params.sizeBytes &&
+            g.l1Params.lineBytes == l1_params.lineBytes)
+            return g;
     }
-    return -1;
-}
-
-bool
-SimGroup::FlatCache::lookupAndTouch(std::uint32_t addr)
-{
-    std::uint32_t line = addr >> lineShift;
-    std::uint32_t set = line & setMask;
-    int way = findWay(set, line);
-    if (way < 0)
-        return false;
-    if (repl == ReplPolicy::LRU)
-        stamps[static_cast<std::size_t>(set) * ways + way] = ++tick;
-    return true;
-}
-
-bool
-SimGroup::FlatCache::touchDirtyIfResident(std::uint32_t addr)
-{
-    std::uint32_t line = addr >> lineShift;
-    std::uint32_t set = line & setMask;
-    int way = findWay(set, line);
-    if (way < 0)
-        return false;
-    entries[static_cast<std::size_t>(set) * ways + way] |= kDirty;
-    return true;
+    sharedGroups_.emplace_back(l1_params);
+    return sharedGroups_.back();
 }
 
 std::uint32_t
-SimGroup::FlatCache::chooseVictimWay(std::uint32_t set)
+SimGroup::strictBlockFor(const CacheParams &l1_params)
 {
-    std::size_t base = static_cast<std::size_t>(set) * ways;
-    // Prefer an invalid way (same scan order as Cache).
-    for (std::uint32_t w = 0; w < ways; ++w) {
-        if (!(entries[base + w] & kValid))
-            return w;
+    for (std::uint32_t b = 0; b < strictBlocks_.size(); ++b) {
+        const lanes::StrictLaneBlock &blk = strictBlocks_[b];
+        if (blk.l1Params.sizeBytes == l1_params.sizeBytes &&
+            blk.l1Params.lineBytes == l1_params.lineBytes &&
+            blk.width() < lanes::StrictLaneBlock::kMaxBlockLanes)
+            return b;
     }
-    switch (repl) {
-      case ReplPolicy::Random:
-        return rng.nextBounded(ways);
-      case ReplPolicy::LRU:
-      case ReplPolicy::FIFO: {
-        std::uint32_t victim = 0;
-        for (std::uint32_t w = 1; w < ways; ++w) {
-            if (stamps[base + w] < stamps[base + victim])
-                victim = w;
-        }
-        return victim;
-      }
-    }
-    panic("unreachable replacement policy");
+    strictBlocks_.emplace_back(l1_params);
+    return static_cast<std::uint32_t>(strictBlocks_.size() - 1);
 }
-
-SimGroup::FlatCache::Victim
-SimGroup::FlatCache::fill(std::uint32_t addr)
-{
-    std::uint32_t line = addr >> lineShift;
-    std::uint32_t set = line & setMask;
-    std::uint32_t way = chooseVictimWay(set);
-    std::size_t slot = static_cast<std::size_t>(set) * ways + way;
-    Victim v;
-    std::uint64_t e = entries[slot];
-    if (e & kValid) {
-        v.valid = true;
-        v.lineAddr = static_cast<std::uint32_t>(e >> 2);
-        v.dirty = (e & kDirty) != 0;
-    }
-    entries[slot] = (static_cast<std::uint64_t>(line) << 2) | kValid;
-    if (repl != ReplPolicy::Random)
-        stamps[slot] = ++tick; // unobservable under Random: skipped
-    return v;
-}
-
-// ---------------------------------------------------------------------
-// DmSingleLane
-// ---------------------------------------------------------------------
-
-void
-SimGroup::DmSingleLane::run(const TraceRecord *recs, std::size_t n)
-{
-    // Counters and geometry live in locals for the duration of the
-    // loop: the entry stores could alias the stats fields as far as
-    // the compiler knows, so counting directly into `stats` would
-    // force a reload on every record.
-    const std::uint32_t line_shift = l1.lineShift;
-    const std::uint32_t set_mask = l1.setMask;
-    std::uint64_t *const entries = l1.entries.data();
-    std::uint64_t instr = 0, data = 0, imiss = 0, dmiss = 0, wb = 0;
-
-    for (std::size_t i = 0; i < n; ++i) {
-        const TraceRecord &r = recs[i];
-        bool is_instr = r.type == RefType::Instr;
-        bool is_store = r.type == RefType::Store;
-        std::uint32_t line = r.addr >> line_shift;
-        std::uint32_t set = line & set_mask;
-        std::size_t idx =
-            (static_cast<std::size_t>(set) << 1) | (is_instr ? 0 : 1);
-
-        if (is_instr)
-            ++instr;
-        else
-            ++data;
-
-        std::uint64_t e = entries[idx];
-        std::uint64_t want =
-            (static_cast<std::uint64_t>(line) << 2) | kValid;
-        if ((e & ~std::uint64_t(kDirty)) == want) {
-            if (is_store)
-                entries[idx] = e | kDirty;
-            continue;
-        }
-
-        if (is_instr)
-            ++imiss;
-        else
-            ++dmiss;
-
-        if ((e & (kValid | kDirty)) == (kValid | kDirty))
-            ++wb;
-        entries[idx] = is_store ? (want | kDirty) : want;
-    }
-
-    stats.instrRefs += instr;
-    stats.dataRefs += data;
-    stats.l1iMisses += imiss;
-    stats.l1dMisses += dmiss;
-    stats.l2Misses += imiss + dmiss; // off-chip (no L2 level exists)
-    stats.offchipWritebacks += wb;
-}
-
-// ---------------------------------------------------------------------
-// FlatTwoLevelLane
-// ---------------------------------------------------------------------
-
-void
-SimGroup::FlatTwoLevelLane::run(const TraceRecord *recs, std::size_t n)
-{
-    // Same aliasing dance as DmSingleLane::run: the entry stores
-    // could alias the stats fields, so the hot-path counters
-    // accumulate in locals and fold into stats once per block.
-    const std::uint32_t line_shift = l1.lineShift;
-    const std::uint32_t set_mask = l1.setMask;
-    std::uint64_t *const entries = l1.entries.data();
-    std::uint64_t instr = 0, data = 0, imiss = 0, dmiss = 0;
-    std::uint64_t l2hit = 0, l2miss = 0, wb = 0;
-
-    for (std::size_t i = 0; i < n; ++i) {
-        const TraceRecord &r = recs[i];
-        bool is_instr = r.type == RefType::Instr;
-        bool is_store = r.type == RefType::Store;
-        std::uint32_t line = r.addr >> line_shift;
-        std::uint32_t set = line & set_mask;
-        std::size_t idx =
-            (static_cast<std::size_t>(set) << 1) | (is_instr ? 0 : 1);
-
-        if (is_instr)
-            ++instr;
-        else
-            ++data;
-
-        std::uint64_t e = entries[idx];
-        std::uint64_t want =
-            (static_cast<std::uint64_t>(line) << 2) | kValid;
-        if ((e & ~std::uint64_t(kDirty)) == want) {
-            if (is_store)
-                entries[idx] = e | kDirty;
-            continue;
-        }
-
-        if (is_instr)
-            ++imiss;
-        else
-            ++dmiss;
-
-        // Refill L1 first, as accessInclusive does; the dirty victim
-        // updates L2 in place when its line is still there, else the
-        // write-back goes off-chip.
-        std::uint32_t victim_line = static_cast<std::uint32_t>(e >> 2);
-        bool victim_dirty =
-            (e & (kValid | kDirty)) == (kValid | kDirty);
-        entries[idx] = is_store ? (want | kDirty) : want;
-        if (victim_dirty) {
-            std::uint32_t victim_addr = victim_line << line_shift;
-            if (!l2.touchDirtyIfResident(victim_addr))
-                ++wb;
-        }
-
-        if (l2.lookupAndTouch(r.addr)) {
-            ++l2hit;
-            continue;
-        }
-        ++l2miss;
-        FlatCache::Victim l2v = l2.fill(r.addr);
-        if (l2v.valid && l2v.dirty)
-            ++wb;
-        if (l2v.valid) {
-            // Maintain inclusion: a line leaving L2 may not stay in
-            // L1. Line sizes match, so the victim's line address is
-            // directly comparable against the L1 entries.
-            std::size_t vbase =
-                static_cast<std::size_t>(l2v.lineAddr & set_mask) << 1;
-            std::uint64_t vtag =
-                static_cast<std::uint64_t>(l2v.lineAddr) << 2;
-            for (std::size_t vi = vbase; vi < vbase + 2; ++vi) {
-                std::uint64_t ve = entries[vi];
-                if ((ve & kValid) && (ve >> 2) == (vtag >> 2))
-                    entries[vi] =
-                        ve & ~static_cast<std::uint64_t>(kValid);
-            }
-        }
-    }
-
-    stats.instrRefs += instr;
-    stats.dataRefs += data;
-    stats.l1iMisses += imiss;
-    stats.l1dMisses += dmiss;
-    stats.l2Hits += l2hit;
-    stats.l2Misses += l2miss;
-    stats.offchipWritebacks += wb;
-}
-
-// ---------------------------------------------------------------------
-// SharedL1TwoLevelLanes
-// ---------------------------------------------------------------------
-
-void
-SimGroup::SharedL1TwoLevelLanes::run(const TraceRecord *recs,
-                                     std::size_t n)
-{
-    // The L1 runs once; its shared counters accumulate in locals
-    // (same aliasing reasoning as DmSingleLane::run) and fold into
-    // every member's stats at the end. The colder miss path updates
-    // each member's L2 counters directly.
-    const std::uint32_t line_shift = l1.lineShift;
-    const std::uint32_t set_mask = l1.setMask;
-    std::uint64_t *const entries = l1.entries.data();
-    Sub *const sub_begin = subs.data();
-    Sub *const sub_end = sub_begin + subs.size();
-    std::uint64_t instr = 0, data = 0, imiss = 0, dmiss = 0;
-
-    for (std::size_t i = 0; i < n; ++i) {
-        const TraceRecord &r = recs[i];
-        bool is_instr = r.type == RefType::Instr;
-        bool is_store = r.type == RefType::Store;
-        std::uint32_t line = r.addr >> line_shift;
-        std::uint32_t set = line & set_mask;
-        std::size_t idx =
-            (static_cast<std::size_t>(set) << 1) | (is_instr ? 0 : 1);
-
-        if (is_instr)
-            ++instr;
-        else
-            ++data;
-
-        std::uint64_t e = entries[idx];
-        std::uint64_t want =
-            (static_cast<std::uint64_t>(line) << 2) | kValid;
-        if ((e & ~std::uint64_t(kDirty)) == want) {
-            if (is_store)
-                entries[idx] = e | kDirty;
-            continue;
-        }
-
-        if (is_instr)
-            ++imiss;
-        else
-            ++dmiss;
-
-        std::uint32_t victim_line = static_cast<std::uint32_t>(e >> 2);
-        bool victim_dirty =
-            (e & (kValid | kDirty)) == (kValid | kDirty);
-        entries[idx] = is_store ? (want | kDirty) : want;
-        std::uint32_t victim_addr = victim_line << line_shift;
-
-        for (Sub *s = sub_begin; s != sub_end; ++s) {
-            if (victim_dirty && !s->l2.touchDirtyIfResident(victim_addr))
-                ++s->stats.offchipWritebacks;
-            if (s->l2.lookupAndTouch(r.addr)) {
-                ++s->stats.l2Hits;
-                continue;
-            }
-            ++s->stats.l2Misses;
-            FlatCache::Victim l2v = s->l2.fill(r.addr);
-            if (l2v.valid && l2v.dirty)
-                ++s->stats.offchipWritebacks;
-        }
-    }
-
-    for (Sub &s : subs) {
-        s.stats.instrRefs += instr;
-        s.stats.dataRefs += data;
-        s.stats.l1iMisses += imiss;
-        s.stats.l1dMisses += dmiss;
-    }
-}
-
-// ---------------------------------------------------------------------
-// SimGroup
-// ---------------------------------------------------------------------
 
 std::size_t
 SimGroup::addSingleLevel(const CacheParams &l1_params, std::uint64_t seed)
 {
-    if (l1_params.ways() == 1) {
-        dmLanes_.emplace_back(l1_params);
-        lanes_.push_back({LaneKind::DmSingle,
-                          static_cast<std::uint32_t>(dmLanes_.size() - 1)});
+    if (l1_params.ways() == 1 && !accessed_) {
+        // Same-geometry direct-mapped L1s are bit-identical (no
+        // replacement state), so every such lane shares one group's
+        // L1 walk and stats block.
+        lanes::SharedL1Group &g = sharedGroupFor(l1_params);
+        ++g.singleMembers;
+        std::uint32_t group =
+            static_cast<std::uint32_t>(&g - sharedGroups_.data());
+        lanes_.push_back({LaneKind::SharedSingle, group});
     } else {
         genericLanes_.push_back(
             std::make_unique<SingleLevelHierarchy>(l1_params, seed));
@@ -388,33 +81,31 @@ SimGroup::addTwoLevel(const CacheParams &l1_params,
                       const CacheParams &l2_params, TwoLevelPolicy policy,
                       std::uint64_t seed)
 {
+    // Lanes added after records have run take the generic path: the
+    // flat flavours share or re-stride state in ways that are only
+    // equivalent to a solo run when the lane starts cold.
     bool flat = l1_params.ways() == 1 &&
                 policy != TwoLevelPolicy::Exclusive &&
-                l1_params.lineBytes == l2_params.lineBytes;
+                l1_params.lineBytes == l2_params.lineBytes && !accessed_;
     if (flat && policy == TwoLevelPolicy::Inclusive) {
         // Non-strict inclusion: the L2 never writes back into L1
         // state, so lanes sharing an L1 geometry share one simulated
-        // L1. (A direct-mapped L1's replacement policy and RNG are
-        // unobservable, so the geometry fields are the whole key.)
-        std::uint32_t group = 0;
-        for (; group < sharedLanes_.size(); ++group) {
-            const CacheParams &k = sharedLanes_[group].l1Params;
-            if (k.sizeBytes == l1_params.sizeBytes &&
-                k.lineBytes == l1_params.lineBytes)
-                break;
-        }
-        if (group == sharedLanes_.size())
-            sharedLanes_.emplace_back(l1_params);
-        sharedLanes_[group].subs.emplace_back(l2_params, seed + 2);
+        // L1 and fan out over the recorded miss stream.
+        lanes::SharedL1Group &g = sharedGroupFor(l1_params);
+        g.subs.emplace_back(l2_params, seed + 2);
+        std::uint32_t group =
+            static_cast<std::uint32_t>(&g - sharedGroups_.data());
         lanes_.push_back(
-            {LaneKind::SharedTwoLevel, group,
-             static_cast<std::uint32_t>(
-                 sharedLanes_[group].subs.size() - 1)});
+            {LaneKind::SharedSub, group,
+             static_cast<std::uint32_t>(g.subs.size() - 1)});
     } else if (flat) {
-        flatLanes_.emplace_back(l1_params, l2_params, seed);
-        lanes_.push_back(
-            {LaneKind::FlatTwoLevel,
-             static_cast<std::uint32_t>(flatLanes_.size() - 1)});
+        // Strict inclusion back-invalidates L1 lines, so each lane
+        // keeps a private L1 — interleaved with its same-geometry
+        // peers for the vectorized probe.
+        std::uint32_t block = strictBlockFor(l1_params);
+        std::uint32_t lane =
+            strictBlocks_[block].addLane(l2_params, seed + 2);
+        lanes_.push_back({LaneKind::Strict, block, lane});
     } else {
         genericLanes_.push_back(std::make_unique<TwoLevelHierarchy>(
             l1_params, l2_params, policy, seed));
@@ -438,10 +129,7 @@ SimGroup::addHierarchy(std::unique_ptr<Hierarchy> h)
 std::size_t
 SimGroup::flatLaneCount() const
 {
-    std::size_t shared = 0;
-    for (const SharedL1TwoLevelLanes &g : sharedLanes_)
-        shared += g.subs.size();
-    return dmLanes_.size() + flatLanes_.size() + shared;
+    return lanes_.size() - genericLanes_.size();
 }
 
 bool
@@ -454,17 +142,19 @@ SimGroup::laneIsFlat(std::size_t lane) const
 void
 SimGroup::accessRange(const TraceRecord *recs, std::size_t n)
 {
+    accessed_ = accessed_ || n > 0;
+    const lanes::LaneKernels &k =
+        lanes::laneKernelsFor(activeSimdBackend());
     for (std::size_t ofs = 0; ofs < n; ofs += kBlockRecords) {
         std::size_t len = n - ofs;
         if (len > kBlockRecords)
             len = kBlockRecords;
         const TraceRecord *block = recs + ofs;
-        for (DmSingleLane &lane : dmLanes_)
-            lane.run(block, len);
-        for (FlatTwoLevelLane &lane : flatLanes_)
-            lane.run(block, len);
-        for (SharedL1TwoLevelLanes &group : sharedLanes_)
-            group.run(block, len);
+        if (!sharedGroups_.empty())
+            k.runShared(sharedGroups_.data(), sharedGroups_.size(),
+                        block, len);
+        for (lanes::StrictLaneBlock &blk : strictBlocks_)
+            k.runStrict(blk, block, len);
         for (auto &h : genericLanes_) {
             for (std::size_t i = 0; i < len; ++i)
                 h->access(block[i]);
@@ -475,13 +165,15 @@ SimGroup::accessRange(const TraceRecord *recs, std::size_t n)
 void
 SimGroup::resetStats()
 {
-    for (DmSingleLane &lane : dmLanes_)
-        lane.stats = HierarchyStats{};
-    for (FlatTwoLevelLane &lane : flatLanes_)
-        lane.stats = HierarchyStats{};
-    for (SharedL1TwoLevelLanes &group : sharedLanes_)
-        for (SharedL1TwoLevelLanes::Sub &s : group.subs)
+    for (lanes::SharedL1Group &group : sharedGroups_) {
+        group.singleStats = HierarchyStats{};
+        for (lanes::SharedL1Group::Sub &s : group.subs)
             s.stats = HierarchyStats{};
+    }
+    for (lanes::StrictLaneBlock &blk : strictBlocks_) {
+        for (HierarchyStats &s : blk.stats)
+            s = HierarchyStats{};
+    }
     for (auto &h : genericLanes_)
         h->resetStats();
 }
@@ -492,12 +184,12 @@ SimGroup::stats(std::size_t lane) const
     tlc_assert(lane < lanes_.size(), "lane %zu out of range", lane);
     const LaneRef &ref = lanes_[lane];
     switch (ref.kind) {
-      case LaneKind::DmSingle:
-        return dmLanes_[ref.index].stats;
-      case LaneKind::FlatTwoLevel:
-        return flatLanes_[ref.index].stats;
-      case LaneKind::SharedTwoLevel:
-        return sharedLanes_[ref.index].subs[ref.sub].stats;
+      case LaneKind::SharedSingle:
+        return sharedGroups_[ref.index].singleStats;
+      case LaneKind::SharedSub:
+        return sharedGroups_[ref.index].subs[ref.sub].stats;
+      case LaneKind::Strict:
+        return strictBlocks_[ref.index].stats[ref.sub];
       case LaneKind::Generic:
         return genericLanes_[ref.index]->stats();
     }

@@ -13,12 +13,22 @@
  * streams through the L1 of the *host* once per block instead of
  * once per configuration.
  *
- * Lanes come in two flavours:
- *  - Flat lanes for the paper's common shapes — split direct-mapped
- *    L1s alone, or backed by an inclusive/strict-inclusive L2 of the
- *    same line size. These keep their tag state in structure-of-
- *    arrays form and run a branch-lean inner loop with no virtual
- *    dispatch.
+ * SimGroup itself is the grouping layer: it decides which lanes can
+ * share simulated state and which structure-of-arrays flavour each
+ * one runs on. The lane layouts and their vectorized kernels live in
+ * cache/simd_lanes.hh (dispatched at runtime over the SIMD backends
+ * compiled into the binary — scalar always, AVX2/NEON per
+ * architecture, forced with TLC_SIMD or setSimdBackend()):
+ *
+ *  - SharedL1Group — all lanes over one direct-mapped L1 geometry
+ *    whose L2 side never reaches back into the L1: plain-inclusive
+ *    two-level lanes (private L2s replayed from a shared miss
+ *    queue) and L1-only lanes (bit-identical, one shared stats
+ *    block). An L2-capacity sweep over a fixed L1 costs one L1
+ *    simulation instead of N.
+ *  - StrictLaneBlock — strict-inclusive lanes, which need private
+ *    L1s (back-invalidation), interleaved so one vector probe per
+ *    record answers every lane's L1 lookup at once.
  *  - Generic lanes wrapping any Hierarchy (exclusive two-level,
  *    victim cache, stream buffer, associative L1s) accessed
  *    record-by-record through the virtual interface.
@@ -26,10 +36,9 @@
  * Equivalence contract: every lane produces HierarchyStats
  * byte-identical to running the corresponding Hierarchy alone over
  * the same records — including replacement RNG draw sequences,
- * LRU/FIFO stamp ordering and write-back accounting. Flat lanes
- * re-implement Cache/SingleLevelHierarchy/TwoLevelHierarchy
- * semantics operation for operation (tests/test_batch_engine.cc
- * enforces this differentially across every hierarchy shape).
+ * LRU/FIFO ordering and write-back accounting, on every SIMD
+ * backend (tests/test_batch_engine.cc enforces this differentially
+ * across every hierarchy shape and backend).
  *
  * Thread safety: none — a SimGroup is built, run and read by one
  * thread. Batched sweeps get their parallelism by giving each worker
@@ -45,9 +54,9 @@
 
 #include "cache/hierarchy.hh"
 #include "cache/params.hh"
+#include "cache/simd_lanes.hh"
 #include "cache/two_level.hh"
 #include "trace/record.hh"
-#include "util/random.hh"
 
 namespace tlc {
 
@@ -94,7 +103,9 @@ class SimGroup
     /**
      * Apply @p n records to every lane. Records are processed in
      * blocks, lane-major within a block, so each lane's tag state
-     * stays hot while the block is replayed against it.
+     * stays hot while the block is replayed against it. The flat
+     * flavours run through the kernel set of the active SIMD backend
+     * (util/simd.hh), resolved per call.
      */
     void accessRange(const TraceRecord *recs, std::size_t n);
 
@@ -105,146 +116,38 @@ class SimGroup
     const HierarchyStats &stats(std::size_t lane) const;
 
   private:
-    static constexpr std::uint8_t kValid = 1;
-    static constexpr std::uint8_t kDirty = 2;
-
-    /**
-     * Split direct-mapped L1 tag state, flattened: one 64-bit entry
-     * per set packing the line address and the valid/dirty bits
-     * ((line << 2) | flags), instruction and data entries interleaved
-     * ([set*2] = I, [set*2+1] = D) so a lookup costs one load and a
-     * refill one store. Stamps are unnecessary — a one-way set has a
-     * forced victim, so replacement state can never be observed.
-     */
-    struct DmL1
-    {
-        std::uint32_t lineShift = 0;
-        std::uint32_t setMask = 0;
-        std::vector<std::uint64_t> entries;
-
-        explicit DmL1(const CacheParams &p);
-    };
-
-    /**
-     * Flat replica of Cache for the shared L2: same victim-selection
-     * order (invalid scan, then policy), same LRU/FIFO stamp and
-     * tick behaviour, same Pcg32 stream — so the stats it produces
-     * match a real Cache draw for draw. Entries pack the line
-     * address and valid/dirty bits like DmL1 ((line << 2) | flags),
-     * [set][way] row-major; stamps are kept in a side array that is
-     * only touched under LRU/FIFO — under Random replacement the
-     * stamps and the tick can never influence an outcome, so the
-     * miss path skips them entirely.
-     */
-    struct FlatCache
-    {
-        std::uint32_t lineShift = 0;
-        std::uint32_t ways = 1;
-        std::uint32_t setMask = 0;
-        ReplPolicy repl = ReplPolicy::Random;
-        std::vector<std::uint64_t> entries; ///< (line << 2) | flags
-        std::vector<std::uint64_t> stamps;  ///< LRU/FIFO ordering
-        std::uint64_t tick = 0;
-        Pcg32 rng;
-
-        FlatCache(const CacheParams &p, std::uint64_t seed);
-
-        struct Victim
-        {
-            bool valid = false;
-            std::uint32_t lineAddr = 0;
-            bool dirty = false;
-        };
-
-        int findWay(std::uint32_t set, std::uint32_t line) const;
-        bool lookupAndTouch(std::uint32_t addr);
-        /** contains() + setDirty() fused: dirty the line if resident. */
-        bool touchDirtyIfResident(std::uint32_t addr);
-        std::uint32_t chooseVictimWay(std::uint32_t set);
-        Victim fill(std::uint32_t addr);
-    };
-
-    /** SingleLevelHierarchy over direct-mapped L1s, flattened. */
-    struct DmSingleLane
-    {
-        DmL1 l1;
-        HierarchyStats stats;
-
-        explicit DmSingleLane(const CacheParams &p) : l1(p) {}
-        void run(const TraceRecord *recs, std::size_t n);
-    };
-
-    /**
-     * TwoLevelHierarchy (strict-inclusive) over direct-mapped L1s,
-     * flattened. Strict inclusion back-invalidates L1 lines when
-     * their L2 copy is evicted, so each strict lane needs a private
-     * L1 — non-strict lanes go through SharedL1TwoLevelLanes instead.
-     */
-    struct FlatTwoLevelLane
-    {
-        DmL1 l1;
-        FlatCache l2;
-        HierarchyStats stats;
-
-        FlatTwoLevelLane(const CacheParams &l1_params,
-                         const CacheParams &l2_params, std::uint64_t seed)
-            : l1(l1_params), l2(l2_params, seed + 2)
-        {
-        }
-        void run(const TraceRecord *recs, std::size_t n);
-    };
-
-    /**
-     * All non-strict inclusive two-level lanes that share one
-     * direct-mapped L1 geometry. Plain inclusion never modifies L1
-     * state from the L2 side, so every such lane sees the exact same
-     * L1 access/miss/victim stream — the group simulates the L1 once
-     * per record and fans its misses out to each member's private
-     * L2. This is where the single-pass engine's biggest win comes
-     * from: an L2-capacity sweep over a fixed L1 costs one L1
-     * simulation instead of N.
-     */
-    struct SharedL1TwoLevelLanes
-    {
-        CacheParams l1Params; ///< grouping key
-        DmL1 l1;
-        struct Sub
-        {
-            FlatCache l2;
-            HierarchyStats stats;
-
-            Sub(const CacheParams &l2_params, std::uint64_t seed)
-                : l2(l2_params, seed)
-            {
-            }
-        };
-        std::vector<Sub> subs;
-
-        explicit SharedL1TwoLevelLanes(const CacheParams &p)
-            : l1Params(p), l1(p)
-        {
-        }
-        void run(const TraceRecord *recs, std::size_t n);
-    };
-
     enum class LaneKind : std::uint8_t {
-        DmSingle,
-        FlatTwoLevel,
-        SharedTwoLevel,
+        SharedSingle, ///< L1-only member of a SharedL1Group
+        SharedSub,    ///< plain-inclusive member of a SharedL1Group
+        Strict,       ///< lane inside a StrictLaneBlock
         Generic
     };
     struct LaneRef
     {
         LaneKind kind;
-        std::uint32_t index; ///< into the kind's own vector
-        std::uint32_t sub = 0; ///< SharedTwoLevel: index into subs
+        std::uint32_t index;   ///< group/block/hierarchy index
+        std::uint32_t sub = 0; ///< sub in group / lane in block
     };
 
+    /** Group with a matching L1 geometry, created on first use. */
+    lanes::SharedL1Group &sharedGroupFor(const CacheParams &l1_params);
+
+    /**
+     * Strict block with a matching L1 geometry and a free lane slot,
+     * created on first use or when every match is full.
+     */
+    std::uint32_t strictBlockFor(const CacheParams &l1_params);
+
     std::vector<LaneRef> lanes_;
-    std::vector<DmSingleLane> dmLanes_;
-    std::vector<FlatTwoLevelLane> flatLanes_;
-    std::vector<SharedL1TwoLevelLanes> sharedLanes_;
+    std::vector<lanes::SharedL1Group> sharedGroups_;
+    std::vector<lanes::StrictLaneBlock> strictBlocks_;
     std::vector<std::unique_ptr<Hierarchy>> genericLanes_;
+    /**
+     * Set once records have been driven; strict lanes added after
+     * that point fall back to the generic path, because growing a
+     * StrictLaneBlock re-strides tag state that is no longer zero.
+     */
+    bool accessed_ = false;
 };
 
 } // namespace tlc

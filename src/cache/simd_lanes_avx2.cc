@@ -1,0 +1,26 @@
+/**
+ * @file
+ * AVX2 lane kernels. This TU is the only one compiled with -mavx2
+ * (see src/cache/CMakeLists.txt), which makes util/simd.hh's wrapper
+ * intrinsics resolve to the 4-x-u64 AVX2 variant here and nowhere
+ * else; callers reach these kernels only through laneKernelsFor(),
+ * which never hands them out unless the CPU reports AVX2.
+ */
+
+#include "cache/simd_lanes.hh"
+
+#if defined(TLC_SIMD_HAVE_AVX2)
+
+#include "util/logging.hh"
+
+namespace tlc {
+namespace lanes {
+namespace avx2_kernels {
+
+#include "cache/simd_lanes_body.inc"
+
+} // namespace avx2_kernels
+} // namespace lanes
+} // namespace tlc
+
+#endif // TLC_SIMD_HAVE_AVX2

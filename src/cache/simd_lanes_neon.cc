@@ -1,0 +1,25 @@
+/**
+ * @file
+ * NEON lane kernels for aarch64, where NEON is architectural — no
+ * special flags needed, the TU exists whenever TLC_SIMD_HAVE_NEON is
+ * defined (see the top-level CMakeLists.txt) and util/simd.hh's
+ * wrapper intrinsics resolve to the 2-x-u64 NEON variant.
+ */
+
+#include "cache/simd_lanes.hh"
+
+#if defined(TLC_SIMD_HAVE_NEON)
+
+#include "util/logging.hh"
+
+namespace tlc {
+namespace lanes {
+namespace neon_kernels {
+
+#include "cache/simd_lanes_body.inc"
+
+} // namespace neon_kernels
+} // namespace lanes
+} // namespace tlc
+
+#endif // TLC_SIMD_HAVE_NEON

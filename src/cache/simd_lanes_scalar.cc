@@ -1,0 +1,23 @@
+/**
+ * @file
+ * Scalar lane kernels — the always-present reference backend.
+ * TLC_SIMD_FORCE_SCALAR pins util/simd.hh's wrapper intrinsics to the
+ * plain-C++ variant even when the build's base flags enable a vector
+ * ISA, so TLC_SIMD=scalar genuinely runs scalar code.
+ */
+
+#define TLC_SIMD_FORCE_SCALAR 1
+
+#include "cache/simd_lanes.hh"
+
+#include "util/logging.hh"
+
+namespace tlc {
+namespace lanes {
+namespace scalar_kernels {
+
+#include "cache/simd_lanes_body.inc"
+
+} // namespace scalar_kernels
+} // namespace lanes
+} // namespace tlc

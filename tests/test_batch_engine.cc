@@ -6,10 +6,14 @@
  * exclusive, victim cache, stream buffer) must produce HierarchyStats
  * byte-identical to running the corresponding Hierarchy alone over
  * the same records — including replacement RNG draws, LRU/FIFO stamp
- * ordering and write-back accounting — across warmup boundaries. On
- * top sit the evaluator-level equivalences: tryMissStatsBatch vs
- * tryMissStats, the SweepRequest entry point vs per-benchmark
- * evaluateAll, and the FailureReport snapshot contract.
+ * ordering and write-back accounting — across warmup boundaries. The
+ * SimdBackendDifferential cases re-prove the lane equivalences under
+ * EVERY SIMD backend this host can run (forced via setSimdBackend),
+ * so scalar and vector kernels are pinned to the same counters the
+ * solo hierarchies produce. On top sit the evaluator-level
+ * equivalences: tryMissStatsBatch vs tryMissStats, the SweepRequest
+ * entry point vs per-benchmark evaluateAll, and the FailureReport
+ * snapshot contract.
  */
 
 #include <gtest/gtest.h>
@@ -26,6 +30,7 @@
 #include "core/batch_engine.hh"
 #include "core/explorer.hh"
 #include "util/parallel.hh"
+#include "util/simd.hh"
 #include "util/units.hh"
 
 using namespace tlc;
@@ -67,6 +72,25 @@ solo(std::uint64_t warmup, Args &&...args)
     h.simulate(sharedTrace(), warmup);
     return h.stats();
 }
+
+/** Every SIMD backend this host can actually run (scalar always). */
+std::vector<SimdBackend>
+runnableBackends()
+{
+    std::vector<SimdBackend> v;
+    for (SimdBackend b :
+         {SimdBackend::Scalar, SimdBackend::Avx2, SimdBackend::Neon})
+        if (simdBackendSupported(b))
+            v.push_back(b);
+    return v;
+}
+
+/** RAII: force a backend for one scope, restore detection after. */
+struct BackendGuard
+{
+    explicit BackendGuard(SimdBackend b) { setSimdBackend(b); }
+    ~BackendGuard() { clearSimdBackendOverride(); }
+};
 
 } // namespace
 
@@ -223,6 +247,176 @@ TEST(SimGroupDifferential, ResultsIndependentOfLaneOrder)
     BatchEngine::run(sharedTrace(), kWarmup, ba);
     expectSameStats(ab.stats(0), ba.stats(1));
     expectSameStats(ab.stats(1), ba.stats(0));
+}
+
+TEST(SimdBackendDifferential, EveryBackendMatchesSoloAcrossFlavours)
+{
+    // The canonical lane-flavour zoo, solo-simulated once; then the
+    // same group is rebuilt and run under every backend this host
+    // can execute. Any vector-kernel divergence from the scalar
+    // reference semantics shows up as a counter mismatch here.
+    CacheParams l1;
+    l1.sizeBytes = 2_KiB;
+    struct Shape
+    {
+        std::uint32_t l2Assoc;
+        ReplPolicy repl;
+        TwoLevelPolicy policy;
+    };
+    std::vector<Shape> shapes;
+    for (std::uint32_t assoc : {1u, 4u})
+        for (ReplPolicy repl :
+             {ReplPolicy::Random, ReplPolicy::LRU, ReplPolicy::FIFO})
+            for (TwoLevelPolicy policy : {TwoLevelPolicy::Inclusive,
+                                          TwoLevelPolicy::StrictInclusive})
+                shapes.push_back({assoc, repl, policy});
+
+    std::vector<CacheParams> l2s;
+    std::vector<HierarchyStats> refs;
+    for (const Shape &s : shapes) {
+        CacheParams l2;
+        l2.sizeBytes = 16_KiB;
+        l2.assoc = s.l2Assoc;
+        l2.repl = s.repl;
+        l2s.push_back(l2);
+        refs.push_back(
+            solo<TwoLevelHierarchy>(kWarmup, l1, l2, s.policy));
+    }
+    HierarchyStats single_ref = solo<SingleLevelHierarchy>(kWarmup, l1);
+
+    for (SimdBackend backend : runnableBackends()) {
+        SCOPED_TRACE(simdBackendName(backend));
+        BackendGuard guard(backend);
+        SimGroup group;
+        std::size_t single = group.addSingleLevel(l1);
+        std::vector<std::size_t> lanes;
+        for (std::size_t i = 0; i < shapes.size(); ++i)
+            lanes.push_back(
+                group.addTwoLevel(l1, l2s[i], shapes[i].policy));
+        BatchEngine::run(sharedTrace(), kWarmup, group);
+        expectSameStats(group.stats(single), single_ref);
+        for (std::size_t i = 0; i < shapes.size(); ++i) {
+            SCOPED_TRACE("lane " + std::to_string(i));
+            expectSameStats(group.stats(lanes[i]), refs[i]);
+        }
+    }
+}
+
+TEST(SimdBackendDifferential, StrictLaneCountsSpanVectorWidths)
+{
+    // Strict-inclusive blocks answer all lanes' L1 probes with one
+    // vector sweep over an interleaved row, so the lane count is the
+    // vector trip count: 1 and 7 exercise sub-width tails, 8 and 9
+    // the exact-width and width-plus-one boundaries, 32 several full
+    // vectors per row. Each lane gets a distinct L2 so a lane-index
+    // mixup cannot cancel out.
+    CacheParams l1;
+    l1.sizeBytes = 1_KiB;
+    auto l2For = [](std::size_t i) {
+        CacheParams l2;
+        l2.sizeBytes = 8_KiB << (i % 4);
+        l2.assoc = (i % 2) ? 4 : 1;
+        l2.repl = (i % 3 == 0)   ? ReplPolicy::Random
+                  : (i % 3 == 1) ? ReplPolicy::LRU
+                                 : ReplPolicy::FIFO;
+        return l2;
+    };
+
+    for (std::size_t count : {std::size_t{1}, std::size_t{7},
+                              std::size_t{8}, std::size_t{9},
+                              std::size_t{32}}) {
+        SCOPED_TRACE("lanes " + std::to_string(count));
+        std::vector<HierarchyStats> refs;
+        for (std::size_t i = 0; i < count; ++i)
+            refs.push_back(solo<TwoLevelHierarchy>(
+                kWarmup, l1, l2For(i), TwoLevelPolicy::StrictInclusive));
+        for (SimdBackend backend : runnableBackends()) {
+            SCOPED_TRACE(simdBackendName(backend));
+            BackendGuard guard(backend);
+            SimGroup group;
+            for (std::size_t i = 0; i < count; ++i)
+                group.addTwoLevel(l1, l2For(i),
+                                  TwoLevelPolicy::StrictInclusive);
+            EXPECT_EQ(group.flatLaneCount(), count);
+            BatchEngine::run(sharedTrace(), kWarmup, group);
+            for (std::size_t i = 0; i < count; ++i) {
+                SCOPED_TRACE("lane " + std::to_string(i));
+                expectSameStats(group.stats(i), refs[i]);
+            }
+        }
+    }
+}
+
+TEST(SimdBackendDifferential, WarmupEdgesMatchUnderEveryBackend)
+{
+    CacheParams l1;
+    l1.sizeBytes = 2_KiB;
+    CacheParams l2;
+    l2.sizeBytes = 16_KiB;
+    l2.assoc = 4;
+    for (std::uint64_t warmup :
+         {std::uint64_t(0), kRefs / 2, kRefs, kRefs + 5000}) {
+        SCOPED_TRACE("warmup " + std::to_string(warmup));
+        HierarchyStats single_ref =
+            solo<SingleLevelHierarchy>(warmup, l1);
+        HierarchyStats incl_ref = solo<TwoLevelHierarchy>(
+            warmup, l1, l2, TwoLevelPolicy::Inclusive);
+        HierarchyStats strict_ref = solo<TwoLevelHierarchy>(
+            warmup, l1, l2, TwoLevelPolicy::StrictInclusive);
+        for (SimdBackend backend : runnableBackends()) {
+            SCOPED_TRACE(simdBackendName(backend));
+            BackendGuard guard(backend);
+            SimGroup group;
+            group.addSingleLevel(l1);
+            group.addTwoLevel(l1, l2, TwoLevelPolicy::Inclusive);
+            group.addTwoLevel(l1, l2, TwoLevelPolicy::StrictInclusive);
+            BatchEngine::run(sharedTrace(), warmup, group);
+            expectSameStats(group.stats(0), single_ref);
+            expectSameStats(group.stats(1), incl_ref);
+            expectSameStats(group.stats(2), strict_ref);
+        }
+    }
+}
+
+TEST(SimdBackendDifferential, VectorBackendsMatchScalarByteForByte)
+{
+    // Scalar is the reference kernel; every vector backend must
+    // reproduce its counters exactly on an identical group. (Solo
+    // equivalence above implies this, but the direct comparison
+    // localizes a failure to the pair of kernels that disagree.)
+    std::vector<SimdBackend> backends = runnableBackends();
+    ASSERT_EQ(backends.front(), SimdBackend::Scalar);
+
+    CacheParams l1;
+    l1.sizeBytes = 4_KiB;
+    auto runAll = [&](SimdBackend backend) {
+        BackendGuard guard(backend);
+        SimGroup group;
+        group.addSingleLevel(l1);
+        for (std::uint64_t l2_size : {8_KiB, 32_KiB, 128_KiB}) {
+            CacheParams l2;
+            l2.sizeBytes = l2_size;
+            l2.assoc = 4;
+            group.addTwoLevel(l1, l2, TwoLevelPolicy::Inclusive);
+            group.addTwoLevel(l1, l2, TwoLevelPolicy::StrictInclusive);
+        }
+        BatchEngine::run(sharedTrace(), kWarmup, group);
+        std::vector<HierarchyStats> all;
+        for (std::size_t i = 0; i < group.laneCount(); ++i)
+            all.push_back(group.stats(i));
+        return all;
+    };
+
+    std::vector<HierarchyStats> scalar = runAll(SimdBackend::Scalar);
+    for (std::size_t b = 1; b < backends.size(); ++b) {
+        SCOPED_TRACE(simdBackendName(backends[b]));
+        std::vector<HierarchyStats> vec = runAll(backends[b]);
+        ASSERT_EQ(vec.size(), scalar.size());
+        for (std::size_t i = 0; i < scalar.size(); ++i) {
+            SCOPED_TRACE("lane " + std::to_string(i));
+            expectSameStats(vec[i], scalar[i]);
+        }
+    }
 }
 
 TEST(BatchEngine, SimulateConfigsReportsLaneSplit)

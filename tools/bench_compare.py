@@ -38,10 +38,15 @@ passes, 1 with one line per failure otherwise.
 import json
 import sys
 
-IGNORED_KEYS = ("hardware_concurrency", "note")
+# "simd_backend" is whichever vector ISA the measuring host runs
+# (scalar on a CI runner without AVX2), and "reps" is the best-of-N
+# sampling depth — both describe the machine/methodology of one run,
+# not the result, so like wall-clock they never gate.
+IGNORED_KEYS = ("hardware_concurrency", "note", "simd_backend", "reps")
 IGNORED_SUFFIXES = ("_seconds", "_ms", "_us")
 RATIO_SUFFIXES = ("_rate",)
-RATIO_KEYS = ("speedup", "warm_speedup")
+RATIO_KEYS = ("speedup", "warm_speedup", "strict_speedup",
+              "speedup_vs_prior_batched")
 # Fields that must match the baseline exactly no matter what their
 # type or name suffix suggests: the supervisor recovery drill's
 # outcome counts and the analytic-prune sweep's point accounting are

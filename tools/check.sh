@@ -9,13 +9,24 @@
 #   tools/check.sh --tier=fast      # configure + build + ctest, then
 #                                   # the supervised-sweep recovery
 #                                   # drills (crash/hang/kill/resume
-#                                   # differentials)
+#                                   # differentials) and the SIMD
+#                                   # dispatch drill (scalar==native)
 #   tools/check.sh --tier=asan      # robustness suites under ASan+UBSan
 #   tools/check.sh --tier=tsan      # parallel suites under TSan
 #   tools/check.sh --tier=smoke     # bench/example smoke runs, the
 #                                   # observability and result-store
 #                                   # round trips, and the benchmark
 #                                   # regression gate (bench_compare.py)
+#   tools/check.sh --simd=BACKEND   # force the lane-kernel backend
+#                                   # (scalar|avx2|neon|native) for
+#                                   # every test and bench in the tier
+#                                   # by exporting TLC_SIMD; a pre-set
+#                                   # TLC_SIMD in the environment is
+#                                   # honoured the same way
+#   tools/check.sh --artifacts=DIR  # keep the smoke tier's regenerated
+#                                   # BENCH_*.json and the telemetry
+#                                   # --metrics-out dump in DIR for CI
+#                                   # artifact upload
 #
 # Ninja is used when available and CMake's default generator
 # otherwise; ccache is picked up automatically when installed (CI
@@ -23,13 +34,18 @@
 set -e
 cd "$(dirname "$0")/.."
 
+usage="usage: tools/check.sh [--tier=fast|asan|tsan|smoke|full] [--simd=scalar|avx2|neon|native] [--artifacts=DIR]"
 tier=full
+simd=
+artifacts=
 for arg in "$@"; do
     case "$arg" in
       --tier=*) tier="${arg#--tier=}" ;;
+      --simd=*) simd="${arg#--simd=}" ;;
+      --artifacts=*) artifacts="${arg#--artifacts=}" ;;
       *)
         echo "check.sh: unknown argument '$arg'" >&2
-        echo "usage: tools/check.sh [--tier=fast|asan|tsan|smoke|full]" >&2
+        echo "$usage" >&2
         exit 2
         ;;
     esac
@@ -38,10 +54,35 @@ case "$tier" in
   fast|asan|tsan|smoke|full) ;;
   *)
     echo "check.sh: unknown tier '$tier'" >&2
-    echo "usage: tools/check.sh [--tier=fast|asan|tsan|smoke|full]" >&2
+    echo "$usage" >&2
     exit 2
     ;;
 esac
+# Validate the backend here, before a tier burns minutes building
+# only for the first simulation to panic on a typo. The exported
+# TLC_SIMD reaches every ctest case, drill, and bench below (the
+# runtime resolves it in activeSimdBackend, util/simd.hh).
+case "$simd" in
+  ""|scalar|avx2|neon|native) ;;
+  *)
+    echo "check.sh: unknown --simd backend '$simd'" >&2
+    echo "$usage" >&2
+    exit 2
+    ;;
+esac
+if [ -n "$simd" ]; then
+    TLC_SIMD="$simd"
+    export TLC_SIMD
+fi
+if [ -n "${TLC_SIMD:-}" ]; then
+    echo "== SIMD backend forced: TLC_SIMD=$TLC_SIMD =="
+fi
+if [ -n "$artifacts" ]; then
+    mkdir -p "$artifacts"
+    # Resolve now: the smoke tier cd's nowhere, but mktemp subshells
+    # copy into it and a relative path would be fragile.
+    artifacts=$(cd "$artifacts" && pwd)
+fi
 
 # The hard Ninja requirement is gone: fall back to CMake's default
 # generator (usually Unix Makefiles) when ninja is not on PATH.
@@ -55,11 +96,21 @@ if command -v ccache >/dev/null 2>&1; then
 fi
 
 # configure <build-dir> [extra cmake flags...]
+#
+# `set -e` would abort on a configure failure anyway, but the bare
+# CMake error scrolls past in CI logs and the next person chases a
+# phantom build or test failure; fail fast with an explicit verdict
+# instead.
 configure() {
     dir="$1"
     shift
     # $GEN/$LAUNCHER intentionally unquoted: empty means no argument.
-    cmake -B "$dir" $GEN $LAUNCHER "$@"
+    cmake -B "$dir" $GEN $LAUNCHER "$@" || {
+        echo "check.sh: FATAL: cmake configure failed for '$dir'" >&2
+        echo "check.sh: fix the toolchain/generator errors above;" \
+             "nothing was built or tested" >&2
+        exit 1
+    }
 }
 
 build_main() {
@@ -71,7 +122,30 @@ run_fast() {
     echo "== tier fast: configure + build + ctest =="
     build_main
     ctest --test-dir build --output-on-failure
+    run_dispatch
     run_recovery
+}
+
+run_dispatch() {
+    # The SIMD dispatch drill: one real explorer sweep forced onto
+    # the scalar kernels and one left to runtime cpuid dispatch must
+    # print byte-identical reports — scalar==vector is the batched
+    # engine's contract (docs/parallelism.md), and this proves it
+    # end to end through the Explorer/tryMissStatsBatch path rather
+    # than only in the unit differentials. On a host without vector
+    # units both runs resolve to scalar and the drill degenerates to
+    # a determinism check, which is still worth one cmp.
+    echo "== dispatch drill: TLC_SIMD=scalar vs native sweep =="
+    dd_dir=$(mktemp -d)
+    TLC_SIMD=scalar build/examples/design_explorer --refs=50000 \
+        --quiet > "$dd_dir/scalar.txt"
+    TLC_SIMD=native build/examples/design_explorer --refs=50000 \
+        --quiet > "$dd_dir/native.txt"
+    cmp "$dd_dir/scalar.txt" "$dd_dir/native.txt" || {
+        echo "TLC_SIMD=scalar sweep differs from native dispatch" >&2
+        exit 1
+    }
+    rm -rf "$dd_dir"
 }
 
 run_recovery() {
@@ -234,6 +308,10 @@ run_smoke() {
         echo "metrics dump lacks worker.<id>.* namespaces" >&2
         exit 1
     }
+    if [ -n "$artifacts" ]; then
+        cp "$iso_dir/metrics.json" "$artifacts/metrics.json"
+        cp "$iso_dir/manifest.json" "$artifacts/manifest.json"
+    fi
     rm -rf "$iso_dir"
 
     # The simulation-trace container round trip: trace_tool writes
@@ -378,6 +456,15 @@ EOF
         "$gate_dir/analytic.json"
     python3 tools/bench_compare.py BENCH_service.json \
         "$gate_dir/service.json"
+    if [ -n "$artifacts" ]; then
+        # Keep the regenerated documents under their committed names
+        # so a CI artifact download drops straight onto the repo when
+        # a baseline update is intentional.
+        for doc in sweep batch observability recovery analytic \
+                   service; do
+            cp "$gate_dir/$doc.json" "$artifacts/BENCH_$doc.json"
+        done
+    fi
     rm -rf "$gate_dir"
 }
 
